@@ -1,0 +1,276 @@
+package dimboost_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§7, Appendix A), at a reduced Scale so `go test -bench=.` completes in
+// minutes; `cmd/dimboost-bench` runs the same experiments at full laptop
+// scale. Additional micro-benchmarks cover the core data structures the
+// experiments build on.
+
+import (
+	"io"
+	"testing"
+
+	"dimboost"
+	"dimboost/internal/compress"
+	"dimboost/internal/experiments"
+	"dimboost/internal/histogram"
+	"dimboost/internal/sketch"
+)
+
+// benchScale keeps the macro-benchmarks short.
+const benchScale = experiments.Scale(0.05)
+
+func BenchmarkFig1RuntimeVsFeatures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1(io.Discard, benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1CostModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table1(io.Discard)
+	}
+}
+
+func BenchmarkTable3Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(io.Discard, benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12EndToEnd(b *testing.B) {
+	for _, ds := range []experiments.Fig12Dataset{experiments.RCV1, experiments.Synthesis, experiments.Gender} {
+		b.Run(string(ds), func(b *testing.B) {
+			scale := benchScale
+			if ds == experiments.Gender {
+				scale = experiments.Scale(0.02) // 330K features; keep dense baselines short
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig12(io.Discard, ds, scale); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable4ParameterServers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(io.Discard, experiments.Scale(0.02)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5FeatureDimension(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(io.Discard, experiments.Scale(0.1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6PCA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table6(io.Discard, benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig13(io.Discard, experiments.Scale(0.02)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14LowDimensional(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig14(io.Discard, benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkA1Unbiasedness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.A1(io.Discard)
+	}
+}
+
+// --- Micro-benchmarks on the core data structures -----------------------
+
+func benchData(b *testing.B, rows, features, nnz int) *dimboost.Dataset {
+	b.Helper()
+	return dimboost.Generate(dimboost.SyntheticConfig{
+		NumRows: rows, NumFeatures: features, AvgNNZ: nnz, Zipf: 1.3, Seed: 7,
+	})
+}
+
+func BenchmarkHistogramBuildSparse(b *testing.B) {
+	d := benchData(b, 5000, 20000, 100)
+	set := sketch.NewSet(d.NumFeatures, 0.04)
+	set.AddDataset(d)
+	layout, err := histogram.NewLayout(histogram.AllFeatures(d.NumFeatures), set.Candidates(12), d.NumFeatures)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grad := make([]float64, d.NumRows())
+	hess := make([]float64, d.NumRows())
+	rows := make([]int32, d.NumRows())
+	for i := range rows {
+		rows[i] = int32(i)
+		grad[i] = float64(i % 3)
+		hess[i] = 0.3
+	}
+	h := histogram.New(layout)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Reset()
+		histogram.BuildSparse(h, d, rows, grad, hess)
+	}
+	b.ReportMetric(float64(d.NNZ()), "nnz/op")
+}
+
+func BenchmarkHistogramBuildDense(b *testing.B) {
+	d := benchData(b, 500, 5000, 50)
+	set := sketch.NewSet(d.NumFeatures, 0.04)
+	set.AddDataset(d)
+	layout, err := histogram.NewLayout(histogram.AllFeatures(d.NumFeatures), set.Candidates(12), d.NumFeatures)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grad := make([]float64, d.NumRows())
+	hess := make([]float64, d.NumRows())
+	rows := make([]int32, d.NumRows())
+	for i := range rows {
+		rows[i] = int32(i)
+		grad[i] = 1
+		hess[i] = 0.3
+	}
+	h := histogram.New(layout)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Reset()
+		histogram.BuildDense(h, d, rows, grad, hess)
+	}
+}
+
+func BenchmarkCompressEncode8Bit(b *testing.B) {
+	enc := compress.NewEncoder(1)
+	values := make([]float64, 1<<16)
+	for i := range values {
+		values[i] = float64(i%997) - 500
+	}
+	b.SetBytes(int64(len(values) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(values, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGKSketchInsert(b *testing.B) {
+	s := sketch.NewGK(0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(float64(i % 100000))
+	}
+}
+
+func BenchmarkSingleMachineTrain(b *testing.B) {
+	d := benchData(b, 2000, 10000, 50)
+	cfg := dimboost.DefaultConfig()
+	cfg.NumTrees = 5
+	cfg.MaxDepth = 5
+	cfg.Parallelism = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dimboost.Train(d, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistributedTrain(b *testing.B) {
+	d := benchData(b, 2000, 10000, 50)
+	cfg := dimboost.DefaultClusterConfig(4, 4)
+	cfg.NumTrees = 5
+	cfg.MaxDepth = 5
+	cfg.Parallelism = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dimboost.TrainDistributed(d, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	d := benchData(b, 2000, 10000, 50)
+	cfg := dimboost.DefaultConfig()
+	cfg.NumTrees = 20
+	cfg.MaxDepth = 6
+	cfg.Parallelism = 1
+	model, err := dimboost.Train(d, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Predict(d.Row(i % d.NumRows()))
+	}
+}
+
+// --- Ablation micro-benchmarks for extension features --------------------
+
+func BenchmarkHistSubtraction(b *testing.B) {
+	d := benchData(b, 6000, 500, 40)
+	for _, sub := range []bool{false, true} {
+		name := "off"
+		if sub {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := dimboost.DefaultConfig()
+			cfg.NumTrees = 3
+			cfg.MaxDepth = 6
+			cfg.Parallelism = 1
+			cfg.HistSubtraction = sub
+			for i := 0; i < b.N; i++ {
+				if _, err := dimboost.Train(d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWeightedCandidates(b *testing.B) {
+	d := benchData(b, 3000, 500, 30)
+	for _, weighted := range []bool{false, true} {
+		name := "unweighted"
+		if weighted {
+			name = "weighted"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := dimboost.DefaultConfig()
+			cfg.NumTrees = 3
+			cfg.MaxDepth = 5
+			cfg.Parallelism = 1
+			cfg.WeightedCandidates = weighted
+			for i := 0; i < b.N; i++ {
+				if _, err := dimboost.Train(d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,109 @@
+// Command dimboost-bench regenerates the paper's tables and figures at
+// laptop scale. Each subcommand corresponds to one table or figure of the
+// evaluation section; `all` runs everything in paper order.
+//
+// Usage:
+//
+//	dimboost-bench table1
+//	dimboost-bench fig12 -dataset gender
+//	dimboost-bench all -scale 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dimboost/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "dataset row-count multiplier (smaller = quicker)")
+	ds := flag.String("dataset", "rcv1", "fig12 dataset: rcv1 | synthesis | gender")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	// Flags may follow the subcommand as well.
+	cmd := flag.Arg(0)
+	if flag.NArg() > 1 {
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		scale2 := fs.Float64("scale", *scale, "dataset row-count multiplier")
+		ds2 := fs.String("dataset", *ds, "fig12 dataset")
+		if err := fs.Parse(flag.Args()[1:]); err != nil {
+			log.Fatal(err)
+		}
+		scale, ds = scale2, ds2
+	}
+	s := experiments.Scale(*scale)
+	out := os.Stdout
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Fprintf(out, "[%s completed in %s]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	dispatch := map[string]func(){
+		"fig1":   func() { run("fig1", func() error { _, err := experiments.Fig1(out, s); return err }) },
+		"table1": func() { run("table1", func() error { experiments.Table1(out); return nil }) },
+		"table3": func() { run("table3", func() error { _, err := experiments.Table3(out, s); return err }) },
+		"fig12": func() {
+			run("fig12-"+*ds, func() error {
+				_, err := experiments.Fig12(out, experiments.Fig12Dataset(*ds), s)
+				return err
+			})
+		},
+		"table4": func() { run("table4", func() error { _, err := experiments.Table4(out, s); return err }) },
+		"table5": func() { run("table5", func() error { _, err := experiments.Table5(out, s); return err }) },
+		"table6": func() { run("table6", func() error { _, err := experiments.Table6(out, s); return err }) },
+		"fig13":  func() { run("fig13", func() error { _, err := experiments.Fig13(out, s); return err }) },
+		"fig14":  func() { run("fig14", func() error { _, err := experiments.Fig14(out, s); return err }) },
+		"a1":     func() { run("a1", func() error { experiments.A1(out); return nil }) },
+	}
+	if cmd == "all" {
+		for _, name := range []string{"fig1", "table1", "table3", "fig12", "table4", "table5", "table6", "fig13", "fig14", "a1"} {
+			if name == "fig12" {
+				for _, d := range []string{"rcv1", "synthesis", "gender"} {
+					*ds = d
+					dispatch["fig12"]()
+				}
+				continue
+			}
+			dispatch[name]()
+		}
+		return
+	}
+	f, ok := dispatch[cmd]
+	if !ok {
+		usage()
+		os.Exit(2)
+	}
+	f()
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: dimboost-bench [flags] <experiment>
+
+experiments:
+  fig1     run time vs #features, XGBoost vs DimBoost
+  table1   communication cost model of the four aggregation strategies
+  table3   ablation of the six proposed optimizations
+  fig12    end-to-end five-system comparison (-dataset rcv1|synthesis|gender)
+  table4   impact of the parameter-server count
+  table5   test error vs feature dimension
+  table6   PCA dimension reduction vs direct training
+  fig13    scalability with time breakdown (load/compute/comm)
+  fig14    comparison on a low-dimensional dataset
+  a1       unbiasedness of low-precision histograms
+  all      everything, in paper order
+
+flags:`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,55 @@
+// Command dimboost-inspect prints a trained model's structure: size
+// summary, gain-based feature importance, and optionally the full per-tree
+// dump.
+//
+// Usage:
+//
+//	dimboost-inspect -model model.bin
+//	dimboost-inspect -model model.bin -top 30 -dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dimboost"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "model.bin", "trained model file")
+		top       = flag.Int("top", 20, "number of features to list by gain")
+		dump      = flag.Bool("dump", false, "print the full per-tree dump")
+	)
+	flag.Parse()
+
+	m, err := dimboost.LoadModelFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	internal, leaves := m.NumNodes()
+	fmt.Printf("loss:           %s\n", m.Loss)
+	fmt.Printf("trees:          %d\n", len(m.Trees))
+	fmt.Printf("internal nodes: %d\n", internal)
+	fmt.Printf("leaves:         %d\n", leaves)
+
+	imp := m.Importance()
+	fmt.Printf("\nfeatures used:  %d\n", len(imp))
+	fmt.Printf("\ntop %d features by gain:\n", *top)
+	fmt.Printf("%10s %14s %8s\n", "feature", "gain", "splits")
+	for i, fi := range imp {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("%10d %14.4f %8d\n", fi.Feature, fi.Gain, fi.Splits)
+	}
+
+	if *dump {
+		fmt.Println()
+		if err := m.Dump(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Command dimboost-predict scores a LibSVM dataset with a trained model and
+// reports metrics (when labels are present) or writes raw predictions.
+//
+// Usage:
+//
+//	dimboost-predict -model model.bin -data test.libsvm -out preds.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dimboost"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "model.bin", "trained model file")
+		data      = flag.String("data", "", "data in LibSVM format (required)")
+		features  = flag.Int("features", 0, "feature count (0 infers from data)")
+		out       = flag.String("out", "", "write one prediction per line to this file")
+		prob      = flag.Bool("prob", false, "output probabilities instead of raw scores (logistic models)")
+	)
+	flag.Parse()
+	if *data == "" {
+		log.Fatal("-data is required")
+	}
+
+	m, err := dimboost.LoadModelFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := dimboost.ReadLibSVMFile(*data, *features)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	preds := m.PredictBatch(d)
+	if m.Loss == dimboost.Logistic {
+		auc, aucErr := dimboost.AUC(d.Labels, preds)
+		fmt.Printf("%d rows: error %.4f  logloss %.4f", d.NumRows(),
+			dimboost.ErrorRate(d.Labels, preds), dimboost.LogLoss(d.Labels, preds))
+		if aucErr == nil {
+			fmt.Printf("  auc %.4f", auc)
+		}
+		fmt.Println()
+	} else {
+		fmt.Printf("%d rows: rmse %.4f\n", d.NumRows(), dimboost.RMSE(d.Labels, preds))
+	}
+
+	if *out == "" {
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	for i, p := range preds {
+		if *prob && m.Loss == dimboost.Logistic {
+			p = m.PredictProb(d.Row(i))
+		}
+		fmt.Fprintf(w, "%g\n", p)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predictions written to %s\n", *out)
+}

@@ -1,0 +1,49 @@
+// Command dimboost-serve exposes a trained model over HTTP for online
+// scoring.
+//
+// Usage:
+//
+//	dimboost-serve -model model.bin -listen :8080
+//
+// Endpoints: GET /healthz, GET /model, GET /importance?top=N,
+// POST /predict (application/json or text/libsvm).
+//
+// Example request:
+//
+//	curl -s localhost:8080/predict -d '{"instances":[{"indices":[3,17],"values":[1.5,0.2]}]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"dimboost"
+	"dimboost/internal/serve"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "model.bin", "trained model file")
+		listen    = flag.String("listen", "127.0.0.1:8080", "listen address")
+	)
+	flag.Parse()
+
+	m, err := dimboost.LoadModelFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	internal, leaves := m.NumNodes()
+	fmt.Printf("serving %s model: %d trees, %d internal nodes, %d leaves\n",
+		m.Loss, len(m.Trees), internal, leaves)
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           serve.New(m),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("listening on http://%s\n", *listen)
+	log.Fatal(srv.ListenAndServe())
+}

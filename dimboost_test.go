@@ -1,0 +1,190 @@
+package dimboost_test
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dimboost"
+)
+
+// TestPublicAPIEndToEnd exercises the full public surface the way a
+// downstream user would: generate data, train locally, train distributed,
+// serialize, score.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	train, test := dimboost.GenerateTrainTest(dimboost.SyntheticConfig{
+		NumRows: 1000, NumFeatures: 200, AvgNNZ: 15, Seed: 1, Zipf: 1.2, NoiseStd: 0.2,
+	})
+
+	cfg := dimboost.DefaultConfig()
+	cfg.NumTrees = 6
+	cfg.MaxDepth = 4
+	model, err := dimboost.Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := model.PredictBatch(test)
+	if e := dimboost.ErrorRate(test.Labels, preds); e > 0.49 {
+		t.Fatalf("error rate %v", e)
+	}
+	if auc, err := dimboost.AUC(test.Labels, preds); err != nil || auc < 0.5 {
+		t.Fatalf("auc %v err %v", auc, err)
+	}
+	if ll := dimboost.LogLoss(test.Labels, preds); ll <= 0 {
+		t.Fatalf("logloss %v", ll)
+	}
+
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dimboost.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Predict(test.Row(0)) != model.Predict(test.Row(0)) {
+		t.Fatal("serialization changed predictions")
+	}
+
+	ccfg := dimboost.DefaultClusterConfig(3, 2)
+	ccfg.NumTrees = 4
+	ccfg.MaxDepth = 4
+	res, err := dimboost.TrainDistributed(train, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Model.Trees) != 4 || res.Stats.TotalBytes <= 0 {
+		t.Fatal("distributed result incomplete")
+	}
+}
+
+func TestPublicAPILibSVMAndPCA(t *testing.T) {
+	d := dimboost.Generate(dimboost.SyntheticConfig{NumRows: 200, NumFeatures: 100, AvgNNZ: 10, Seed: 2, Zipf: 1.2})
+	var buf bytes.Buffer
+	if err := dimboost.WriteLibSVM(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dimboost.ReadLibSVM(&buf, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 200 {
+		t.Fatal("libsvm round trip")
+	}
+
+	p, err := dimboost.FitPCA(d, 5, dimboost.PCAOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := p.Transform(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.NumFeatures != 5 {
+		t.Fatal("pca transform shape")
+	}
+
+	b := dimboost.NewBuilder(3)
+	b.AddDense([]float32{1, 0, 2}, 1)
+	if ds := b.Build(); ds.NumRows() != 1 {
+		t.Fatal("builder")
+	}
+	dd, err := dimboost.FromDense([][]float32{{1, 2}}, []float32{0})
+	if err != nil || dd.NumFeatures != 2 {
+		t.Fatal("FromDense")
+	}
+}
+
+func TestPresetShapes(t *testing.T) {
+	for _, tc := range []struct {
+		cfg dimboost.SyntheticConfig
+		m   int
+	}{
+		{dimboost.RCV1Like(5, 1), 47_000},
+		{dimboost.SynthesisLike(5, 1), 100_000},
+		{dimboost.GenderLike(5, 1), 330_000},
+		{dimboost.Synthesis2Like(5, 1), 1000},
+	} {
+		if tc.cfg.NumFeatures != tc.m {
+			t.Errorf("preset features %d, want %d", tc.cfg.NumFeatures, tc.m)
+		}
+	}
+}
+
+func TestRegressionPublicAPI(t *testing.T) {
+	d := dimboost.Generate(dimboost.SyntheticConfig{NumRows: 300, NumFeatures: 50, AvgNNZ: 8, Seed: 4, Regression: true, NoiseStd: 0.1})
+	cfg := dimboost.DefaultConfig()
+	cfg.Loss = dimboost.Squared
+	cfg.NumTrees = 10
+	cfg.MaxDepth = 4
+	model, err := dimboost.Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := dimboost.RMSE(d.Labels, model.PredictBatch(d)); r >= dimboost.RMSE(d.Labels, make([]float64, d.NumRows())) {
+		t.Fatalf("regression did not beat zero predictor: %v", r)
+	}
+}
+
+func TestCrossValidatePublicAPI(t *testing.T) {
+	d := dimboost.Generate(dimboost.SyntheticConfig{NumRows: 300, NumFeatures: 60, AvgNNZ: 8, Seed: 6, Zipf: 1.2})
+	cfg := dimboost.DefaultConfig()
+	cfg.NumTrees = 3
+	cfg.MaxDepth = 3
+	res, err := dimboost.CrossValidate(d, cfg, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldScores) != 3 {
+		t.Fatalf("%d folds", len(res.FoldScores))
+	}
+}
+
+func TestModelHandlerPublicAPI(t *testing.T) {
+	d := dimboost.Generate(dimboost.SyntheticConfig{NumRows: 200, NumFeatures: 40, AvgNNZ: 6, Seed: 7})
+	cfg := dimboost.DefaultConfig()
+	cfg.NumTrees = 2
+	cfg.MaxDepth = 3
+	m, err := dimboost.Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(dimboost.ModelHandler(m))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestBinaryAndTunePublicAPI(t *testing.T) {
+	d := dimboost.Generate(dimboost.SyntheticConfig{NumRows: 150, NumFeatures: 40, AvgNNZ: 6, Seed: 8, Zipf: 1.2})
+	var buf bytes.Buffer
+	if err := dimboost.WriteBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dimboost.ReadBinary(&buf)
+	if err != nil || back.NumRows() != 150 {
+		t.Fatalf("binary round trip: %v", err)
+	}
+
+	base := dimboost.DefaultConfig()
+	base.NumTrees = 2
+	base.MaxDepth = 3
+	grid := dimboost.TuneGrid(base, dimboost.AxisLearningRate(0.1, 0.3))
+	if len(grid) != 2 {
+		t.Fatalf("%d candidates", len(grid))
+	}
+	out, err := dimboost.TuneSearch(d, grid, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].CV.Mean > out[1].CV.Mean {
+		t.Fatalf("tune outcomes wrong: %+v", out)
+	}
+}

@@ -1,0 +1,63 @@
+// Command distributed trains over an in-process parameter-server cluster
+// and demonstrates the paper's communication optimizations: it compares
+// full-precision vs 8-bit compressed histograms and two-phase vs raw-shard
+// split finding, printing the traffic each configuration moves.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dimboost"
+)
+
+func main() {
+	train, test := dimboost.GenerateTrainTest(dimboost.SyntheticConfig{
+		NumRows:     8_000,
+		NumFeatures: 20_000,
+		AvgNNZ:      60,
+		NoiseStd:    0.2,
+		Zipf:        1.3,
+		Seed:        11,
+	})
+	fmt.Printf("data: %d rows × %d features; cluster: 4 workers, 4 parameter servers\n\n",
+		train.NumRows(), train.NumFeatures)
+
+	type variant struct {
+		name   string
+		mutate func(*dimboost.ClusterConfig)
+	}
+	variants := []variant{
+		{"full-precision, two-phase", func(c *dimboost.ClusterConfig) { c.Bits = 0 }},
+		{"8-bit compressed, two-phase (DimBoost default)", func(c *dimboost.ClusterConfig) { c.Bits = 8 }},
+		{"full-precision, raw-shard pulls (no two-phase)", func(c *dimboost.ClusterConfig) {
+			c.Bits = 0
+			c.DisableTwoPhase = true
+		}},
+	}
+
+	fmt.Printf("%-48s %10s %12s %12s %9s\n", "configuration", "time", "bytes moved", "modeled-comm", "test-err")
+	for _, v := range variants {
+		cfg := dimboost.DefaultClusterConfig(4, 4)
+		cfg.NumTrees = 10
+		cfg.MaxDepth = 6
+		v.mutate(&cfg)
+
+		start := time.Now()
+		res, err := dimboost.TrainDistributed(train, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		preds := res.Model.PredictBatch(test)
+		fmt.Printf("%-48s %10s %12d %12s %9.4f\n",
+			v.name,
+			elapsed.Round(time.Millisecond),
+			res.Stats.TotalBytes,
+			res.Stats.ModeledCommTime.Round(time.Microsecond),
+			dimboost.ErrorRate(test.Labels, preds))
+	}
+	fmt.Println("\ncompression cuts bytes ~4x with no accuracy loss; two-phase split finding")
+	fmt.Println("replaces histogram-sized pulls with one split record per server.")
+}

@@ -1,0 +1,47 @@
+// Command tuning demonstrates hyper-parameter selection: a grid over
+// learning rate and tree depth, scored by 3-fold cross-validation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dimboost"
+)
+
+func main() {
+	d := dimboost.Generate(dimboost.SyntheticConfig{
+		NumRows:     4_000,
+		NumFeatures: 1_000,
+		AvgNNZ:      20,
+		NoiseStd:    0.4,
+		Zipf:        1.3,
+		Seed:        21,
+	})
+
+	base := dimboost.DefaultConfig()
+	base.NumTrees = 10
+
+	grid := dimboost.TuneGrid(base,
+		dimboost.AxisLearningRate(0.05, 0.1, 0.3),
+		dimboost.AxisMaxDepth(3, 5, 7),
+	)
+	fmt.Printf("searching %d candidates with 3-fold cross-validation...\n\n", len(grid))
+
+	outcomes, err := dimboost.TuneSearch(d, grid, 3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %12s %10s\n", "candidate", "mean error", "std")
+	for _, o := range outcomes {
+		fmt.Printf("%-22s %12.4f %10.4f\n", o.Name, o.CV.Mean, o.CV.Std)
+	}
+	best := outcomes[0]
+	fmt.Printf("\nwinner: %s\n", best.Name)
+
+	model, err := dimboost.Train(d, best.Config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final model trained on all data: %d trees\n", len(model.Trees))
+}

@@ -1,0 +1,3 @@
+module dimboost
+
+go 1.22

@@ -1,0 +1,457 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"dimboost/internal/comm"
+	"dimboost/internal/core"
+	"dimboost/internal/dataset"
+	"dimboost/internal/histogram"
+	"dimboost/internal/loss"
+	"dimboost/internal/sketch"
+	"dimboost/internal/tree"
+)
+
+// meshWorker is one rank of a mesh-based baseline trainer. All ranks follow
+// the identical layer-wise loop; only the per-node histogram aggregation
+// differs by system.
+type meshWorker struct {
+	rank  int
+	opts  Options
+	shard *dataset.Dataset
+	mesh  *comm.Mesh
+	cands []sketch.Candidates
+	start time.Time
+
+	model  *core.Model
+	events []core.TreeEvent
+	preds  []float64
+	grad   []float64
+	hess   []float64
+	lossFn loss.Func
+	rng    *rand.Rand
+
+	// computeTime accumulates time spent in local computation (gradients,
+	// histogram building, split finding) excluding mesh waits. Compute
+	// sections serialize on computeLock so the timers measure each
+	// worker's own work even when workers outnumber cores.
+	computeTime time.Duration
+	computeLock *sync.Mutex
+}
+
+// compute runs f under the serialization lock and returns its duration.
+func (mw *meshWorker) compute(f func()) time.Duration {
+	mw.computeLock.Lock()
+	defer mw.computeLock.Unlock()
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// splitRec is the small split-decision payload exchanged between ranks,
+// encoded as 11 float64s for mesh transport.
+type splitRec struct {
+	split     core.Split
+	nodeG     float64
+	nodeH     float64
+	hasTotals bool
+}
+
+func (s splitRec) encode() []float64 {
+	found, tot := 0.0, 0.0
+	if s.split.Found {
+		found = 1
+	}
+	if s.hasTotals {
+		tot = 1
+	}
+	return []float64{found, float64(s.split.Feature), s.split.Value, s.split.Gain,
+		s.split.LeftG, s.split.LeftH, s.split.RightG, s.split.RightH, s.nodeG, s.nodeH, tot}
+}
+
+func decodeSplitRec(v []float64) (splitRec, error) {
+	if len(v) != 11 {
+		return splitRec{}, fmt.Errorf("baselines: split record has %d fields", len(v))
+	}
+	return splitRec{
+		split: core.Split{
+			Found: v[0] != 0, Feature: int32(v[1]), Value: v[2], Gain: v[3],
+			LeftG: v[4], LeftH: v[5], RightG: v[6], RightH: v[7],
+		},
+		nodeG: v[8], nodeH: v[9], hasTotals: v[10] != 0,
+	}, nil
+}
+
+func (mw *meshWorker) run() error {
+	cfg := mw.opts.Core
+	n := mw.shard.NumRows()
+	mw.preds = make([]float64, n)
+	mw.grad = make([]float64, n)
+	mw.hess = make([]float64, n)
+	mw.lossFn = loss.New(cfg.Loss)
+	mw.model = &core.Model{Loss: cfg.Loss}
+	mw.rng = rand.New(rand.NewSource(cfg.Seed))
+
+	for t := 0; t < cfg.NumTrees; t++ {
+		if err := mw.trainTree(t); err != nil {
+			return fmt.Errorf("tree %d: %w", t, err)
+		}
+	}
+	return nil
+}
+
+// sampleFeatures draws the per-tree subset; every rank shares the seed so
+// the draws agree without communication.
+func (mw *meshWorker) sampleFeatures() []int32 {
+	m := mw.shard.NumFeatures
+	if mw.opts.Core.FeatureSampleRatio >= 1 {
+		return histogram.AllFeatures(m)
+	}
+	k := int(mw.opts.Core.FeatureSampleRatio * float64(m))
+	if k < 1 {
+		k = 1
+	}
+	perm := mw.rng.Perm(m)[:k]
+	out := make([]int32, k)
+	for i, f := range perm {
+		out[i] = int32(f)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+func (mw *meshWorker) trainTree(t int) error {
+	cfg := mw.opts.Core
+	n := mw.shard.NumRows()
+	mw.computeTime += mw.compute(func() {
+		for i := 0; i < n; i++ {
+			mw.grad[i], mw.hess[i] = mw.lossFn.Gradients(float64(mw.shard.Labels[i]), mw.preds[i])
+		}
+	})
+	layout, err := histogram.NewLayout(mw.sampleFeatures(), mw.cands, mw.shard.NumFeatures)
+	if err != nil {
+		return err
+	}
+
+	tn := tree.New(cfg.MaxDepth)
+	idx := tree.NewIndex(n, tree.MaxNodes(cfg.MaxDepth))
+	type nodeState struct{ g, h float64 }
+	states := map[int]nodeState{}
+
+	buildOpts := histogram.BuildOptions{
+		Parallelism: cfg.Parallelism,
+		BatchSize:   cfg.BatchSize,
+		Dense:       !mw.opts.SparseBuild,
+	}
+
+	active := []int{0}
+	// One reusable histogram buffer per tree; the aggregation operators
+	// copy data onto the mesh, so the buffer is free after each call.
+	hist := histogram.New(layout)
+	for depth := 0; depth < cfg.MaxDepth && len(active) > 0; depth++ {
+		if depth == cfg.MaxDepth-1 {
+			for _, node := range active {
+				st, ok := states[node]
+				if !ok {
+					return fmt.Errorf("node %d has no state at max depth", node)
+				}
+				tn.SetLeaf(node, cfg.LearningRate*core.LeafWeight(st.g, st.h, cfg.Lambda))
+			}
+			break
+		}
+		var next []int
+		for i, node := range active {
+			mw.computeTime += mw.compute(func() {
+				hist.Reset()
+				histogram.Build(hist, mw.shard, idx.Rows(node), mw.grad, mw.hess, buildOpts)
+			})
+
+			rec, err := mw.aggregateAndSplit(node, i, hist, layout)
+			if err != nil {
+				return err
+			}
+			if _, seen := states[node]; !seen && rec.hasTotals {
+				states[node] = nodeState{rec.nodeG, rec.nodeH}
+			}
+			if !rec.split.Found {
+				st := states[node]
+				tn.SetLeaf(node, cfg.LearningRate*core.LeafWeight(st.g, st.h, cfg.Lambda))
+				continue
+			}
+			sp := rec.split
+			tn.SetSplit(node, sp.Feature, sp.Value, sp.Gain)
+			f, v := int(sp.Feature), sp.Value
+			idx.Split(node, func(r int32) bool {
+				return float64(mw.shard.Row(int(r)).Feature(f)) <= v
+			})
+			states[tree.Left(node)] = nodeState{sp.LeftG, sp.LeftH}
+			states[tree.Right(node)] = nodeState{sp.RightG, sp.RightH}
+			next = append(next, tree.Left(node), tree.Right(node))
+		}
+		active = next
+	}
+
+	for node := range tn.Nodes {
+		nd := &tn.Nodes[node]
+		if !nd.Used || !nd.Leaf || nd.Weight == 0 {
+			continue
+		}
+		for _, r := range idx.Rows(node) {
+			mw.preds[r] += nd.Weight
+		}
+	}
+	mw.model.Trees = append(mw.model.Trees, tn)
+	mw.events = append(mw.events, core.TreeEvent{
+		Tree:      t,
+		TrainLoss: loss.MeanLoss(mw.lossFn, mw.shard.Labels, mw.preds),
+		Elapsed:   time.Since(mw.start),
+	})
+	return nil
+}
+
+// aggregateAndSplit merges the node's local histogram across ranks with the
+// system's strategy and returns the agreed global split record. nodeIdx is
+// the node's index within the active list (for round-robin assignment).
+func (mw *meshWorker) aggregateAndSplit(node, nodeIdx int, h *histogram.Histogram, layout *histogram.Layout) (splitRec, error) {
+	cfg := mw.opts.Core
+	find := func(hist *histogram.Histogram) splitRec {
+		tg, th := hist.FeatureTotals(0)
+		return splitRec{
+			split:     core.FindSplit(hist, tg, th, cfg.Lambda, cfg.Gamma, cfg.MinChildHessian),
+			nodeG:     tg,
+			nodeH:     th,
+			hasTotals: true,
+		}
+	}
+	w := mw.mesh.Size()
+	if w == 1 {
+		return find(h), nil
+	}
+
+	switch mw.opts.System {
+	case MLlibStyle:
+		merged := mw.mesh.ReduceToRoot(mw.rank, packRaw(h))
+		var rec splitRec
+		if mw.rank == 0 {
+			rec = find(unpackRaw(merged, layout))
+			for to := 1; to < w; to++ {
+				mw.mesh.Send(mw.rank, to, rec.encode())
+			}
+			return rec, nil
+		}
+		return decodeSplitRec(mw.mesh.Recv(mw.rank, 0))
+
+	case XGBoostStyle:
+		merged := mw.mesh.BinomialReduceToRoot(mw.rank, packRaw(h))
+		var payload []float64
+		if mw.rank == 0 {
+			payload = find(unpackRaw(merged, layout)).encode()
+		}
+		return decodeSplitRec(mw.mesh.BroadcastBinomial(mw.rank, payload))
+
+	case LightGBMStyle:
+		return mw.lightGBMAggregate(h, layout)
+
+	case TencentBoostStyle:
+		return mw.tencentAggregate(nodeIdx, h, layout, find)
+
+	default:
+		return splitRec{}, fmt.Errorf("baselines: system %v has no mesh aggregation", mw.opts.System)
+	}
+}
+
+// lightGBMAggregate runs recursive-halving ReduceScatter over a
+// feature-group-aligned padded vector, finds the best split on each owned
+// group, and exchanges the small split records.
+func (mw *meshWorker) lightGBMAggregate(h *histogram.Histogram, layout *histogram.Layout) (splitRec, error) {
+	cfg := mw.opts.Core
+	w := mw.mesh.Size()
+	plan := newSegPlan(layout, w)
+	res := mw.mesh.ReduceScatterHalving(mw.rank, plan.pack(h))
+
+	var mine splitRec
+	haveMine := false
+	if res.Block != nil {
+		group := res.Start / plan.L
+		if hist, fLo, fHi, ok := plan.unpackGroup(res.Block, group, layout); ok {
+			tg, th := hist.FeatureTotals(fLo)
+			mine = splitRec{
+				split:     core.FindSplitRange(hist, fLo, fHi, tg, th, cfg.Lambda, cfg.Gamma, cfg.MinChildHessian),
+				nodeG:     tg,
+				nodeH:     th,
+				hasTotals: true,
+			}
+			haveMine = true
+		}
+	}
+	// Exchange records: every participating rank broadcasts its record to
+	// all (the "communicate local best splits" step); empty groups send a
+	// not-found record so receive counts stay deterministic.
+	participants := plan.participants(w)
+	if participants[mw.rank] {
+		payload := mine.encode()
+		if !haveMine {
+			payload = splitRec{}.encode()
+		}
+		for to := 0; to < w; to++ {
+			if to != mw.rank {
+				mw.mesh.Send(mw.rank, to, payload)
+			}
+		}
+	}
+	best := splitRec{}
+	if haveMine {
+		best = mine
+	}
+	for from := 0; from < w; from++ {
+		if from == mw.rank || !participants[from] {
+			continue
+		}
+		rec, err := decodeSplitRec(mw.mesh.Recv(mw.rank, from))
+		if err != nil {
+			return splitRec{}, err
+		}
+		best = foldRec(best, rec)
+	}
+	return best, nil
+}
+
+// tencentAggregate scatter-gathers blocks over the co-located PS, then the
+// node's responsible worker pulls the full merged histogram (h bytes — no
+// two-phase split) and distributes the decision.
+func (mw *meshWorker) tencentAggregate(nodeIdx int, h *histogram.Histogram, layout *histogram.Layout, find func(*histogram.Histogram) splitRec) (splitRec, error) {
+	w := mw.mesh.Size()
+	owner := nodeIdx % w
+	vecLen := 2 * layout.TotalBuckets
+	res := mw.mesh.PSScatterGather(mw.rank, packRaw(h))
+	// Full-histogram pull: every rank ships its merged block to the owner.
+	if mw.rank != owner {
+		header := append([]float64{float64(res.Start), float64(len(res.Block))}, res.Block...)
+		mw.mesh.Send(mw.rank, owner, header)
+		return decodeSplitRec(mw.mesh.Recv(mw.rank, owner))
+	}
+	full := make([]float64, vecLen)
+	copy(full[res.Start:], res.Block)
+	for from := 0; from < w; from++ {
+		if from == owner {
+			continue
+		}
+		msg := mw.mesh.Recv(mw.rank, from)
+		start, ln := int(msg[0]), int(msg[1])
+		copy(full[start:start+ln], msg[2:])
+	}
+	rec := find(unpackRaw(full, layout))
+	payload := rec.encode()
+	for to := 0; to < w; to++ {
+		if to != owner {
+			mw.mesh.Send(mw.rank, to, payload)
+		}
+	}
+	return rec, nil
+}
+
+// foldRec merges two split records, keeping the better split and any totals.
+func foldRec(a, b splitRec) splitRec {
+	out := a
+	if b.split.Better(a.split) {
+		out.split = b.split
+	}
+	if !out.hasTotals && b.hasTotals {
+		out.nodeG, out.nodeH, out.hasTotals = b.nodeG, b.nodeH, true
+	}
+	return out
+}
+
+// packRaw flattens a histogram as [G;H].
+func packRaw(h *histogram.Histogram) []float64 {
+	out := make([]float64, 0, 2*len(h.G))
+	out = append(out, h.G...)
+	out = append(out, h.H...)
+	return out
+}
+
+// unpackRaw views a [G;H] vector as a histogram under the layout.
+func unpackRaw(vec []float64, layout *histogram.Layout) *histogram.Histogram {
+	t := layout.TotalBuckets
+	return &histogram.Histogram{Layout: layout, G: vec[:t], H: vec[t : 2*t]}
+}
+
+// segPlan maps the histogram onto p2 equal-length padded segments whose
+// boundaries align with feature-group boundaries, so recursive halving never
+// cuts a feature's buckets apart.
+type segPlan struct {
+	p2 int // participating ranks (largest power of two <= w)
+	L  int // per-segment length (2·maxGroupBuckets)
+	// per group: sampled feature position range and bucket region
+	fLo, fHi []int
+	bLo, bSz []int
+}
+
+func newSegPlan(layout *histogram.Layout, w int) *segPlan {
+	p2 := 1
+	for p2*2 <= w {
+		p2 *= 2
+	}
+	sp := &segPlan{p2: p2, fLo: make([]int, p2), fHi: make([]int, p2), bLo: make([]int, p2), bSz: make([]int, p2)}
+	f := layout.NumFeatures()
+	for g := 0; g < p2; g++ {
+		lo, hi := comm.BlockRange(f, p2, g)
+		sp.fLo[g], sp.fHi[g] = lo, hi
+		bLo, _ := layout.BucketRange(lo)
+		if lo == hi {
+			sp.bLo[g], sp.bSz[g] = bLo, 0
+			continue
+		}
+		_, bHi := layout.BucketRange(hi - 1)
+		sp.bLo[g] = bLo
+		sp.bSz[g] = bHi - bLo
+		if 2*sp.bSz[g] > sp.L {
+			sp.L = 2 * sp.bSz[g]
+		}
+	}
+	if sp.L == 0 {
+		sp.L = 2
+	}
+	return sp
+}
+
+// pack lays out each group's [G;H] region into its padded segment.
+func (sp *segPlan) pack(h *histogram.Histogram) []float64 {
+	vec := make([]float64, sp.p2*sp.L)
+	for g := 0; g < sp.p2; g++ {
+		base := g * sp.L
+		lo, sz := sp.bLo[g], sp.bSz[g]
+		copy(vec[base:base+sz], h.G[lo:lo+sz])
+		copy(vec[base+sz:base+2*sz], h.H[lo:lo+sz])
+	}
+	return vec
+}
+
+// unpackGroup rebuilds a (mostly zero) full histogram holding only group g's
+// buckets, plus the group's feature-position range. ok is false for empty
+// groups.
+func (sp *segPlan) unpackGroup(block []float64, g int, layout *histogram.Layout) (h *histogram.Histogram, fLo, fHi int, ok bool) {
+	if g < 0 || g >= sp.p2 || sp.bSz[g] == 0 {
+		return nil, 0, 0, false
+	}
+	h = histogram.New(layout)
+	lo, sz := sp.bLo[g], sp.bSz[g]
+	copy(h.G[lo:lo+sz], block[:sz])
+	copy(h.H[lo:lo+sz], block[sz:2*sz])
+	return h, sp.fLo[g], sp.fHi[g], true
+}
+
+// participants marks the ranks that own a block after the non-power-of-two
+// fold-in (odd ranks below 2(w−p2) go idle).
+func (sp *segPlan) participants(w int) []bool {
+	r := w - sp.p2
+	out := make([]bool, w)
+	for rank := 0; rank < w; rank++ {
+		out[rank] = !(rank < 2*r && rank%2 == 1)
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dimboost/internal/core"
+	"dimboost/internal/dataset"
+	"dimboost/internal/ps"
+	"dimboost/internal/simnet"
+	"dimboost/internal/transport"
+)
+
+// Config extends the GBDT hyper-parameters with cluster topology and the
+// communication options of §6.
+type Config struct {
+	core.Config
+
+	// NumWorkers is w. Each worker gets one contiguous row shard.
+	NumWorkers int
+	// NumServers is p, the parameter-server count (Table 4 varies this).
+	NumServers int
+	// NumRanges is the range-hash partition granularity; 0 uses the
+	// default.
+	NumRanges int
+	// Bits is the compressed histogram width r (§6.1); 0 sends float32.
+	Bits uint
+	// ExactWire sends float64 histograms, for bit-reproducibility tests.
+	ExactWire bool
+	// DisableTwoPhase pulls raw histogram shards instead of server-side
+	// splits (ablation, Table 3).
+	DisableTwoPhase bool
+	// DisableScheduler routes every split task to worker 0 (ablation,
+	// Table 3).
+	DisableScheduler bool
+	// SerializeCompute makes workers take a shared lock around their
+	// compute sections, so per-worker phase timers measure each worker's
+	// own work instead of including time-sliced interference — essential
+	// for meaningful per-worker statistics on machines with fewer cores
+	// than workers. Results are unchanged; wall time on multi-core
+	// machines grows.
+	SerializeCompute bool
+}
+
+// DefaultConfig mirrors the paper's protocol: r=8 compressed histograms,
+// two-phase split finding, and the round-robin scheduler all on.
+func DefaultConfig(workers, servers int) Config {
+	return Config{
+		Config:     core.DefaultConfig(),
+		NumWorkers: workers,
+		NumServers: servers,
+		Bits:       8,
+	}
+}
+
+// Validate extends core validation with topology checks.
+func (c Config) Validate() error {
+	if err := c.Config.Validate(); err != nil {
+		return err
+	}
+	if c.NumWorkers < 1 {
+		return fmt.Errorf("cluster: NumWorkers %d < 1", c.NumWorkers)
+	}
+	if c.NumServers < 1 {
+		return fmt.Errorf("cluster: NumServers %d < 1", c.NumServers)
+	}
+	if c.MaxDepth < 2 {
+		// Root leaf weights require global gradient totals, which only
+		// materialize through the first FIND_SPLIT round.
+		return fmt.Errorf("cluster: MaxDepth must be >= 2, got %d", c.MaxDepth)
+	}
+	if c.Bits != 0 && c.ExactWire {
+		return fmt.Errorf("cluster: Bits and ExactWire are mutually exclusive")
+	}
+	return nil
+}
+
+// sketchEps mirrors core.Config's default resolution.
+func (c Config) sketchEps() float64 {
+	if c.SketchEps > 0 {
+		return c.SketchEps
+	}
+	return 1 / (2 * float64(c.NumCandidates))
+}
+
+// Stats aggregates a distributed run's measurements.
+type Stats struct {
+	// WallTime is the end-to-end in-process duration.
+	WallTime time.Duration
+	// LoadTime covers dataset partitioning (the paper's "data loading").
+	LoadTime time.Duration
+	// Compute is the maximum per-worker compute time (sketch + gradients +
+	// histogram building + split finding + tree splitting).
+	Compute core.PhaseTimes
+	// Bytes/Msgs are per-node traffic maxima and totals from the meter.
+	MaxNodeBytes int64
+	MaxNodeMsgs  int64
+	TotalBytes   int64
+	TotalMsgs    int64
+	// ModeledCommTime prices the measured traffic with the §3 cost model
+	// (per-node maxima: α per message plus β per byte).
+	ModeledCommTime time.Duration
+}
+
+// Result of a distributed training run.
+type Result struct {
+	Model  *core.Model
+	Events []core.TreeEvent
+	Stats  Stats
+}
+
+// Train runs DimBoost's full distributed pipeline in process: p servers, one
+// master, and w workers over a metered in-memory network.
+func Train(d *dataset.Dataset, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	net := transport.NewMemNetwork()
+	defer net.Close()
+	return TrainOn(net, net.Meter(), d, cfg)
+}
+
+// TrainOn runs the pipeline over a caller-supplied network (tests use this
+// with TCP endpoints wrapped into the same interface). meter may be nil.
+func TrainOn(net transport.Network, meter *transport.Meter, d *dataset.Dataset, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	loadStart := time.Now()
+	shards := dataset.PartitionRows(d, cfg.NumWorkers)
+	loadTime := time.Since(loadStart)
+
+	part, err := ps.NewPartition(d.NumFeatures, cfg.NumServers, cfg.NumRanges)
+	if err != nil {
+		return nil, err
+	}
+
+	// Servers.
+	serverNames := make([]string, cfg.NumServers)
+	for i := range serverNames {
+		serverNames[i] = fmt.Sprintf("server-%d", i)
+		ep, err := net.Endpoint(serverNames[i])
+		if err != nil {
+			return nil, err
+		}
+		srv := ps.NewServer(i, part, cfg.sketchEps())
+		ep.Handle(srv.Handler())
+	}
+
+	// Master.
+	mep, err := net.Endpoint(MasterName)
+	if err != nil {
+		return nil, err
+	}
+	mep.Handle(NewMaster(cfg.NumWorkers).Handler())
+
+	// Workers.
+	var computeLock *sync.Mutex
+	if cfg.SerializeCompute {
+		computeLock = &sync.Mutex{}
+	}
+	workers := make([]*worker, cfg.NumWorkers)
+	for i := range workers {
+		ep, err := net.Endpoint(fmt.Sprintf("worker-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		client := ps.NewClient(ep, part, serverNames, i)
+		client.Bits = cfg.Bits
+		client.Exact = cfg.ExactWire
+		workers[i] = &worker{id: i, cfg: cfg, shard: shards[i], ep: ep, client: client, computeLock: computeLock}
+	}
+
+	errs := make([]error, len(workers))
+	var wg sync.WaitGroup
+	for i, wk := range workers {
+		wg.Add(1)
+		go func(i int, wk *worker) {
+			defer wg.Done()
+			errs[i] = wk.run()
+			if errs[i] != nil {
+				// release peers blocked at barriers so the cluster shuts
+				// down instead of deadlocking
+				abortMaster(wk.ep, errs[i].Error())
+			}
+		}(i, wk)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
+		}
+	}
+
+	res := &Result{Model: workers[0].model, Events: workers[0].events}
+	res.Stats.WallTime = time.Since(start)
+	res.Stats.LoadTime = loadTime
+	for _, wk := range workers {
+		res.Stats.Compute = maxPhases(res.Stats.Compute, wk.times)
+	}
+	if meter != nil {
+		mx := meter.MaxPerNode()
+		tot := meter.Totals()
+		res.Stats.MaxNodeBytes = maxInt64(mx.BytesSent, mx.BytesRecv)
+		res.Stats.MaxNodeMsgs = mx.MsgsSent
+		res.Stats.TotalBytes = tot.BytesSent
+		res.Stats.TotalMsgs = tot.MsgsSent
+		p := simnet.GigabitEthernet()
+		secs := p.Alpha*float64(res.Stats.MaxNodeMsgs) + p.Beta*float64(res.Stats.MaxNodeBytes)
+		res.Stats.ModeledCommTime = time.Duration(secs * float64(time.Second))
+	}
+	return res, nil
+}
+
+func maxPhases(a, b core.PhaseTimes) core.PhaseTimes {
+	return core.PhaseTimes{
+		Sketch:    maxDur(a.Sketch, b.Sketch),
+		Gradients: maxDur(a.Gradients, b.Gradients),
+		BuildHist: maxDur(a.BuildHist, b.BuildHist),
+		FindSplit: maxDur(a.FindSplit, b.FindSplit),
+		SplitTree: maxDur(a.SplitTree, b.SplitTree),
+	}
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

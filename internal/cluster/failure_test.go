@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dimboost/internal/transport"
+)
+
+// failingNetwork wraps a MemNetwork and injects an error into one endpoint's
+// handler after a number of successful calls.
+type failingNetwork struct {
+	*transport.MemNetwork
+	target    string
+	failAfter int
+}
+
+type failingEndpoint struct {
+	transport.Endpoint
+	net *failingNetwork
+}
+
+func (n *failingNetwork) Endpoint(name string) (transport.Endpoint, error) {
+	ep, err := n.MemNetwork.Endpoint(name)
+	if err != nil {
+		return nil, err
+	}
+	if name == n.target {
+		return &failingEndpoint{Endpoint: ep, net: n}, nil
+	}
+	return ep, nil
+}
+
+func (e *failingEndpoint) Handle(h transport.Handler) {
+	calls := 0
+	e.Endpoint.Handle(func(from string, req transport.Message) (transport.Message, error) {
+		calls++
+		if calls > e.net.failAfter {
+			return transport.Message{}, errors.New("injected server failure")
+		}
+		return h(from, req)
+	})
+}
+
+// TestServerFailurePropagates: when a parameter server starts erroring
+// mid-run, training must fail cleanly with the server's error — not hang at
+// a barrier or panic.
+func TestServerFailurePropagates(t *testing.T) {
+	d := testData(t, 300, 73)
+	cfg := smallCfg(3, 2)
+	net := &failingNetwork{
+		MemNetwork: transport.NewMemNetwork(),
+		target:     ServerName(1),
+		failAfter:  10,
+	}
+	defer net.Close()
+	_, err := TrainOn(net, net.Meter(), d, cfg)
+	if err == nil {
+		t.Fatal("expected training to fail")
+	}
+	if !strings.Contains(err.Error(), "injected server failure") {
+		t.Fatalf("error does not carry the cause: %v", err)
+	}
+}
+
+// TestImmediateServerFailure: a server that fails from the very first call.
+func TestImmediateServerFailure(t *testing.T) {
+	d := testData(t, 200, 75)
+	cfg := smallCfg(2, 2)
+	net := &failingNetwork{
+		MemNetwork: transport.NewMemNetwork(),
+		target:     ServerName(0),
+		failAfter:  0,
+	}
+	defer net.Close()
+	if _, err := TrainOn(net, net.Meter(), d, cfg); err == nil {
+		t.Fatal("expected training to fail")
+	}
+}
+
+// TestMasterRejectsUnknownOp guards the barrier protocol.
+func TestMasterRejectsUnknownOp(t *testing.T) {
+	net := transport.NewMemNetwork()
+	mep, _ := net.Endpoint(MasterName)
+	mep.Handle(NewMaster(1).Handler())
+	cl, _ := net.Endpoint("client")
+	if _, err := cl.Call(MasterName, transport.Message{Op: 99}); err == nil {
+		t.Fatal("unknown op should fail")
+	}
+}
+
+// TestBarrierReusable drives the same barrier through several generations
+// from concurrent goroutines.
+func TestBarrierReusable(t *testing.T) {
+	const workers = 4
+	const rounds = 25
+	net := transport.NewMemNetwork()
+	mep, _ := net.Endpoint(MasterName)
+	mep.Handle(NewMaster(workers).Handler())
+
+	done := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		ep, err := net.Endpoint(WorkerName(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(ep transport.Endpoint) {
+			for r := 0; r < rounds; r++ {
+				if err := barrier(ep, "phase"); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(ep)
+	}
+	for i := 0; i < workers; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

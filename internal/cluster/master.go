@@ -1,0 +1,119 @@
+// Package cluster is DimBoost's distributed runtime: a master coordinating
+// synchronization barriers, w workers running the seven-phase training loop
+// of §4.4 (CREATE_SKETCH → PULL_SKETCH → NEW_TREE → BUILD_HISTOGRAM →
+// FIND_SPLIT → SPLIT_TREE → FINISH), and p parameter servers from
+// internal/ps — all wired over an internal/transport network, in-process by
+// default.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"dimboost/internal/transport"
+	"dimboost/internal/wire"
+)
+
+// OpBarrier is the master's synchronization op: the call returns when all w
+// workers have entered the same barrier generation.
+const OpBarrier uint8 = 100
+
+// OpAbort is sent by a worker that hit a fatal error; the master releases
+// every barrier waiter (present and future) with an error so the cluster
+// shuts down instead of deadlocking.
+const OpAbort uint8 = 101
+
+// MasterName is the master's endpoint name.
+const MasterName = "master"
+
+// Master supervises workers and enforces the phase barrier: one worker
+// cannot proceed until all workers have finished the current phase (§4.4).
+type Master struct {
+	w       int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	gen     uint64
+	aborted string // non-empty once a worker aborted, with the reason
+}
+
+// NewMaster returns a master expecting w workers per barrier.
+func NewMaster(w int) *Master {
+	m := &Master{w: w}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Handler serves barrier calls. The handler blocks the calling worker until
+// the barrier releases, which the in-memory transport translates into the
+// worker goroutine parking — the same behaviour as a blocking RPC.
+func (m *Master) Handler() transport.Handler {
+	return func(from string, req transport.Message) (transport.Message, error) {
+		switch req.Op {
+		case OpAbort:
+			r := wire.NewReader(req.Body)
+			reason := r.String()
+			m.mu.Lock()
+			if m.aborted == "" {
+				if reason == "" {
+					reason = "unspecified"
+				}
+				m.aborted = reason
+			}
+			m.cond.Broadcast()
+			m.mu.Unlock()
+			return transport.Message{Op: OpAbort}, nil
+
+		case OpBarrier:
+			r := wire.NewReader(req.Body)
+			phase := r.String()
+			if err := r.Err(); err != nil {
+				return transport.Message{}, err
+			}
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			if m.aborted != "" {
+				return transport.Message{}, fmt.Errorf("cluster: aborted: %s", m.aborted)
+			}
+			gen := m.gen
+			m.n++
+			if m.n == m.w {
+				m.n = 0
+				m.gen++
+				m.cond.Broadcast()
+			} else {
+				for m.gen == gen && m.aborted == "" {
+					m.cond.Wait()
+				}
+				if m.aborted != "" {
+					return transport.Message{}, fmt.Errorf("cluster: aborted: %s", m.aborted)
+				}
+			}
+			_ = phase // phases are informational; generation counting keeps order
+			return transport.Message{Op: OpBarrier}, nil
+
+		default:
+			return transport.Message{}, fmt.Errorf("cluster: master: unknown op %d", req.Op)
+		}
+	}
+}
+
+// barrier is the worker-side call.
+func barrier(ep transport.Endpoint, phase string) error {
+	w := wire.NewWriter(len(phase) + 4)
+	w.String(phase)
+	_, err := ep.Call(MasterName, transport.Message{Op: OpBarrier, Body: w.Bytes()})
+	if err != nil {
+		return fmt.Errorf("cluster: barrier %s: %w", phase, err)
+	}
+	return nil
+}
+
+// abortMaster reports a fatal worker error so the master releases every
+// barrier waiter. Errors reaching the master are best-effort — the worker
+// is going down either way.
+func abortMaster(ep transport.Endpoint, reason string) {
+	w := wire.NewWriter(len(reason) + 4)
+	w.String(reason)
+	ep.Call(MasterName, transport.Message{Op: OpAbort, Body: w.Bytes()}) //nolint:errcheck
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"dimboost/internal/dataset"
+	"dimboost/internal/transport"
+)
+
+// TestTCPClusterMatchesLocal stands up a full cluster over real TCP sockets
+// (loopback) — 2 servers, a master, 3 workers as separate endpoints — and
+// checks the trained model against the single-process reference.
+func TestTCPClusterMatchesLocal(t *testing.T) {
+	d := testData(t, 400, 71)
+	cfg := smallCfg(3, 2)
+	cfg.ExactWire = true
+
+	// Endpoints with dynamic ports.
+	eps := map[string]*transport.TCPEndpoint{}
+	names := []string{MasterName, ServerName(0), ServerName(1), WorkerName(0), WorkerName(1), WorkerName(2)}
+	for _, name := range names {
+		ep, err := transport.NewTCPEndpoint(name, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ep.Close()
+		eps[name] = ep
+	}
+	// Full peer mesh.
+	for _, a := range names {
+		for _, b := range names {
+			if a != b {
+				eps[a].AddPeer(b, eps[b].Addr())
+			}
+		}
+	}
+
+	// Roles.
+	ServeMaster(eps[MasterName], cfg.NumWorkers)
+	for i := 0; i < cfg.NumServers; i++ {
+		if err := ServeServer(eps[ServerName(i)], i, d.NumFeatures, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	shards := dataset.PartitionRows(d, cfg.NumWorkers)
+	results := make([]*WorkerResult, cfg.NumWorkers)
+	errs := make([]error, cfg.NumWorkers)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.NumWorkers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = RunWorker(eps[WorkerName(i)], i, shards[i], d.NumFeatures, cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	// All workers converge on the identical model.
+	for i := 1; i < cfg.NumWorkers; i++ {
+		if !sameStructure(t, results[0].Model, results[i].Model) {
+			t.Fatalf("worker %d model differs from worker 0", i)
+		}
+	}
+	// And the TCP run equals the in-process run with the same config.
+	mem, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameStructure(t, mem.Model, results[0].Model) {
+		t.Fatal("TCP cluster model differs from in-process cluster model")
+	}
+	meanLoss, _ := results[0].Model.Evaluate(d)
+	if meanLoss <= 0 {
+		t.Fatal("implausible loss")
+	}
+}

@@ -1,0 +1,305 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"dimboost/internal/core"
+	"dimboost/internal/dataset"
+	"dimboost/internal/histogram"
+	"dimboost/internal/loss"
+	"dimboost/internal/ps"
+	"dimboost/internal/sketch"
+	"dimboost/internal/transport"
+	"dimboost/internal/tree"
+)
+
+// worker executes the seven-phase loop of Figure 7 on its data shard.
+// Worker 0 is the leader: it samples features and pushes them to the PS.
+type worker struct {
+	id     int
+	cfg    Config
+	shard  *dataset.Dataset
+	ep     transport.Endpoint
+	client *ps.Client
+
+	cands  []sketch.Candidates
+	preds  []float64
+	grad   []float64
+	hess   []float64
+	model  *core.Model
+	lossFn loss.Func
+	rng    *rand.Rand
+
+	times core.PhaseTimes
+	// events records per-tree progress for convergence curves; only the
+	// leader's events are reported.
+	events []core.TreeEvent
+	start  time.Time
+
+	// computeLock, when non-nil, serializes compute sections across
+	// workers so phase timers stay truthful on over-subscribed machines.
+	computeLock *sync.Mutex
+}
+
+func (wk *worker) barrier(phase string) error { return barrier(wk.ep, phase) }
+
+// compute runs f inside the optional serialization lock and returns its
+// duration.
+func (wk *worker) compute(f func()) time.Duration {
+	if wk.computeLock != nil {
+		wk.computeLock.Lock()
+		defer wk.computeLock.Unlock()
+	}
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// run drives the full training loop and leaves the model in wk.model.
+func (wk *worker) run() error {
+	n := wk.shard.NumRows()
+	wk.preds = make([]float64, n)
+	wk.grad = make([]float64, n)
+	wk.hess = make([]float64, n)
+	wk.lossFn = loss.New(wk.cfg.Loss)
+	wk.model = &core.Model{Loss: wk.cfg.Loss}
+	wk.rng = rand.New(rand.NewSource(wk.cfg.Seed))
+	wk.start = time.Now()
+
+	// Phase 1: CREATE_SKETCH — local sketches pushed to the PS.
+	var set *sketch.Set
+	wk.times.Sketch += wk.compute(func() {
+		set = sketch.NewSet(wk.shard.NumFeatures, wk.cfg.sketchEps())
+		set.AddDataset(wk.shard)
+	})
+	if err := wk.client.PushSketches(set); err != nil {
+		return err
+	}
+	if err := wk.barrier("CREATE_SKETCH"); err != nil {
+		return err
+	}
+
+	// Phase 2: PULL_SKETCH — merged candidates for every feature.
+	var err error
+	wk.cands, err = wk.client.PullCandidates(wk.cfg.NumCandidates)
+	if err != nil {
+		return err
+	}
+	if err := wk.barrier("PULL_SKETCH"); err != nil {
+		return err
+	}
+
+	for t := 0; t < wk.cfg.NumTrees; t++ {
+		if err := wk.trainTree(t); err != nil {
+			return fmt.Errorf("cluster: worker %d tree %d: %w", wk.id, t, err)
+		}
+	}
+	// FINISH: the leader would write the model out; here every worker holds
+	// the identical model and the driver collects worker 0's.
+	return wk.barrier("FINISH")
+}
+
+// sampleFeatures draws the leader's per-tree feature subset.
+func (wk *worker) sampleFeatures() []int32 {
+	m := wk.shard.NumFeatures
+	if wk.cfg.FeatureSampleRatio >= 1 {
+		return histogram.AllFeatures(m)
+	}
+	k := int(wk.cfg.FeatureSampleRatio * float64(m))
+	if k < 1 {
+		k = 1
+	}
+	perm := wk.rng.Perm(m)[:k]
+	out := make([]int32, k)
+	for i, f := range perm {
+		out[i] = int32(f)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// trainTree runs NEW_TREE → (BUILD_HISTOGRAM → FIND_SPLIT → SPLIT_TREE)* for
+// one tree.
+func (wk *worker) trainTree(t int) error {
+	cfg := wk.cfg
+	n := wk.shard.NumRows()
+
+	// Phase 3: NEW_TREE — gradients, leader samples features.
+	wk.times.Gradients += wk.compute(func() {
+		for i := 0; i < n; i++ {
+			wk.grad[i], wk.hess[i] = wk.lossFn.Gradients(float64(wk.shard.Labels[i]), wk.preds[i])
+		}
+	})
+
+	if wk.id == 0 {
+		sampled := wk.sampleFeatures()
+		if err := wk.client.NewTree(sampled); err != nil {
+			return err
+		}
+	} else {
+		// keep non-leader RNGs in step so every tree uses one draw
+		wk.sampleFeatures()
+	}
+	if err := wk.barrier("NEW_TREE"); err != nil {
+		return err
+	}
+	sampled, err := wk.client.PullSampled()
+	if err != nil {
+		return err
+	}
+	layout, err := histogram.NewLayout(sampled, wk.cands, wk.shard.NumFeatures)
+	if err != nil {
+		return err
+	}
+
+	tn := tree.New(cfg.MaxDepth)
+	maxNodes := tree.MaxNodes(cfg.MaxDepth)
+	idx := tree.NewIndex(n, maxNodes)
+	type nodeState struct{ g, h float64 }
+	states := make(map[int]nodeState, maxNodes)
+	hasState := func(node int) (nodeState, bool) { s, ok := states[node]; return s, ok }
+
+	active := []int{0}
+	buildOpts := histogram.BuildOptions{Parallelism: cfg.Parallelism, BatchSize: cfg.BatchSize, Dense: cfg.DenseBuild}
+	// One reusable histogram buffer per tree: PushHistogram is synchronous,
+	// so the buffer is free again once the push returns.
+	hist := histogram.New(layout)
+
+	for depth := 0; depth < cfg.MaxDepth && len(active) > 0; depth++ {
+		atMax := depth == cfg.MaxDepth-1
+		if atMax {
+			// Last layer: no histograms needed; weights come from states.
+			for _, node := range active {
+				st, ok := hasState(node)
+				if !ok {
+					return fmt.Errorf("node %d reached max depth without state", node)
+				}
+				tn.SetLeaf(node, cfg.LearningRate*core.LeafWeight(st.g, st.h, cfg.Lambda))
+			}
+			break
+		}
+
+		// Phase 4: BUILD_HISTOGRAM — local histograms for active nodes,
+		// pushed to the PS.
+		for _, node := range active {
+			wk.times.BuildHist += wk.compute(func() {
+				hist.Reset()
+				histogram.Build(hist, wk.shard, idx.Rows(node), wk.grad, wk.hess, buildOpts)
+			})
+			if err := wk.client.PushHistogram(node, hist); err != nil {
+				return err
+			}
+		}
+		if err := wk.barrier("BUILD_HISTOGRAM"); err != nil {
+			return err
+		}
+
+		// Phase 5: FIND_SPLIT — the round-robin task scheduler (§6.2)
+		// assigns the i-th active node to worker (i mod w); each
+		// responsible worker finds the node's best split and pushes it.
+		fs := time.Now()
+		for i, node := range active {
+			owner := i % cfg.NumWorkers
+			if cfg.DisableScheduler {
+				owner = 0 // a single agent handles every node (ablation)
+			}
+			if owner != wk.id {
+				continue
+			}
+			var res ps.SplitResult
+			if cfg.DisableTwoPhase {
+				// Pull the full histogram shards and run Algorithm 1
+				// locally (ablation; h/p bytes per server instead of one
+				// split record).
+				hist, err := wk.client.PullHistogram(node, layout)
+				if err != nil {
+					return err
+				}
+				tg, th := hist.FeatureTotals(0)
+				res = ps.SplitResult{
+					Split:     core.FindSplit(hist, tg, th, cfg.Lambda, cfg.Gamma, cfg.MinChildHessian),
+					NodeG:     tg,
+					NodeH:     th,
+					HasTotals: true,
+				}
+			} else {
+				var err error
+				res, err = wk.client.PullSplit(node, cfg.Lambda, cfg.Gamma, cfg.MinChildHessian)
+				if err != nil {
+					return err
+				}
+			}
+			if err := wk.client.PushSplitResult(node, res); err != nil {
+				return err
+			}
+		}
+		wk.times.FindSplit += time.Since(fs)
+		if err := wk.barrier("FIND_SPLIT"); err != nil {
+			return err
+		}
+
+		// Phase 6: SPLIT_TREE — pull split results, split nodes, update the
+		// node-to-instance index.
+		results, err := wk.client.PullSplitResults(active)
+		if err != nil {
+			return err
+		}
+		var next []int
+		var splitErr error
+		wk.times.SplitTree += wk.compute(func() {
+			for _, node := range active {
+				res, ok := results[node]
+				if !ok {
+					splitErr = fmt.Errorf("no split result for node %d", node)
+					return
+				}
+				if _, seen := states[node]; !seen && res.HasTotals {
+					states[node] = nodeState{res.NodeG, res.NodeH}
+				}
+				if !res.Split.Found {
+					s := states[node]
+					tn.SetLeaf(node, cfg.LearningRate*core.LeafWeight(s.g, s.h, cfg.Lambda))
+					continue
+				}
+				sp := res.Split
+				tn.SetSplit(node, sp.Feature, sp.Value, sp.Gain)
+				f, v := int(sp.Feature), sp.Value
+				idx.Split(node, func(r int32) bool {
+					return float64(wk.shard.Row(int(r)).Feature(f)) <= v
+				})
+				states[tree.Left(node)] = nodeState{sp.LeftG, sp.LeftH}
+				states[tree.Right(node)] = nodeState{sp.RightG, sp.RightH}
+				next = append(next, tree.Left(node), tree.Right(node))
+			}
+		})
+		if splitErr != nil {
+			return splitErr
+		}
+		active = next
+		if err := wk.barrier("SPLIT_TREE"); err != nil {
+			return err
+		}
+	}
+
+	// Update local predictions from the finished tree's leaves.
+	for node := range tn.Nodes {
+		nd := &tn.Nodes[node]
+		if !nd.Used || !nd.Leaf || nd.Weight == 0 {
+			continue
+		}
+		for _, r := range idx.Rows(node) {
+			wk.preds[r] += nd.Weight
+		}
+	}
+	wk.model.Trees = append(wk.model.Trees, tn)
+	wk.events = append(wk.events, core.TreeEvent{
+		Tree:      t,
+		TrainLoss: loss.MeanLoss(wk.lossFn, wk.shard.Labels, wk.preds),
+		Elapsed:   time.Since(wk.start),
+	})
+	return nil
+}

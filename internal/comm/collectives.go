@@ -1,0 +1,192 @@
+package comm
+
+// This file implements the four aggregation strategies. Every operator is
+// called concurrently by w goroutines, each passing its own rank and its
+// local vector (which the operator may modify in place as a scratch merge
+// buffer).
+
+// ReduceToRoot is MLlib's MapReduce-style aggregation (§2.3): every non-root
+// rank sends its whole vector to rank 0, which merges them. The merged
+// vector is returned at rank 0; other ranks return nil.
+func (m *Mesh) ReduceToRoot(rank int, data []float64) []float64 {
+	if rank != 0 {
+		m.send(rank, 0, data)
+		return nil
+	}
+	out := make([]float64, len(data))
+	copy(out, data)
+	for src := 1; src < m.w; src++ {
+		addInto(out, m.recv(0, src))
+	}
+	return out
+}
+
+// BinomialReduceToRoot is XGBoost's aggregation (§2.3): workers form a
+// binomial tree; statistics flow bottom-up in log₂(w) non-overlapping steps,
+// each moving the full h bytes. Rank 0 returns the merged vector; other
+// ranks return nil. (XGBoost then broadcasts only the small split decision —
+// use BroadcastBinomial for that.)
+func (m *Mesh) BinomialReduceToRoot(rank int, data []float64) []float64 {
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	// A rank absorbs children (rank | mask) for masks below its own lowest
+	// set bit, then sends to its parent (rank &^ lowbit) and is done.
+	for mask := 1; mask < m.w; mask <<= 1 {
+		if rank&mask != 0 {
+			m.send(rank, rank&^mask, buf)
+			return nil
+		}
+		if src := rank | mask; src < m.w && src != rank {
+			addInto(buf, m.recv(rank, src))
+		}
+	}
+	return buf
+}
+
+// BroadcastBinomial distributes rank 0's vector to every rank along the
+// binomial tree (the "up-bottom" model distribution of §2.3). Non-root
+// ranks pass data == nil and receive the broadcast value.
+func (m *Mesh) BroadcastBinomial(rank int, data []float64) []float64 {
+	start := topMask(m.w)
+	if rank != 0 {
+		data = m.recv(rank, rank&^lowbit(rank))
+		start = lowbit(rank)
+	}
+	for mask := start >> 1; mask >= 1; mask >>= 1 {
+		if child := rank | mask; child < m.w && child != rank {
+			m.send(rank, child, data)
+		}
+	}
+	return data
+}
+
+// AllReduceBinomial composes the binomial reduce and broadcast so every rank
+// returns the merged vector; kept for completeness and tests.
+func (m *Mesh) AllReduceBinomial(rank int, data []float64) []float64 {
+	merged := m.BinomialReduceToRoot(rank, data)
+	return m.BroadcastBinomial(rank, merged)
+}
+
+// ReduceScatterResult is a rank's owned block of the merged vector.
+type ReduceScatterResult struct {
+	// Block is the merged elements this rank owns (nil when the rank is
+	// idle after a non-power-of-two fold-in).
+	Block []float64
+	// Start is the offset of Block in the full vector.
+	Start int
+}
+
+// ReduceScatterHalving is LightGBM's recursive-halving ReduceScatter (§2.3,
+// §3): each step exchanges half the remaining range with a partner half the
+// previous distance away. Non-power-of-two worker counts run a preliminary
+// fold-in step — the reason the paper notes LightGBM's cost doubles off
+// powers of two. Each participating rank ends owning a contiguous block of
+// the fully merged vector.
+func (m *Mesh) ReduceScatterHalving(rank int, data []float64) ReduceScatterResult {
+	w := m.w
+	buf := make([]float64, len(data))
+	copy(buf, data)
+
+	// Fold the extra ranks into their even neighbours so p2 = 2^k ranks
+	// remain. Ranks [0, 2r): odd ranks send everything to rank-1 and go
+	// idle; even ranks absorb. Ranks [2r, w) participate directly.
+	p2 := topMask(w)
+	if p2 > w {
+		p2 >>= 1
+	}
+	r := w - p2
+	newRank := -1 // participant index in [0, p2)
+	switch {
+	case rank < 2*r && rank%2 == 1:
+		m.send(rank, rank-1, buf)
+		return ReduceScatterResult{}
+	case rank < 2*r:
+		addInto(buf, m.recv(rank, rank+1))
+		newRank = rank / 2
+	default:
+		newRank = rank - r
+	}
+	toReal := func(nr int) int {
+		if nr < r {
+			return 2 * nr
+		}
+		return nr + r
+	}
+
+	lo, hi := 0, len(buf)
+	for dist := p2 / 2; dist >= 1; dist /= 2 {
+		partner := toReal(newRank ^ dist)
+		mid := lo + (hi-lo)/2
+		if newRank&dist == 0 {
+			// keep lower half, ship upper half
+			m.send(rank, partner, buf[mid:hi])
+			addInto(buf[lo:mid], m.recv(rank, partner))
+			hi = mid
+		} else {
+			m.send(rank, partner, buf[lo:mid])
+			addInto(buf[mid:hi], m.recv(rank, partner))
+			lo = mid
+		}
+	}
+	return ReduceScatterResult{Block: buf[lo:hi], Start: lo}
+}
+
+// PSScatterGather is DimBoost's parameter-server aggregation (§3): the
+// vector is cut into w blocks (servers are co-located with workers); rank i
+// pushes block j to rank j for all j ≠ i in one batch — a single
+// communication step of (w−1) packages of h/w bytes — and merges the w−1
+// blocks it receives into its own. Each rank returns its merged block.
+func (m *Mesh) PSScatterGather(rank int, data []float64) ReduceScatterResult {
+	w := m.w
+	for j := 0; j < w; j++ {
+		if j == rank {
+			continue
+		}
+		lo, hi := BlockRange(len(data), w, j)
+		m.send(rank, j, data[lo:hi])
+	}
+	lo, hi := BlockRange(len(data), w, rank)
+	block := make([]float64, hi-lo)
+	copy(block, data[lo:hi])
+	// Merge in rank order for deterministic float association.
+	for j := 0; j < w; j++ {
+		if j == rank {
+			continue
+		}
+		addInto(block, m.recv(rank, j))
+	}
+	return ReduceScatterResult{Block: block, Start: lo}
+}
+
+// AllGatherBlocks distributes every rank's block to all ranks,
+// reassembling the full merged vector everywhere. Baseline trainers use it
+// after a ReduceScatter when every worker needs the whole histogram.
+func (m *Mesh) AllGatherBlocks(rank, n int, res ReduceScatterResult) []float64 {
+	out := make([]float64, n)
+	if res.Block != nil {
+		copy(out[res.Start:], res.Block)
+		for j := 0; j < m.w; j++ {
+			if j == rank {
+				continue
+			}
+			header := append([]float64{float64(res.Start), float64(len(res.Block))}, res.Block...)
+			m.send(rank, j, header)
+		}
+	} else {
+		for j := 0; j < m.w; j++ {
+			if j == rank {
+				continue
+			}
+			m.send(rank, j, []float64{0, 0})
+		}
+	}
+	for j := 0; j < m.w; j++ {
+		if j == rank {
+			continue
+		}
+		msg := m.recv(rank, j)
+		start, ln := int(msg[0]), int(msg[1])
+		copy(out[start:start+ln], msg[2:])
+	}
+	return out
+}

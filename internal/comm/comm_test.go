@@ -1,0 +1,414 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// runCollective drives a w-rank collective concurrently and returns each
+// rank's result.
+func runCollective(w int, f func(rank int) []float64) [][]float64 {
+	out := make([][]float64, w)
+	var wg sync.WaitGroup
+	for r := 0; r < w; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			out[r] = f(r)
+		}(r)
+	}
+	wg.Wait()
+	return out
+}
+
+// randVectors builds w local vectors and their exact element-wise sum.
+func randVectors(w, n int, seed int64) (vecs [][]float64, sum []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	vecs = make([][]float64, w)
+	sum = make([]float64, n)
+	for r := range vecs {
+		vecs[r] = make([]float64, n)
+		for i := range vecs[r] {
+			vecs[r][i] = rng.NormFloat64()
+			sum[i] += vecs[r][i]
+		}
+	}
+	return
+}
+
+func approxEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+var workerCounts = []int{1, 2, 3, 4, 5, 7, 8, 13, 16}
+
+func TestReduceToRoot(t *testing.T) {
+	for _, w := range workerCounts {
+		vecs, want := randVectors(w, 40, int64(w))
+		m := NewMesh(w)
+		got := runCollective(w, func(r int) []float64 { return m.ReduceToRoot(r, vecs[r]) })
+		if !approxEqual(got[0], want, 1e-9) {
+			t.Fatalf("w=%d: root result wrong", w)
+		}
+		for r := 1; r < w; r++ {
+			if got[r] != nil {
+				t.Fatalf("w=%d: rank %d should return nil", w, r)
+			}
+		}
+		if wantBytes := int64((w - 1) * 40 * 4); m.BytesMoved() != wantBytes {
+			t.Fatalf("w=%d: moved %d bytes, want %d", w, m.BytesMoved(), wantBytes)
+		}
+	}
+}
+
+func TestBinomialReduceToRoot(t *testing.T) {
+	for _, w := range workerCounts {
+		vecs, want := randVectors(w, 33, int64(w)+100)
+		m := NewMesh(w)
+		got := runCollective(w, func(r int) []float64 { return m.BinomialReduceToRoot(r, vecs[r]) })
+		if !approxEqual(got[0], want, 1e-9) {
+			t.Fatalf("w=%d: root result wrong", w)
+		}
+		for r := 1; r < w; r++ {
+			if got[r] != nil {
+				t.Fatalf("w=%d: rank %d should return nil", w, r)
+			}
+		}
+	}
+}
+
+func TestBroadcastBinomial(t *testing.T) {
+	for _, w := range workerCounts {
+		src := []float64{1, 2, 3, 4.5}
+		m := NewMesh(w)
+		got := runCollective(w, func(r int) []float64 {
+			if r == 0 {
+				return m.BroadcastBinomial(r, src)
+			}
+			return m.BroadcastBinomial(r, nil)
+		})
+		for r := 0; r < w; r++ {
+			if !approxEqual(got[r], src, 0) {
+				t.Fatalf("w=%d: rank %d got %v", w, r, got[r])
+			}
+		}
+	}
+}
+
+func TestAllReduceBinomial(t *testing.T) {
+	for _, w := range workerCounts {
+		vecs, want := randVectors(w, 25, int64(w)+200)
+		m := NewMesh(w)
+		got := runCollective(w, func(r int) []float64 { return m.AllReduceBinomial(r, vecs[r]) })
+		for r := 0; r < w; r++ {
+			if !approxEqual(got[r], want, 1e-9) {
+				t.Fatalf("w=%d: rank %d result wrong", w, r)
+			}
+		}
+	}
+}
+
+func TestReduceScatterHalving(t *testing.T) {
+	for _, w := range workerCounts {
+		n := 64
+		vecs, want := randVectors(w, n, int64(w)+300)
+		m := NewMesh(w)
+		results := make([]ReduceScatterResult, w)
+		runCollective(w, func(r int) []float64 {
+			results[r] = m.ReduceScatterHalving(r, vecs[r])
+			return nil
+		})
+		// blocks must tile [0, n) exactly and hold the merged values
+		covered := make([]bool, n)
+		for r, res := range results {
+			for i, v := range res.Block {
+				pos := res.Start + i
+				if covered[pos] {
+					t.Fatalf("w=%d: position %d covered twice", w, pos)
+				}
+				covered[pos] = true
+				if math.Abs(v-want[pos]) > 1e-9 {
+					t.Fatalf("w=%d rank %d: block[%d] = %v, want %v", w, r, i, v, want[pos])
+				}
+			}
+		}
+		for pos, ok := range covered {
+			if !ok {
+				t.Fatalf("w=%d: position %d uncovered", w, pos)
+			}
+		}
+	}
+}
+
+func TestPSScatterGather(t *testing.T) {
+	for _, w := range workerCounts {
+		n := 50
+		vecs, want := randVectors(w, n, int64(w)+400)
+		m := NewMesh(w)
+		results := make([]ReduceScatterResult, w)
+		runCollective(w, func(r int) []float64 {
+			results[r] = m.PSScatterGather(r, vecs[r])
+			return nil
+		})
+		for r, res := range results {
+			lo, hi := BlockRange(n, w, r)
+			if res.Start != lo || len(res.Block) != hi-lo {
+				t.Fatalf("w=%d rank %d: block [%d,%d), want [%d,%d)", w, r, res.Start, res.Start+len(res.Block), lo, hi)
+			}
+			for i, v := range res.Block {
+				if math.Abs(v-want[lo+i]) > 1e-9 {
+					t.Fatalf("w=%d rank %d: wrong merge at %d", w, r, lo+i)
+				}
+			}
+		}
+	}
+}
+
+func TestAllGatherBlocks(t *testing.T) {
+	for _, w := range workerCounts {
+		n := 48
+		vecs, want := randVectors(w, n, int64(w)+500)
+		m := NewMesh(w)
+		full := runCollective(w, func(r int) []float64 {
+			res := m.PSScatterGather(r, vecs[r])
+			return m.AllGatherBlocks(r, n, res)
+		})
+		for r := 0; r < w; r++ {
+			if !approxEqual(full[r], want, 1e-9) {
+				t.Fatalf("w=%d: rank %d allgather wrong", w, r)
+			}
+		}
+	}
+}
+
+func TestReduceScatterAfterAllGatherNonPow2(t *testing.T) {
+	// idle ranks (non-power-of-two fold-in) still recover the full vector
+	w, n := 6, 64
+	vecs, want := randVectors(w, n, 77)
+	m := NewMesh(w)
+	full := runCollective(w, func(r int) []float64 {
+		res := m.ReduceScatterHalving(r, vecs[r])
+		return m.AllGatherBlocks(r, n, res)
+	})
+	for r := 0; r < w; r++ {
+		if !approxEqual(full[r], want, 1e-9) {
+			t.Fatalf("rank %d wrong", r)
+		}
+	}
+}
+
+func TestAllStrategiesAgree(t *testing.T) {
+	for _, w := range []int{3, 4, 8, 11} {
+		n := 32 * w // divisible so every block is non-trivial
+		vecs, want := randVectors(w, n, int64(w)+600)
+		for name, run := range map[string]func() []float64{
+			"flat": func() []float64 {
+				m := NewMesh(w)
+				return runCollective(w, func(r int) []float64 { return m.ReduceToRoot(r, vecs[r]) })[0]
+			},
+			"binomial": func() []float64 {
+				m := NewMesh(w)
+				return runCollective(w, func(r int) []float64 { return m.BinomialReduceToRoot(r, vecs[r]) })[0]
+			},
+			"reducescatter": func() []float64 {
+				m := NewMesh(w)
+				out := make([]float64, n)
+				var mu sync.Mutex
+				runCollective(w, func(r int) []float64 {
+					res := m.ReduceScatterHalving(r, vecs[r])
+					mu.Lock()
+					copy(out[res.Start:res.Start+len(res.Block)], res.Block)
+					mu.Unlock()
+					return nil
+				})
+				return out
+			},
+			"ps": func() []float64 {
+				m := NewMesh(w)
+				out := make([]float64, n)
+				var mu sync.Mutex
+				runCollective(w, func(r int) []float64 {
+					res := m.PSScatterGather(r, vecs[r])
+					mu.Lock()
+					copy(out[res.Start:res.Start+len(res.Block)], res.Block)
+					mu.Unlock()
+					return nil
+				})
+				return out
+			},
+		} {
+			if got := run(); !approxEqual(got, want, 1e-9) {
+				t.Fatalf("w=%d: strategy %s disagrees with exact sum", w, name)
+			}
+		}
+	}
+}
+
+func TestMeshBytesMatchSchedules(t *testing.T) {
+	// the live implementations and the abstract schedules must agree on
+	// total bytes moved — this ties the cost model to the real code
+	for _, w := range []int{2, 4, 5, 8, 12, 16} {
+		n := 16 * w * 2 // even splits all the way down for halving
+		h := int64(n * 4)
+		vecs, _ := randVectors(w, n, int64(w)+700)
+
+		m := NewMesh(w)
+		runCollective(w, func(r int) []float64 { return m.ReduceToRoot(r, vecs[r]) })
+		if got, want := m.BytesMoved(), ScheduleFlatReduce(w, h).TotalBytes(); got != want {
+			t.Errorf("w=%d flat: mesh %d vs schedule %d", w, got, want)
+		}
+
+		m = NewMesh(w)
+		runCollective(w, func(r int) []float64 { return m.BinomialReduceToRoot(r, vecs[r]) })
+		if got, want := m.BytesMoved(), ScheduleBinomialReduce(w, h).TotalBytes(); got != want {
+			t.Errorf("w=%d binomial: mesh %d vs schedule %d", w, got, want)
+		}
+
+		m = NewMesh(w)
+		runCollective(w, func(r int) []float64 { m.ReduceScatterHalving(r, vecs[r]); return nil })
+		if got, want := m.BytesMoved(), ScheduleReduceScatterHalving(w, h).TotalBytes(); got != want {
+			t.Errorf("w=%d halving: mesh %d vs schedule %d", w, got, want)
+		}
+
+		m = NewMesh(w)
+		runCollective(w, func(r int) []float64 { m.PSScatterGather(r, vecs[r]); return nil })
+		if got, want := m.BytesMoved(), SchedulePS(w, h).TotalBytes(); got != want {
+			t.Errorf("w=%d ps: mesh %d vs schedule %d", w, got, want)
+		}
+	}
+}
+
+func TestScheduleRoundCounts(t *testing.T) {
+	// Table 1 "# comm steps": MLlib 1, XGBoost log w, LightGBM log w
+	// (+1 fold-in off powers of two), DimBoost 1.
+	cases := []struct {
+		w                        int
+		flat, binom, halving, ps int
+	}{
+		{2, 1, 1, 1, 1},
+		{4, 1, 2, 2, 1},
+		{8, 1, 3, 3, 1},
+		{16, 1, 4, 4, 1},
+		{5, 1, 3, 3, 1}, // halving: fold-in + log2(4)
+		{12, 1, 4, 4, 1},
+	}
+	for _, c := range cases {
+		if got := ScheduleFlatReduce(c.w, 1000).NumRounds(); got != c.flat {
+			t.Errorf("w=%d flat rounds %d, want %d", c.w, got, c.flat)
+		}
+		if got := ScheduleBinomialReduce(c.w, 1000).NumRounds(); got != c.binom {
+			t.Errorf("w=%d binomial rounds %d, want %d", c.w, got, c.binom)
+		}
+		if got := ScheduleReduceScatterHalving(c.w, 1024).NumRounds(); got != c.halving {
+			t.Errorf("w=%d halving rounds %d, want %d", c.w, got, c.halving)
+		}
+		if got := SchedulePS(c.w, 1000).NumRounds(); got != c.ps {
+			t.Errorf("w=%d ps rounds %d, want %d", c.w, got, c.ps)
+		}
+	}
+}
+
+func TestBlockRange(t *testing.T) {
+	prev := 0
+	for i := 0; i < 7; i++ {
+		lo, hi := BlockRange(100, 7, i)
+		if lo != prev {
+			t.Fatalf("gap at block %d", i)
+		}
+		if hi-lo < 100/7 || hi-lo > 100/7+1 {
+			t.Fatalf("unbalanced block %d: %d", i, hi-lo)
+		}
+		prev = hi
+	}
+	if prev != 100 {
+		t.Fatalf("blocks cover %d, want 100", prev)
+	}
+}
+
+func TestMeshSingleRank(t *testing.T) {
+	m := NewMesh(1)
+	v := []float64{1, 2, 3}
+	if got := m.ReduceToRoot(0, v); !approxEqual(got, v, 0) {
+		t.Fatal("w=1 flat reduce")
+	}
+	if got := m.BinomialReduceToRoot(0, v); !approxEqual(got, v, 0) {
+		t.Fatal("w=1 binomial")
+	}
+	res := m.ReduceScatterHalving(0, v)
+	if res.Start != 0 || !approxEqual(res.Block, v, 0) {
+		t.Fatal("w=1 halving")
+	}
+	res = m.PSScatterGather(0, v)
+	if !approxEqual(res.Block, v, 0) {
+		t.Fatal("w=1 ps")
+	}
+	if m.BytesMoved() != 0 {
+		t.Fatal("w=1 should move no bytes")
+	}
+}
+
+func TestNewMeshPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMesh(0)
+}
+
+func TestQuickAllStrategiesAgree(t *testing.T) {
+	f := func(seed int64, wRaw, nRaw uint8) bool {
+		w := int(wRaw)%10 + 1
+		n := (int(nRaw)%8 + 1) * w * 4 // block-friendly sizes
+		vecs, want := randVectors(w, n, seed)
+
+		m := NewMesh(w)
+		flat := runCollective(w, func(r int) []float64 { return m.ReduceToRoot(r, vecs[r]) })[0]
+		if !approxEqual(flat, want, 1e-9) {
+			return false
+		}
+		m = NewMesh(w)
+		binom := runCollective(w, func(r int) []float64 { return m.BinomialReduceToRoot(r, vecs[r]) })[0]
+		if !approxEqual(binom, want, 1e-9) {
+			return false
+		}
+		m = NewMesh(w)
+		out := make([]float64, n)
+		var mu sync.Mutex
+		runCollective(w, func(r int) []float64 {
+			res := m.ReduceScatterHalving(r, vecs[r])
+			mu.Lock()
+			copy(out[res.Start:res.Start+len(res.Block)], res.Block)
+			mu.Unlock()
+			return nil
+		})
+		if !approxEqual(out, want, 1e-9) {
+			return false
+		}
+		m = NewMesh(w)
+		out2 := make([]float64, n)
+		runCollective(w, func(r int) []float64 {
+			res := m.PSScatterGather(r, vecs[r])
+			mu.Lock()
+			copy(out2[res.Start:res.Start+len(res.Block)], res.Block)
+			mu.Unlock()
+			return nil
+		})
+		return approxEqual(out2, want, 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(41))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

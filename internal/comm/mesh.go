@@ -1,0 +1,155 @@
+// Package comm implements the collective communication operators the paper
+// analyzes in §3: all-to-one Reduce (MLlib), binomial-tree AllReduce
+// (XGBoost), recursive-halving ReduceScatter (LightGBM), and the parameter-
+// server scatter-gather DimBoost uses. Each operator both moves real data
+// across an in-process mesh (so baseline trainers aggregate correctly) and
+// has a schedule generator consumed by internal/simnet to evaluate the
+// paper's α/β/γ cost model (Table 1).
+package comm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Mesh is a w-rank all-to-all point-to-point fabric built on buffered
+// channels. One goroutine per rank drives a collective by calling the
+// operator with its own rank. Payloads are accounted at float32 wire size
+// (4 bytes per element), the paper's histogram format.
+type Mesh struct {
+	w     int
+	ch    [][]chan []float64
+	bytes atomic.Int64
+	msgs  atomic.Int64
+	// per-rank counters for the cost model (α·msgs + β·bytes per node)
+	rankBytesOut []atomic.Int64
+	rankBytesIn  []atomic.Int64
+	rankMsgsOut  []atomic.Int64
+}
+
+// NewMesh returns a mesh over w ranks.
+func NewMesh(w int) *Mesh {
+	if w < 1 {
+		panic("comm: mesh needs at least one rank")
+	}
+	m := &Mesh{
+		w:            w,
+		ch:           make([][]chan []float64, w),
+		rankBytesOut: make([]atomic.Int64, w),
+		rankBytesIn:  make([]atomic.Int64, w),
+		rankMsgsOut:  make([]atomic.Int64, w),
+	}
+	for i := range m.ch {
+		m.ch[i] = make([]chan []float64, w)
+		for j := range m.ch[i] {
+			// Buffered generously so that a round's sends never block on
+			// the matching receives.
+			m.ch[i][j] = make(chan []float64, 1024)
+		}
+	}
+	return m
+}
+
+// MaxPerRank returns the per-rank maxima of bytes (max of in/out) and
+// messages sent — the quantities the §3 cost model prices with β and α.
+func (m *Mesh) MaxPerRank() (maxBytes, maxMsgs int64) {
+	for r := 0; r < m.w; r++ {
+		b := m.rankBytesOut[r].Load()
+		if in := m.rankBytesIn[r].Load(); in > b {
+			b = in
+		}
+		if b > maxBytes {
+			maxBytes = b
+		}
+		if mm := m.rankMsgsOut[r].Load(); mm > maxMsgs {
+			maxMsgs = mm
+		}
+	}
+	return
+}
+
+// Size returns the number of ranks.
+func (m *Mesh) Size() int { return m.w }
+
+// BytesMoved returns the float32-accounted bytes transferred so far.
+func (m *Mesh) BytesMoved() int64 { return m.bytes.Load() }
+
+// MsgsMoved returns the number of point-to-point messages so far.
+func (m *Mesh) MsgsMoved() int64 { return m.msgs.Load() }
+
+// ResetStats zeroes the traffic counters.
+func (m *Mesh) ResetStats() {
+	m.bytes.Store(0)
+	m.msgs.Store(0)
+	for r := 0; r < m.w; r++ {
+		m.rankBytesOut[r].Store(0)
+		m.rankBytesIn[r].Store(0)
+		m.rankMsgsOut[r].Store(0)
+	}
+}
+
+// send transmits a copy of data from one rank to another.
+func (m *Mesh) send(from, to int, data []float64) {
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	n := int64(len(data)) * 4
+	m.bytes.Add(n)
+	m.msgs.Add(1)
+	m.rankBytesOut[from].Add(n)
+	m.rankBytesIn[to].Add(n)
+	m.rankMsgsOut[from].Add(1)
+	m.ch[from][to] <- cp
+}
+
+// recv blocks until a message from `from` arrives at `to`.
+func (m *Mesh) recv(to, from int) []float64 {
+	return <-m.ch[from][to]
+}
+
+// Send transmits a copy of data between ranks; exported for protocols built
+// on top of the collectives (split-decision exchanges in
+// internal/baselines).
+func (m *Mesh) Send(from, to int, data []float64) { m.send(from, to, data) }
+
+// Recv blocks until a message from `from` arrives at `to`.
+func (m *Mesh) Recv(to, from int) []float64 { return m.recv(to, from) }
+
+func addInto(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("comm: merging %d into %d elements", len(src), len(dst)))
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// BlockRange returns the [lo, hi) element range of block i when an n-element
+// vector is cut into w near-equal blocks (the per-server shards of
+// ReduceScatter and the parameter server).
+func BlockRange(n, w, i int) (lo, hi int) {
+	base, rem := n/w, n%w
+	lo = base*i + minInt(i, rem)
+	sz := base
+	if i < rem {
+		sz++
+	}
+	return lo, lo + sz
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func lowbit(x int) int { return x & (-x) }
+
+// topMask returns the smallest power of two >= w.
+func topMask(w int) int {
+	m := 1
+	for m < w {
+		m <<= 1
+	}
+	return m
+}

@@ -1,0 +1,148 @@
+package comm
+
+// A Transfer is one point-to-point message of a communication schedule.
+type Transfer struct {
+	From, To int
+	Bytes    int64
+}
+
+// A Round is a set of transfers that proceed in parallel; rounds execute
+// sequentially ("communication steps" in Table 1).
+type Round []Transfer
+
+// Schedule is the abstract communication pattern of one aggregation
+// operation. internal/simnet evaluates schedules under the α/β/γ cost
+// model; the totals also cross-validate the live Mesh implementations.
+type Schedule []Round
+
+// TotalBytes sums the bytes of every transfer.
+func (s Schedule) TotalBytes() int64 {
+	var n int64
+	for _, r := range s {
+		for _, t := range r {
+			n += t.Bytes
+		}
+	}
+	return n
+}
+
+// NumRounds returns the number of sequential communication steps.
+func (s Schedule) NumRounds() int { return len(s) }
+
+// ScheduleFlatReduce is MLlib's all-to-one reduce: one step in which every
+// non-root worker sends its full h bytes to the coordinator.
+func ScheduleFlatReduce(w int, h int64) Schedule {
+	var r Round
+	for i := 1; i < w; i++ {
+		r = append(r, Transfer{From: i, To: 0, Bytes: h})
+	}
+	return Schedule{r}
+}
+
+// ScheduleBinomialReduce is XGBoost's binomial-tree reduce: ⌈log₂ w⌉ steps,
+// each moving full h-byte messages one level up the tree.
+func ScheduleBinomialReduce(w int, h int64) Schedule {
+	var s Schedule
+	for mask := 1; mask < w; mask <<= 1 {
+		var r Round
+		for rank := mask; rank < w; rank += 2 * mask {
+			// ranks whose lowest set bit is mask send to rank &^ mask
+			r = append(r, Transfer{From: rank, To: rank &^ mask, Bytes: h})
+		}
+		if len(r) > 0 {
+			s = append(s, r)
+		}
+	}
+	return s
+}
+
+// ScheduleBinomialBroadcast mirrors the reduce top-down with message size b
+// (the small model/split payload in XGBoost's case).
+func ScheduleBinomialBroadcast(w int, b int64) Schedule {
+	masks := []int{}
+	for mask := topMask(w) >> 1; mask >= 1; mask >>= 1 {
+		masks = append(masks, mask)
+	}
+	var s Schedule
+	for _, mask := range masks {
+		var r Round
+		for rank := 0; rank+mask < w; rank += 2 * mask {
+			r = append(r, Transfer{From: rank, To: rank + mask, Bytes: b})
+		}
+		if len(r) > 0 {
+			s = append(s, r)
+		}
+	}
+	return s
+}
+
+// ScheduleReduceScatterHalving is LightGBM's recursive halving: a
+// preliminary fold-in when w is not a power of two, then log₂(p2) exchange
+// steps whose payloads halve each time.
+func ScheduleReduceScatterHalving(w int, h int64) Schedule {
+	p2 := topMask(w)
+	if p2 > w {
+		p2 >>= 1
+	}
+	r := w - p2
+	toReal := func(nr int) int {
+		if nr < r {
+			return 2 * nr
+		}
+		return nr + r
+	}
+	var s Schedule
+	if r > 0 {
+		var pre Round
+		for odd := 1; odd < 2*r; odd += 2 {
+			pre = append(pre, Transfer{From: odd, To: odd - 1, Bytes: h})
+		}
+		s = append(s, pre)
+	}
+	// Track the per-participant remaining range sizes exactly as the live
+	// implementation splits them (integer halving of [lo,hi)).
+	lo := make([]int64, p2)
+	hi := make([]int64, p2)
+	for i := range hi {
+		hi[i] = h
+	}
+	for dist := p2 / 2; dist >= 1; dist /= 2 {
+		var round Round
+		for nr := 0; nr < p2; nr++ {
+			partner := nr ^ dist
+			mid := lo[nr] + (hi[nr]-lo[nr])/2
+			if nr&dist == 0 {
+				round = append(round, Transfer{From: toReal(nr), To: toReal(partner), Bytes: hi[nr] - mid})
+			} else {
+				round = append(round, Transfer{From: toReal(nr), To: toReal(partner), Bytes: mid - lo[nr]})
+			}
+		}
+		for nr := 0; nr < p2; nr++ {
+			mid := lo[nr] + (hi[nr]-lo[nr])/2
+			if nr&dist == 0 {
+				hi[nr] = mid
+			} else {
+				lo[nr] = mid
+			}
+		}
+		s = append(s, round)
+	}
+	return s
+}
+
+// SchedulePS is DimBoost's parameter-server scatter-gather: a single step in
+// which every rank pushes (w−1) packages of h/w bytes, one to each
+// co-located server shard.
+func SchedulePS(w int, h int64) Schedule {
+	var r Round
+	for i := 0; i < w; i++ {
+		for j := 0; j < w; j++ {
+			if i == j {
+				continue
+			}
+			lo, hiB := BlockRange(int(h), w, j)
+			r = append(r, Transfer{From: i, To: j, Bytes: int64(hiB - lo)})
+		}
+	}
+	return Schedule{r}
+}

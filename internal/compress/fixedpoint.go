@@ -1,0 +1,190 @@
+// Package compress implements the low-precision gradient-histogram
+// compressor of §6.1: 32-bit floating-point histogram entries are quantized
+// to d-bit signed fixed-point integers with max-abs scaling and stochastic
+// (Bernoulli) rounding, so the decoded value is unbiased in expectation
+// (Appendix A.1). The default d=8 yields the paper's 4× compression over the
+// float32 wire format.
+package compress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SupportedBits lists the allowed quantization widths. Widths below 8 pack
+// multiple values per byte; 16 uses two bytes per value.
+var SupportedBits = []uint{2, 4, 8, 16}
+
+func validBits(bits uint) bool {
+	for _, b := range SupportedBits {
+		if b == bits {
+			return true
+		}
+	}
+	return false
+}
+
+// Compressed is a quantized vector: Data packs len(values) signed bits-wide
+// integers little-endian within each byte group, and MaxAbs is the scaling
+// constant |c| (the largest absolute value in the original vector).
+type Compressed struct {
+	Bits   uint
+	N      int
+	MaxAbs float64
+	Data   []byte
+}
+
+// Size returns the wire size in bytes of the compressed payload (excluding
+// the small fixed header the transport adds).
+func (c *Compressed) Size() int { return len(c.Data) + 8 /* MaxAbs */ + 8 /* bits+n */ }
+
+// CompressedSize predicts the payload size for n values at the given width.
+func CompressedSize(n int, bits uint) int {
+	return (n*int(bits)+7)/8 + 16
+}
+
+// Encoder quantizes vectors. It carries its own RNG so that stochastic
+// rounding is deterministic given a seed — distributed tests rely on this.
+// An Encoder is not safe for concurrent use; create one per goroutine.
+type Encoder struct {
+	rng *rand.Rand
+}
+
+// NewEncoder returns an Encoder seeded for reproducible rounding.
+func NewEncoder(seed int64) *Encoder {
+	return &Encoder{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Encode quantizes values into a d-bit fixed-point representation:
+//
+//	q' = floor(q/|c| · (2^(d-1)-1)) + Bernoulli(frac)
+//
+// so that E[decode(q')] = q. A zero vector encodes with MaxAbs = 0 and an
+// all-zero payload.
+func (e *Encoder) Encode(values []float64, bits uint) (*Compressed, error) {
+	if !validBits(bits) {
+		return nil, fmt.Errorf("compress: unsupported bit width %d", bits)
+	}
+	maxAbs := 0.0
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, errors.New("compress: non-finite input")
+		}
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	c := &Compressed{Bits: bits, N: len(values), MaxAbs: maxAbs}
+	c.Data = make([]byte, (len(values)*int(bits)+7)/8)
+	if maxAbs == 0 {
+		return c, nil
+	}
+	levels := float64(int64(1)<<(bits-1) - 1) // e.g. 127 for 8 bits
+	scale := levels / maxAbs
+	lo, hi := -(int64(1) << (bits - 1)), int64(1)<<(bits-1)-1
+	for i, v := range values {
+		t := v * scale
+		f := math.Floor(t)
+		q := int64(f)
+		if e.rng.Float64() < t-f {
+			q++
+		}
+		if q < lo {
+			q = lo
+		}
+		if q > hi {
+			q = hi
+		}
+		putBits(c.Data, i, bits, uint64(q)&((1<<bits)-1))
+	}
+	return c, nil
+}
+
+// Decode reconstructs the float64 vector: q” = q' / (2^(d-1)-1) · |c|.
+func Decode(c *Compressed) []float64 {
+	out := make([]float64, c.N)
+	if c.MaxAbs == 0 {
+		return out
+	}
+	levels := float64(int64(1)<<(c.Bits-1) - 1)
+	inv := c.MaxAbs / levels
+	for i := range out {
+		raw := getBits(c.Data, i, c.Bits)
+		q := signExtend(raw, c.Bits)
+		out[i] = float64(q) * inv
+	}
+	return out
+}
+
+// DecodeInto adds the decoded values onto dst, the common case when a
+// parameter server merges an incoming compressed histogram into the global
+// one. dst must have length c.N.
+func DecodeInto(dst []float64, c *Compressed) error {
+	if len(dst) != c.N {
+		return fmt.Errorf("compress: decode into %d values, payload has %d", len(dst), c.N)
+	}
+	if c.MaxAbs == 0 {
+		return nil
+	}
+	levels := float64(int64(1)<<(c.Bits-1) - 1)
+	inv := c.MaxAbs / levels
+	for i := range dst {
+		q := signExtend(getBits(c.Data, i, c.Bits), c.Bits)
+		dst[i] += float64(q) * inv
+	}
+	return nil
+}
+
+// MaxError returns the worst-case absolute reconstruction error for this
+// payload: one quantization step.
+func (c *Compressed) MaxError() float64 {
+	if c.MaxAbs == 0 {
+		return 0
+	}
+	return c.MaxAbs / float64(int64(1)<<(c.Bits-1)-1)
+}
+
+// putBits writes the low `bits` bits of v at element index i.
+func putBits(data []byte, i int, bits uint, v uint64) {
+	bitPos := i * int(bits)
+	for b := uint(0); b < bits; b += 8 {
+		byteIdx := (bitPos + int(b)) / 8
+		shift := uint(bitPos+int(b)) % 8
+		chunk := byte(v >> b)
+		if bits-b < 8 {
+			chunk &= (1 << (bits - b)) - 1
+		}
+		data[byteIdx] |= chunk << shift
+		if shift != 0 && int(8-shift) < int(bits-b) {
+			data[byteIdx+1] |= chunk >> (8 - shift)
+		}
+	}
+}
+
+// getBits reads `bits` bits at element index i.
+func getBits(data []byte, i int, bits uint) uint64 {
+	bitPos := i * int(bits)
+	var v uint64
+	for b := uint(0); b < bits; b += 8 {
+		byteIdx := (bitPos + int(b)) / 8
+		shift := uint(bitPos+int(b)) % 8
+		chunk := uint64(data[byteIdx] >> shift)
+		if shift != 0 && byteIdx+1 < len(data) {
+			chunk |= uint64(data[byteIdx+1]) << (8 - shift)
+		}
+		width := bits - b
+		if width > 8 {
+			width = 8
+		}
+		v |= (chunk & ((1 << width) - 1)) << b
+	}
+	return v
+}
+
+// signExtend interprets the low `bits` bits of raw as a signed integer.
+func signExtend(raw uint64, bits uint) int64 {
+	shift := 64 - bits
+	return int64(raw<<shift) >> shift
+}

@@ -1,0 +1,242 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripWithinOneStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, bits := range SupportedBits {
+		enc := NewEncoder(2)
+		values := make([]float64, 500)
+		for i := range values {
+			values[i] = rng.NormFloat64() * 100
+		}
+		c, err := enc.Encode(values, bits)
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		got := Decode(c)
+		step := c.MaxError()
+		for i, v := range values {
+			if math.Abs(got[i]-v) > step+1e-9 {
+				t.Fatalf("bits=%d idx=%d: |%v - %v| > step %v", bits, i, got[i], v, step)
+			}
+		}
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	values := make([]float64, 4096)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	enc := NewEncoder(3)
+	c8, _ := enc.Encode(values, 8)
+	if len(c8.Data) != 4096 {
+		t.Fatalf("8-bit payload %d bytes, want 4096", len(c8.Data))
+	}
+	c4, _ := enc.Encode(values, 4)
+	if len(c4.Data) != 2048 {
+		t.Fatalf("4-bit payload %d bytes, want 2048", len(c4.Data))
+	}
+	c2, _ := enc.Encode(values, 2)
+	if len(c2.Data) != 1024 {
+		t.Fatalf("2-bit payload %d bytes, want 1024", len(c2.Data))
+	}
+	c16, _ := enc.Encode(values, 16)
+	if len(c16.Data) != 8192 {
+		t.Fatalf("16-bit payload %d bytes, want 8192", len(c16.Data))
+	}
+	if CompressedSize(4096, 8) != 4096+16 {
+		t.Fatalf("CompressedSize(4096,8) = %d", CompressedSize(4096, 8))
+	}
+}
+
+func TestUnbiasedExpectation(t *testing.T) {
+	// Appendix A.1: E[decode(encode(q))] = q thanks to Bernoulli rounding.
+	enc := NewEncoder(4)
+	const trials = 4000
+	values := []float64{0.37, -1.91, 2.44, -0.003, 3.0}
+	sums := make([]float64, len(values))
+	for trial := 0; trial < trials; trial++ {
+		c, err := enc.Encode(values, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := Decode(c)
+		for i, v := range dec {
+			sums[i] += v
+		}
+	}
+	step := 3.0 / 127 // |c| = 3.0
+	for i, v := range values {
+		mean := sums[i] / trials
+		// standard error of the mean is step/sqrt(12*trials); allow 6 sigma
+		tol := 6 * step / math.Sqrt(12*trials)
+		if math.Abs(mean-v) > tol {
+			t.Errorf("value %v: mean decode %v differs by more than %v", v, mean, tol)
+		}
+	}
+}
+
+func TestZeroVector(t *testing.T) {
+	enc := NewEncoder(5)
+	c, err := enc.Encode(make([]float64, 100), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxAbs != 0 {
+		t.Fatalf("MaxAbs = %v", c.MaxAbs)
+	}
+	for _, v := range Decode(c) {
+		if v != 0 {
+			t.Fatal("zero vector should decode to zeros")
+		}
+	}
+	if c.MaxError() != 0 {
+		t.Fatal("zero vector MaxError should be 0")
+	}
+}
+
+func TestEmptyVector(t *testing.T) {
+	enc := NewEncoder(5)
+	c, err := enc.Encode(nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Decode(c)) != 0 {
+		t.Fatal("empty vector decode")
+	}
+}
+
+func TestUnsupportedBits(t *testing.T) {
+	enc := NewEncoder(6)
+	for _, bits := range []uint{0, 1, 3, 7, 9, 32} {
+		if _, err := enc.Encode([]float64{1}, bits); err == nil {
+			t.Errorf("bits=%d should be rejected", bits)
+		}
+	}
+}
+
+func TestNonFiniteInput(t *testing.T) {
+	enc := NewEncoder(7)
+	if _, err := enc.Encode([]float64{math.Inf(1)}, 8); err == nil {
+		t.Fatal("expected error for +Inf")
+	}
+	if _, err := enc.Encode([]float64{math.NaN()}, 8); err == nil {
+		t.Fatal("expected error for NaN")
+	}
+}
+
+func TestDecodeInto(t *testing.T) {
+	enc := NewEncoder(8)
+	values := []float64{1, -2, 3}
+	c, err := enc.Encode(values, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := []float64{10, 10, 10}
+	if err := DecodeInto(dst, c); err != nil {
+		t.Fatal(err)
+	}
+	step := c.MaxError()
+	for i := range dst {
+		if math.Abs(dst[i]-(10+values[i])) > step+1e-9 {
+			t.Fatalf("DecodeInto[%d] = %v", i, dst[i])
+		}
+	}
+	if err := DecodeInto(make([]float64, 2), c); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	// zero payload DecodeInto is a no-op
+	cz, _ := enc.Encode(make([]float64, 3), 8)
+	before := append([]float64(nil), dst...)
+	if err := DecodeInto(dst, cz); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != before[i] {
+			t.Fatal("zero DecodeInto changed dst")
+		}
+	}
+}
+
+func TestMaxValueRepresentable(t *testing.T) {
+	// the max-abs element itself must round-trip near-exactly (it maps to
+	// the top level, possibly +1 from stochastic rounding then clamped)
+	enc := NewEncoder(9)
+	values := []float64{-5, 5}
+	for trial := 0; trial < 100; trial++ {
+		c, _ := enc.Encode(values, 8)
+		dec := Decode(c)
+		if math.Abs(dec[1]-5) > 1e-9 {
+			t.Fatalf("max element decoded to %v", dec[1])
+		}
+		if math.Abs(dec[0]+5) > c.MaxError()+1e-9 {
+			t.Fatalf("min element decoded to %v", dec[0])
+		}
+	}
+}
+
+func TestQuickRoundTripProperty(t *testing.T) {
+	enc := NewEncoder(10)
+	f := func(raw []float64) bool {
+		values := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e15 {
+				values = append(values, v)
+			}
+		}
+		for _, bits := range SupportedBits {
+			c, err := enc.Encode(values, bits)
+			if err != nil {
+				return false
+			}
+			dec := Decode(c)
+			step := c.MaxError()
+			for i := range values {
+				if math.Abs(dec[i]-values[i]) > step*(1+1e-12)+1e-300 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	values := []float64{0.1, 0.2, 0.3, -0.7}
+	a, _ := NewEncoder(42).Encode(values, 8)
+	b, _ := NewEncoder(42).Encode(values, 8)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed should encode identically")
+		}
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	if signExtend(0xFF, 8) != -1 {
+		t.Fatal("0xFF as int8 should be -1")
+	}
+	if signExtend(0x7F, 8) != 127 {
+		t.Fatal("0x7F as int8 should be 127")
+	}
+	if signExtend(0x80, 8) != -128 {
+		t.Fatal("0x80 as int8 should be -128")
+	}
+	if signExtend(0x3, 2) != -1 {
+		t.Fatal("0b11 as 2-bit should be -1")
+	}
+	if signExtend(0x1, 2) != 1 {
+		t.Fatal("0b01 as 2-bit should be 1")
+	}
+}

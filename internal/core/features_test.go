@@ -1,0 +1,278 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dimboost/internal/dataset"
+	"dimboost/internal/loss"
+)
+
+func TestHistSubtractionMatchesNormal(t *testing.T) {
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 500, NumFeatures: 80, AvgNNZ: 12, Seed: 101, Zipf: 1.2})
+	cfg := smallConfig()
+	cfg.NumTrees = 5
+	cfg.MaxDepth = 5
+	ref, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.HistSubtraction = true
+	sub, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameStructure(t, ref, sub) {
+		t.Fatal("histogram subtraction changed the model")
+	}
+}
+
+func TestHistSubtractionIsFaster(t *testing.T) {
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 6000, NumFeatures: 500, AvgNNZ: 40, Seed: 103, Zipf: 1.3})
+	cfg := smallConfig()
+	cfg.NumTrees = 3
+	cfg.MaxDepth = 6
+
+	tr1, _ := NewTrainer(d, cfg)
+	if _, err := tr1.Train(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.HistSubtraction = true
+	tr2, _ := NewTrainer(d, cfg)
+	if _, err := tr2.Train(); err != nil {
+		t.Fatal(err)
+	}
+	// subtraction must replace a substantial share of the child builds
+	// with O(T) subtractions (counted, so the assertion is immune to
+	// timer noise on a loaded machine)...
+	if tr2.DerivedHists < 5 {
+		t.Fatalf("only %d histograms derived by subtraction", tr2.DerivedHists)
+	}
+	if tr1.DerivedHists != 0 {
+		t.Fatalf("subtraction off but %d derived", tr1.DerivedHists)
+	}
+	// ...and must never be slower than the plain build beyond timer noise
+	if tr2.Times.BuildHist > tr1.Times.BuildHist*13/10 {
+		t.Fatalf("subtraction build time %v vs normal %v — slower", tr2.Times.BuildHist, tr1.Times.BuildHist)
+	}
+}
+
+func TestInstanceSampling(t *testing.T) {
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 1500, NumFeatures: 200, AvgNNZ: 15, Seed: 105, Zipf: 1.2, NoiseStd: 0.2})
+	train, test := d.Split(0.9)
+	cfg := smallConfig()
+	cfg.NumTrees = 12
+	cfg.InstanceSampleRatio = 0.5
+	model, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Trees) != 12 {
+		t.Fatalf("%d trees", len(model.Trees))
+	}
+	preds := model.PredictBatch(test)
+	auc, err := loss.AUC(test.Labels, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.55 {
+		t.Fatalf("subsampled model AUC %v — did not learn", auc)
+	}
+}
+
+func TestInstanceSamplingRejectsNoIndexAblation(t *testing.T) {
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 50, NumFeatures: 20, AvgNNZ: 5, Seed: 107})
+	cfg := smallConfig()
+	cfg.InstanceSampleRatio = 0.5
+	cfg.NoNodeIndex = true
+	if _, err := NewTrainer(d, cfg); err == nil {
+		t.Fatal("expected error for sampling + NoNodeIndex")
+	}
+}
+
+func TestEarlyStopping(t *testing.T) {
+	// tiny training set + heavy noise: validation loss starts rising early
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 300, NumFeatures: 100, AvgNNZ: 10, Seed: 109, NoiseStd: 1.5, Zipf: 1.2})
+	train, val := d.Split(0.6)
+	cfg := smallConfig()
+	cfg.NumTrees = 60
+	cfg.LearningRate = 0.5
+	cfg.MaxDepth = 6
+	cfg.EarlyStoppingRounds = 5
+	tr, err := NewTrainer(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Validation = val
+	model, err := tr.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Trees) >= 60 {
+		t.Fatalf("early stopping never triggered (%d trees)", len(model.Trees))
+	}
+	if math.IsInf(tr.BestValidationLoss, 1) {
+		t.Fatal("best validation loss not recorded")
+	}
+	// truncated model must actually achieve the recorded loss
+	preds := model.PredictBatch(val)
+	got := loss.MeanLoss(loss.New(cfg.Loss), val.Labels, preds)
+	if math.Abs(got-tr.BestValidationLoss) > 1e-9 {
+		t.Fatalf("truncated model loss %v != recorded best %v", got, tr.BestValidationLoss)
+	}
+}
+
+func TestWarmStart(t *testing.T) {
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 800, NumFeatures: 150, AvgNNZ: 12, Seed: 111, Zipf: 1.2, NoiseStd: 0.2})
+	cfg := smallConfig()
+	cfg.NumTrees = 5
+	first, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstLoss, _ := first.Evaluate(d)
+
+	tr, err := NewTrainer(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Init = first
+	combined, err := tr.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combined.Trees) != 10 {
+		t.Fatalf("warm start produced %d trees, want 10", len(combined.Trees))
+	}
+	combinedLoss, _ := combined.Evaluate(d)
+	if combinedLoss >= firstLoss {
+		t.Fatalf("continued training did not reduce loss: %v -> %v", firstLoss, combinedLoss)
+	}
+	// warm start must match training 10 trees in one go... not exactly
+	// (feature sampling rng differs), but with σ=1 and everything
+	// deterministic the continued run equals the one-shot run
+	oneshot := cfg
+	oneshot.NumTrees = 10
+	ref, err := Train(d, oneshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameStructure(t, ref, combined) {
+		t.Fatal("warm start diverged from one-shot training")
+	}
+}
+
+func TestWarmStartLossMismatch(t *testing.T) {
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 100, NumFeatures: 30, AvgNNZ: 5, Seed: 113})
+	cfg := smallConfig()
+	cfg.NumTrees = 2
+	m, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Loss = loss.Squared
+	tr, err := NewTrainer(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Init = m
+	if _, err := tr.Train(); err == nil {
+		t.Fatal("expected loss mismatch error")
+	}
+}
+
+func TestImportanceAndDump(t *testing.T) {
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 500, NumFeatures: 100, AvgNNZ: 12, Seed: 115, Zipf: 1.2})
+	cfg := smallConfig()
+	cfg.NumTrees = 5
+	model, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	imp := model.Importance()
+	if len(imp) == 0 {
+		t.Fatal("no feature importance")
+	}
+	totalSplits := 0
+	for i, fi := range imp {
+		if fi.Gain <= 0 || fi.Splits <= 0 {
+			t.Fatalf("feature %d: gain %v splits %d", fi.Feature, fi.Gain, fi.Splits)
+		}
+		if i > 0 && fi.Gain > imp[i-1].Gain {
+			t.Fatal("importance not sorted by gain")
+		}
+		totalSplits += fi.Splits
+	}
+	internal, leaves := model.NumNodes()
+	if totalSplits != internal {
+		t.Fatalf("importance counts %d splits, model has %d internal nodes", totalSplits, internal)
+	}
+	if leaves != internal+len(model.Trees) {
+		t.Fatalf("binary-tree invariant broken: %d leaves, %d internal, %d trees", leaves, internal, len(model.Trees))
+	}
+
+	var sb strings.Builder
+	if err := model.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dump := sb.String()
+	if !strings.Contains(dump, "tree 0:") || !strings.Contains(dump, "leaf=") || !strings.Contains(dump, "[f") {
+		t.Fatalf("dump missing expected content:\n%s", dump[:200])
+	}
+}
+
+func TestPredictLeaves(t *testing.T) {
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 300, NumFeatures: 50, AvgNNZ: 8, Seed: 117, Zipf: 1.2})
+	cfg := smallConfig()
+	cfg.NumTrees = 4
+	model, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		in := d.Row(i)
+		leaves := model.PredictLeaves(in)
+		if len(leaves) != 4 {
+			t.Fatalf("%d leaf ids", len(leaves))
+		}
+		// reconstructing the prediction from leaf weights must match
+		sum := model.BaseScore
+		for ti, leaf := range leaves {
+			nd := model.Trees[ti].Nodes[leaf]
+			if !nd.Used || !nd.Leaf {
+				t.Fatalf("tree %d: node %d is not a leaf", ti, leaf)
+			}
+			sum += nd.Weight
+		}
+		if math.Abs(sum-model.Predict(in)) > 1e-12 {
+			t.Fatalf("leaf reconstruction %v != predict %v", sum, model.Predict(in))
+		}
+	}
+}
+
+func TestWeightedCandidatesTrain(t *testing.T) {
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 1200, NumFeatures: 150, AvgNNZ: 12, Seed: 119, Zipf: 1.2, NoiseStd: 0.2})
+	train, test := d.Split(0.9)
+	cfg := smallConfig()
+	cfg.NumTrees = 10
+	base, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.WeightedCandidates = true
+	weighted, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := loss.ErrorRate(test.Labels, base.PredictBatch(test))
+	ew := loss.ErrorRate(test.Labels, weighted.PredictBatch(test))
+	// weighted candidates must stay in the same quality ballpark
+	if ew > eb+0.08 {
+		t.Fatalf("weighted candidates error %.4f vs base %.4f", ew, eb)
+	}
+	if len(weighted.Trees) != 10 {
+		t.Fatalf("%d trees", len(weighted.Trees))
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dimboost/internal/dataset"
+	"dimboost/internal/tree"
+)
+
+// FeatureImportance summarizes how much each feature contributes to a
+// trained model.
+type FeatureImportance struct {
+	// Feature is the global feature id.
+	Feature int32
+	// Gain is the total objective gain contributed by splits on the
+	// feature ("gain" importance).
+	Gain float64
+	// Splits is the number of splits using the feature ("weight"
+	// importance).
+	Splits int
+}
+
+// Importance computes per-feature importance over all trees, sorted by
+// descending gain.
+func (m *Model) Importance() []FeatureImportance {
+	acc := map[int32]*FeatureImportance{}
+	for _, t := range m.Trees {
+		for i := range t.Nodes {
+			n := &t.Nodes[i]
+			if !n.Used || n.Leaf {
+				continue
+			}
+			fi := acc[n.Feature]
+			if fi == nil {
+				fi = &FeatureImportance{Feature: n.Feature}
+				acc[n.Feature] = fi
+			}
+			fi.Gain += n.Gain
+			fi.Splits++
+		}
+	}
+	out := make([]FeatureImportance, 0, len(acc))
+	for _, fi := range acc {
+		out = append(out, *fi)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Gain != out[b].Gain {
+			return out[a].Gain > out[b].Gain
+		}
+		return out[a].Feature < out[b].Feature
+	})
+	return out
+}
+
+// NumNodes counts the used nodes across all trees.
+func (m *Model) NumNodes() (internal, leaves int) {
+	for _, t := range m.Trees {
+		for i := range t.Nodes {
+			n := &t.Nodes[i]
+			if !n.Used {
+				continue
+			}
+			if n.Leaf {
+				leaves++
+			} else {
+				internal++
+			}
+		}
+	}
+	return
+}
+
+// Dump writes a human-readable description of the model: per-tree node
+// listings in the style of XGBoost's text dump.
+func (m *Model) Dump(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "model: loss=%s trees=%d base=%g\n", m.Loss, len(m.Trees), m.BaseScore); err != nil {
+		return err
+	}
+	for ti, t := range m.Trees {
+		if _, err := fmt.Fprintf(w, "tree %d:\n", ti); err != nil {
+			return err
+		}
+		if err := dumpNode(w, t, 0, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dumpNode(w io.Writer, t *tree.Tree, node, depth int) error {
+	n := &t.Nodes[node]
+	if !n.Used {
+		return nil
+	}
+	indent := strings.Repeat("  ", depth)
+	if n.Leaf {
+		_, err := fmt.Fprintf(w, "%s%d: leaf=%g\n", indent, node, n.Weight)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s%d: [f%d <= %g] gain=%g\n", indent, node, n.Feature, n.Value, n.Gain); err != nil {
+		return err
+	}
+	if err := dumpNode(w, t, tree.Left(node), depth+1); err != nil {
+		return err
+	}
+	return dumpNode(w, t, tree.Right(node), depth+1)
+}
+
+// PredictLeaves returns, for each tree, the leaf node id the instance lands
+// in — the "GBDT feature transform" used to feed tree leaves into linear
+// models.
+func (m *Model) PredictLeaves(in dataset.Instance) []int {
+	out := make([]int, len(m.Trees))
+	for i, t := range m.Trees {
+		out[i] = t.PredictNode(in)
+	}
+	return out
+}

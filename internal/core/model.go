@@ -1,0 +1,122 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"dimboost/internal/dataset"
+	"dimboost/internal/loss"
+	"dimboost/internal/tree"
+)
+
+// Model is a trained GBDT ensemble: ŷ_i = base + Σ_t f_t(x_i), with
+// shrinkage already folded into each tree's leaf weights (Eq. 1).
+type Model struct {
+	Loss      loss.Kind
+	BaseScore float64
+	Trees     []*tree.Tree
+}
+
+// Predict returns the raw model output for one instance (a logit for
+// logistic models, the regression value for squared loss).
+func (m *Model) Predict(in dataset.Instance) float64 {
+	s := m.BaseScore
+	for _, t := range m.Trees {
+		s += t.Predict(in)
+	}
+	return s
+}
+
+// PredictProb returns the positive-class probability for logistic models.
+func (m *Model) PredictProb(in dataset.Instance) float64 {
+	return loss.Sigmoid(m.Predict(in))
+}
+
+// PredictBatch scores every row of a dataset.
+func (m *Model) PredictBatch(d *dataset.Dataset) []float64 {
+	out := make([]float64, d.NumRows())
+	for i := range out {
+		out[i] = m.Predict(d.Row(i))
+	}
+	return out
+}
+
+// Evaluate computes the mean training loss and, for logistic models, the
+// classification error on a dataset.
+func (m *Model) Evaluate(d *dataset.Dataset) (meanLoss, errRate float64) {
+	preds := m.PredictBatch(d)
+	f := loss.New(m.Loss)
+	meanLoss = loss.MeanLoss(f, d.Labels, preds)
+	if m.Loss == loss.Logistic {
+		errRate = loss.ErrorRate(d.Labels, preds)
+	} else {
+		errRate = loss.RMSE(d.Labels, preds)
+	}
+	return
+}
+
+// modelWire is the serialized form of a Model.
+type modelWire struct {
+	Version   int
+	Loss      loss.Kind
+	BaseScore float64
+	MaxDepths []int
+	Nodes     [][]tree.Node
+}
+
+const modelVersion = 1
+
+// Save writes the model in a self-describing binary format.
+func (m *Model) Save(w io.Writer) error {
+	mw := modelWire{Version: modelVersion, Loss: m.Loss, BaseScore: m.BaseScore}
+	for _, t := range m.Trees {
+		mw.MaxDepths = append(mw.MaxDepths, t.MaxDepth)
+		mw.Nodes = append(mw.Nodes, t.Nodes)
+	}
+	return gob.NewEncoder(w).Encode(mw)
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var mw modelWire
+	if err := gob.NewDecoder(r).Decode(&mw); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if mw.Version != modelVersion {
+		return nil, fmt.Errorf("core: unsupported model version %d", mw.Version)
+	}
+	m := &Model{Loss: mw.Loss, BaseScore: mw.BaseScore}
+	for i, d := range mw.MaxDepths {
+		t := &tree.Tree{MaxDepth: d, Nodes: mw.Nodes[i]}
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("core: tree %d invalid: %w", i, err)
+		}
+		m.Trees = append(m.Trees, t)
+	}
+	return m, nil
+}
+
+// SaveFile writes the model to a file.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model from a file.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

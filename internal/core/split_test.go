@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dimboost/internal/dataset"
+	"dimboost/internal/histogram"
+	"dimboost/internal/sketch"
+)
+
+func fixture(t testing.TB, rows, features, nnz int, seed int64) (*dataset.Dataset, *histogram.Layout, []float64, []float64) {
+	t.Helper()
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: rows, NumFeatures: features, AvgNNZ: nnz, Seed: seed, Zipf: 1.2})
+	set := sketch.NewSet(features, 0.02)
+	set.AddDataset(d)
+	layout, err := histogram.NewLayout(histogram.AllFeatures(features), set.Candidates(12), features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := make([]float64, rows)
+	hess := make([]float64, rows)
+	for i := range grad {
+		grad[i] = math.Sin(float64(i)) // deterministic mixed-sign gradients
+		hess[i] = 0.25 + 0.1*float64(i%5)
+	}
+	return d, layout, grad, hess
+}
+
+// bruteForceSplit enumerates every feature and candidate cut directly on the
+// data, bypassing histograms, and returns the best split.
+func bruteForceSplit(d *dataset.Dataset, l *histogram.Layout, rows []int32, grad, hess []float64, lambda, gamma, minH float64) Split {
+	var totalG, totalH float64
+	for _, r := range rows {
+		totalG += grad[r]
+		totalH += hess[r]
+	}
+	parent := totalG * totalG / (totalH + lambda)
+	best := Split{}
+	for p := 0; p < l.NumFeatures(); p++ {
+		f := int(l.Features[p])
+		c := l.Cands[p]
+		for k := 0; k < c.NumBuckets()-1; k++ {
+			cut := c.SplitValue(k)
+			var gl, hl float64
+			for _, r := range rows {
+				if float64(d.Row(int(r)).Feature(f)) <= cut {
+					gl += grad[r]
+					hl += hess[r]
+				}
+			}
+			gr, hr := totalG-gl, totalH-hl
+			if hl < minH || hr < minH {
+				continue
+			}
+			gain := 0.5*(gl*gl/(hl+lambda)+gr*gr/(hr+lambda)-parent) - gamma
+			if gain <= 0 {
+				continue
+			}
+			cand := Split{Found: true, Feature: int32(f), Value: cut, Gain: gain, LeftG: gl, LeftH: hl, RightG: gr, RightH: hr}
+			if cand.Better(best) {
+				best = cand
+			}
+		}
+	}
+	return best
+}
+
+func TestFindSplitMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		d, layout, grad, hess := fixture(t, 120, 15, 5, seed)
+		rows := make([]int32, d.NumRows())
+		for i := range rows {
+			rows[i] = int32(i)
+		}
+		h := histogram.New(layout)
+		histogram.BuildSparse(h, d, rows, grad, hess)
+		var tg, th float64
+		for _, r := range rows {
+			tg += grad[r]
+			th += hess[r]
+		}
+		got := FindSplit(h, tg, th, 1.0, 0.0, 1e-4)
+		want := bruteForceSplit(d, layout, rows, grad, hess, 1.0, 0.0, 1e-4)
+		if got.Found != want.Found {
+			t.Fatalf("seed %d: Found %v vs %v", seed, got.Found, want.Found)
+		}
+		if !got.Found {
+			continue
+		}
+		if got.Feature != want.Feature || got.Value != want.Value {
+			t.Fatalf("seed %d: split (%d,%v) vs brute (%d,%v)", seed, got.Feature, got.Value, want.Feature, want.Value)
+		}
+		if math.Abs(got.Gain-want.Gain) > 1e-9 {
+			t.Fatalf("seed %d: gain %v vs %v", seed, got.Gain, want.Gain)
+		}
+		if math.Abs(got.LeftG-want.LeftG) > 1e-9 || math.Abs(got.LeftH-want.LeftH) > 1e-9 {
+			t.Fatalf("seed %d: child sums differ", seed)
+		}
+	}
+}
+
+func TestFindSplitRangeUnion(t *testing.T) {
+	// two-phase invariant: the best of per-range splits equals the global
+	// best (§6.3)
+	d, layout, grad, hess := fixture(t, 150, 20, 6, 9)
+	rows := make([]int32, d.NumRows())
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	h := histogram.New(layout)
+	histogram.BuildSparse(h, d, rows, grad, hess)
+	var tg, th float64
+	for _, r := range rows {
+		tg += grad[r]
+		th += hess[r]
+	}
+	global := FindSplit(h, tg, th, 1.0, 0.0, 1e-4)
+
+	for _, parts := range []int{2, 3, 5, 7, 20} {
+		var shards []Split
+		per := (20 + parts - 1) / parts
+		for lo := 0; lo < 20; lo += per {
+			hi := lo + per
+			if hi > 20 {
+				hi = 20
+			}
+			shards = append(shards, FindSplitRange(h, lo, hi, tg, th, 1.0, 0.0, 1e-4))
+		}
+		merged := BestOf(shards...)
+		if merged != global {
+			t.Fatalf("parts=%d: merged %+v vs global %+v", parts, merged, global)
+		}
+	}
+}
+
+func TestGammaSuppressesWeakSplits(t *testing.T) {
+	d, layout, grad, hess := fixture(t, 100, 10, 4, 3)
+	rows := make([]int32, d.NumRows())
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	h := histogram.New(layout)
+	histogram.BuildSparse(h, d, rows, grad, hess)
+	var tg, th float64
+	for _, r := range rows {
+		tg += grad[r]
+		th += hess[r]
+	}
+	free := FindSplit(h, tg, th, 1.0, 0.0, 1e-4)
+	if !free.Found {
+		t.Skip("no split found even ungated")
+	}
+	gated := FindSplit(h, tg, th, 1.0, free.Gain+1, 1e-4)
+	if gated.Found {
+		t.Fatalf("gamma above best gain must suppress splits, got %+v", gated)
+	}
+}
+
+func TestMinChildHessianGate(t *testing.T) {
+	d, layout, grad, hess := fixture(t, 80, 8, 3, 4)
+	rows := make([]int32, d.NumRows())
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	h := histogram.New(layout)
+	histogram.BuildSparse(h, d, rows, grad, hess)
+	var tg, th float64
+	for _, r := range rows {
+		tg += grad[r]
+		th += hess[r]
+	}
+	// an impossible min-child requirement: more than the whole node
+	s := FindSplit(h, tg, th, 1.0, 0.0, th+1)
+	if s.Found {
+		t.Fatal("min child hessian above node total must block all splits")
+	}
+}
+
+func TestBetterTieBreaks(t *testing.T) {
+	a := Split{Found: true, Feature: 3, Value: 1, Gain: 5}
+	b := Split{Found: true, Feature: 1, Value: 9, Gain: 5}
+	if !b.Better(a) || a.Better(b) {
+		t.Fatal("equal gain should prefer lower feature id")
+	}
+	c := Split{Found: true, Feature: 1, Value: 2, Gain: 5}
+	if !c.Better(b) {
+		t.Fatal("equal gain+feature should prefer lower value")
+	}
+	none := Split{}
+	if none.Better(a) {
+		t.Fatal("not-found is never better")
+	}
+	if !a.Better(none) {
+		t.Fatal("found beats not-found")
+	}
+	if BestOf() != (Split{}) {
+		t.Fatal("BestOf() should be zero split")
+	}
+	if BestOf(none, a, b, c) != c {
+		t.Fatal("BestOf picked wrong split")
+	}
+}
+
+func TestLeafWeight(t *testing.T) {
+	if got := LeafWeight(4, 1, 1); got != -2 {
+		t.Fatalf("LeafWeight(4,1,1) = %v, want -2", got)
+	}
+	if got := LeafWeight(0, 0, 1); got != 0 {
+		t.Fatalf("LeafWeight(0,0,1) = %v, want 0", got)
+	}
+}

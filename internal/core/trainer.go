@@ -1,0 +1,453 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"dimboost/internal/dataset"
+	"dimboost/internal/histogram"
+	"dimboost/internal/loss"
+	"dimboost/internal/sketch"
+	"dimboost/internal/tree"
+)
+
+// PhaseTimes accumulates wall time per training phase; the Table 3 and
+// Figure 13 experiments read these.
+type PhaseTimes struct {
+	Sketch    time.Duration
+	Gradients time.Duration
+	BuildHist time.Duration
+	FindSplit time.Duration
+	SplitTree time.Duration
+}
+
+// Total sums all phases.
+func (p PhaseTimes) Total() time.Duration {
+	return p.Sketch + p.Gradients + p.BuildHist + p.FindSplit + p.SplitTree
+}
+
+// Local sums the purely local phases, excluding FindSplit — which in the
+// distributed runtime is dominated by pull round-trips and server-side work
+// and therefore belongs to communication in a loading/compute/comm
+// decomposition (Fig. 13).
+func (p PhaseTimes) Local() time.Duration {
+	return p.Sketch + p.Gradients + p.BuildHist + p.SplitTree
+}
+
+// TreeEvent reports progress after each finished tree; used to draw the
+// paper's convergence curves (training error vs time, Fig. 12).
+type TreeEvent struct {
+	Tree      int
+	TrainLoss float64
+	Elapsed   time.Duration
+}
+
+// Trainer runs single-process GBDT training. It is also the computational
+// engine reused by every distributed strategy in internal/baselines and
+// internal/cluster.
+type Trainer struct {
+	cfg   Config
+	data  *dataset.Dataset
+	cands []sketch.Candidates
+	rng   *rand.Rand
+
+	// OnTree, when set, is invoked after each completed tree.
+	OnTree func(TreeEvent)
+
+	// Validation, when set together with Config.EarlyStoppingRounds,
+	// enables early stopping: training stops once the validation loss has
+	// not improved for that many trees and the model is truncated to the
+	// best prefix.
+	Validation *dataset.Dataset
+
+	// Init, when set, warm-starts training: boosting continues from the
+	// given model's predictions and its trees are prepended to the result.
+	// The loss kinds must match.
+	Init *Model
+
+	// Times accumulates phase timings for the experiment harness.
+	Times PhaseTimes
+
+	// DerivedHists counts histograms obtained by subtraction instead of a
+	// data pass (Config.HistSubtraction).
+	DerivedHists int
+
+	// BestValidationLoss reports the winning validation loss after a run
+	// with early stopping.
+	BestValidationLoss float64
+}
+
+// NewTrainer validates the configuration and prepares a trainer for the
+// dataset.
+func NewTrainer(d *dataset.Dataset, cfg Config) (*Trainer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NoNodeIndex && cfg.InstanceSampleRatio < 1 {
+		return nil, fmt.Errorf("core: NoNodeIndex (ablation) does not support instance sampling")
+	}
+	return &Trainer{cfg: cfg, data: d, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Candidates returns the per-feature split candidates, computing them on
+// first use (CREATE_SKETCH + PULL_SKETCH phases).
+func (tr *Trainer) Candidates() []sketch.Candidates {
+	if tr.cands == nil {
+		start := time.Now()
+		set := sketch.NewSet(tr.data.NumFeatures, tr.cfg.sketchEps())
+		set.AddDataset(tr.data)
+		tr.cands = set.Candidates(tr.cfg.NumCandidates)
+		tr.Times.Sketch += time.Since(start)
+	}
+	return tr.cands
+}
+
+// SetCandidates installs externally computed candidates (the distributed
+// runtime merges sketches on the parameter server and shares the result).
+func (tr *Trainer) SetCandidates(c []sketch.Candidates) { tr.cands = c }
+
+// SampleFeatures draws σM distinct features, sorted ascending. With σ == 1
+// it returns the identity.
+func (tr *Trainer) SampleFeatures() []int32 {
+	m := tr.data.NumFeatures
+	if tr.cfg.FeatureSampleRatio >= 1 {
+		return histogram.AllFeatures(m)
+	}
+	k := int(tr.cfg.FeatureSampleRatio * float64(m))
+	if k < 1 {
+		k = 1
+	}
+	perm := tr.rng.Perm(m)[:k]
+	out := make([]int32, k)
+	for i, f := range perm {
+		out[i] = int32(f)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Train runs the full boosting loop and returns the model.
+func (tr *Trainer) Train() (*Model, error) {
+	cands := tr.Candidates()
+	n := tr.data.NumRows()
+	lf := loss.New(tr.cfg.Loss)
+	preds := make([]float64, n)
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+	model := &Model{Loss: tr.cfg.Loss}
+	start := time.Now()
+
+	warmTrees := 0
+	if tr.Init != nil {
+		if tr.Init.Loss != tr.cfg.Loss {
+			return nil, fmt.Errorf("core: warm start loss %s != config loss %s", tr.Init.Loss, tr.cfg.Loss)
+		}
+		model.BaseScore = tr.Init.BaseScore
+		model.Trees = append(model.Trees, tr.Init.Trees...)
+		warmTrees = len(tr.Init.Trees)
+		for i := 0; i < n; i++ {
+			preds[i] = tr.Init.Predict(tr.data.Row(i))
+		}
+	}
+
+	// Early-stopping state.
+	var valPreds []float64
+	bestLoss := math.Inf(1)
+	bestTrees := warmTrees
+	sinceBest := 0
+	earlyStop := tr.Validation != nil && tr.cfg.EarlyStoppingRounds > 0
+	if tr.Validation != nil {
+		valPreds = make([]float64, tr.Validation.NumRows())
+		for i := range valPreds {
+			valPreds[i] = model.BaseScore
+			for _, tn := range model.Trees {
+				valPreds[i] += tn.Predict(tr.Validation.Row(i))
+			}
+		}
+	}
+
+	for t := 0; t < tr.cfg.NumTrees; t++ {
+		gs := time.Now()
+		for i := 0; i < n; i++ {
+			grad[i], hess[i] = lf.Gradients(float64(tr.data.Labels[i]), preds[i])
+		}
+		tr.Times.Gradients += time.Since(gs)
+
+		treeCands := cands
+		if tr.cfg.WeightedCandidates {
+			ws := time.Now()
+			treeCands = tr.weightedCandidates(hess)
+			tr.Times.Sketch += time.Since(ws)
+		}
+		features := tr.SampleFeatures()
+		layout, err := histogram.NewLayout(features, treeCands, tr.data.NumFeatures)
+		if err != nil {
+			return nil, err
+		}
+		tn, err := tr.growTree(layout, grad, hess, preds)
+		if err != nil {
+			return nil, err
+		}
+		model.Trees = append(model.Trees, tn)
+
+		if tr.OnTree != nil {
+			tr.OnTree(TreeEvent{
+				Tree:      t,
+				TrainLoss: loss.MeanLoss(lf, tr.data.Labels, preds),
+				Elapsed:   time.Since(start),
+			})
+		}
+
+		if tr.Validation != nil {
+			for i := range valPreds {
+				valPreds[i] += tn.Predict(tr.Validation.Row(i))
+			}
+			vl := loss.MeanLoss(lf, tr.Validation.Labels, valPreds)
+			if vl < bestLoss-1e-12 {
+				bestLoss = vl
+				bestTrees = len(model.Trees)
+				sinceBest = 0
+			} else if earlyStop {
+				sinceBest++
+				if sinceBest >= tr.cfg.EarlyStoppingRounds {
+					break
+				}
+			}
+		}
+	}
+	if earlyStop {
+		model.Trees = model.Trees[:bestTrees]
+		tr.BestValidationLoss = bestLoss
+	}
+	return model, nil
+}
+
+// weightedCandidates proposes per-feature split candidates from hessian-
+// weighted sketches over the current iteration's second-order gradients.
+func (tr *Trainer) weightedCandidates(hess []float64) []sketch.Candidates {
+	m := tr.data.NumFeatures
+	sketches := make([]*sketch.WeightedGK, m)
+	eps := tr.cfg.sketchEps()
+	for i := 0; i < tr.data.NumRows(); i++ {
+		in := tr.data.Row(i)
+		w := hess[i]
+		for j, f := range in.Indices {
+			s := sketches[f]
+			if s == nil {
+				s = sketch.NewWeightedGK(eps)
+				sketches[f] = s
+			}
+			s.Insert(float64(in.Values[j]), w)
+		}
+	}
+	out := make([]sketch.Candidates, m)
+	for f, s := range sketches {
+		out[f] = sketch.ProposeWeighted(s, tr.cfg.NumCandidates)
+	}
+	return out
+}
+
+// nodeState tracks the gradient sums of one active tree node.
+type nodeState struct {
+	g, h float64
+}
+
+// growTree builds one regression tree layer by layer (§4.4 BUILD_HISTOGRAM →
+// FIND_SPLIT → SPLIT_TREE) and updates preds with the new leaf weights.
+func (tr *Trainer) growTree(layout *histogram.Layout, grad, hess, preds []float64) (*tree.Tree, error) {
+	cfg := tr.cfg
+	n := tr.data.NumRows()
+	tn := tree.New(cfg.MaxDepth)
+	maxNodes := tree.MaxNodes(cfg.MaxDepth)
+
+	// Instance subsampling: the tree is grown from a per-tree row subset
+	// (stochastic gradient boosting); predictions still update everywhere.
+	sampling := cfg.InstanceSampleRatio < 1
+	var idx *tree.Index
+	if sampling {
+		k := int(cfg.InstanceSampleRatio * float64(n))
+		if k < 1 {
+			k = 1
+		}
+		perm := tr.rng.Perm(n)[:k]
+		rows := make([]int32, k)
+		for i, r := range perm {
+			rows[i] = int32(r)
+		}
+		sort.Slice(rows, func(a, b int) bool { return rows[a] < rows[b] })
+		idx = tree.NewIndexFrom(rows, maxNodes)
+	} else {
+		idx = tree.NewIndex(n, maxNodes)
+	}
+
+	// nodeOf supports the NoNodeIndex ablation: per-instance node ids so a
+	// node's rows can be recovered by a full scan.
+	var nodeOf []int32
+	if cfg.NoNodeIndex {
+		nodeOf = make([]int32, n)
+	}
+	rowsFor := func(node int) []int32 {
+		if !cfg.NoNodeIndex {
+			return idx.Rows(node)
+		}
+		var rows []int32
+		for i, nd := range nodeOf {
+			if nd == int32(node) {
+				rows = append(rows, int32(i))
+			}
+		}
+		return rows
+	}
+
+	states := make(map[int]nodeState, maxNodes)
+	var rootG, rootH float64
+	for _, r := range idx.Rows(0) {
+		rootG += grad[r]
+		rootH += hess[r]
+	}
+	states[0] = nodeState{rootG, rootH}
+
+	active := []int{0}
+	buildOpts := histogram.BuildOptions{
+		Parallelism: cfg.Parallelism,
+		BatchSize:   cfg.BatchSize,
+		Dense:       cfg.DenseBuild,
+	}
+
+	// Histogram subtraction (Config.HistSubtraction): keep split nodes'
+	// histograms one layer back; a right child's histogram is then
+	// parent − left sibling, skipping one data pass per split.
+	var prevHists, curHists map[int]*histogram.Histogram
+	avgNNZ := tr.data.AvgNNZ()
+	if cfg.HistSubtraction {
+		prevHists = map[int]*histogram.Histogram{}
+		curHists = map[int]*histogram.Histogram{}
+	}
+
+	for depth := 0; depth < cfg.MaxDepth && len(active) > 0; depth++ {
+		var next []int
+		atMax := depth == cfg.MaxDepth-1
+		for _, node := range active {
+			st := states[node]
+			if atMax || idxCount(idx, nodeOf, node) == 0 {
+				tn.SetLeaf(node, cfg.LearningRate*LeafWeight(st.g, st.h, cfg.Lambda))
+				continue
+			}
+			bs := time.Now()
+			h := histogram.New(layout)
+			derived := false
+			// Deriving costs O(TotalBuckets); only cheaper than a direct
+			// build when the node holds enough nonzeros.
+			worthDeriving := float64(idx.Count(node))*avgNNZ > float64(layout.TotalBuckets)
+			if cfg.HistSubtraction && worthDeriving && node != 0 && node == tree.Right(tree.Parent(node)) {
+				parent := prevHists[tree.Parent(node)]
+				left := curHists[tree.Left(tree.Parent(node))]
+				if parent != nil && left != nil {
+					h.SetSub(parent, left)
+					derived = true
+					tr.DerivedHists++
+				}
+			}
+			if !derived {
+				histogram.Build(h, tr.data, rowsFor(node), grad, hess, buildOpts)
+			}
+			if cfg.HistSubtraction {
+				curHists[node] = h
+			}
+			tr.Times.BuildHist += time.Since(bs)
+
+			fs := time.Now()
+			split := FindSplit(h, st.g, st.h, cfg.Lambda, cfg.Gamma, cfg.MinChildHessian)
+			tr.Times.FindSplit += time.Since(fs)
+
+			if !split.Found {
+				tn.SetLeaf(node, cfg.LearningRate*LeafWeight(st.g, st.h, cfg.Lambda))
+				continue
+			}
+
+			ss := time.Now()
+			tn.SetSplit(node, split.Feature, split.Value, split.Gain)
+			f, v := int(split.Feature), split.Value
+			idx.Split(node, func(r int32) bool {
+				return float64(tr.data.Row(int(r)).Feature(f)) <= v
+			})
+			if cfg.NoNodeIndex {
+				l, r := int32(tree.Left(node)), int32(tree.Right(node))
+				for i := 0; i < n; i++ {
+					if nodeOf[i] == int32(node) {
+						if float64(tr.data.Row(i).Feature(f)) <= v {
+							nodeOf[i] = l
+						} else {
+							nodeOf[i] = r
+						}
+					}
+				}
+			}
+			tr.Times.SplitTree += time.Since(ss)
+
+			states[tree.Left(node)] = nodeState{split.LeftG, split.LeftH}
+			states[tree.Right(node)] = nodeState{split.RightG, split.RightH}
+			next = append(next, tree.Left(node), tree.Right(node))
+		}
+		if cfg.HistSubtraction {
+			// keep only the histograms of nodes that actually split — the
+			// next layer subtracts against them
+			prevHists = map[int]*histogram.Histogram{}
+			for _, child := range next {
+				p := tree.Parent(child)
+				if h := curHists[p]; h != nil {
+					prevHists[p] = h
+				}
+			}
+			curHists = map[int]*histogram.Histogram{}
+		}
+		active = next
+	}
+
+	if sampling {
+		// rows outside the subsample never entered the index; route them
+		// through the finished tree instead
+		for i := 0; i < n; i++ {
+			preds[i] += tn.Predict(tr.data.Row(i))
+		}
+		return tn, nil
+	}
+	// Update predictions leaf by leaf using the index ranges.
+	for node := range tn.Nodes {
+		nd := &tn.Nodes[node]
+		if !nd.Used || !nd.Leaf || nd.Weight == 0 {
+			continue
+		}
+		for _, r := range rowsFor(node) {
+			preds[r] += nd.Weight
+		}
+	}
+	return tn, nil
+}
+
+// idxCount returns the instance count of a node under either row-tracking
+// scheme.
+func idxCount(idx *tree.Index, nodeOf []int32, node int) int {
+	if nodeOf == nil {
+		return idx.Count(node)
+	}
+	c := 0
+	for _, nd := range nodeOf {
+		if nd == int32(node) {
+			c++
+		}
+	}
+	return c
+}
+
+// Train is the one-call convenience API: sketch, train, return the model.
+func Train(d *dataset.Dataset, cfg Config) (*Model, error) {
+	tr, err := NewTrainer(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return tr.Train()
+}

@@ -1,0 +1,85 @@
+// Package cv provides k-fold cross-validation over the GBDT trainer — the
+// standard protocol for hyper-parameter selection on datasets too small for
+// a fixed held-out split.
+package cv
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dimboost/internal/core"
+	"dimboost/internal/dataset"
+	"dimboost/internal/loss"
+)
+
+// Result aggregates per-fold evaluation.
+type Result struct {
+	// FoldScores holds one score per fold: classification error for
+	// logistic models, RMSE for squared loss (lower is better for both).
+	FoldScores []float64
+	// Mean and Std summarize the folds.
+	Mean, Std float64
+	// FoldLogLoss holds the per-fold mean loss (the training objective).
+	FoldLogLoss []float64
+}
+
+// Folds assigns n rows to k folds after a seeded shuffle; fold i's rows are
+// the returned slice's i-th entry.
+func Folds(n, k int, seed int64) ([][]int32, error) {
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("cv: k=%d outside [2,%d]", k, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	out := make([][]int32, k)
+	for i, r := range perm {
+		f := i % k
+		out[f] = append(out[f], int32(r))
+	}
+	return out, nil
+}
+
+// Run trains k models, each holding one fold out, and evaluates on the
+// held-out fold.
+func Run(d *dataset.Dataset, cfg core.Config, k int, seed int64) (*Result, error) {
+	folds, err := Folds(d.NumRows(), k, seed)
+	if err != nil {
+		return nil, err
+	}
+	lf := loss.New(cfg.Loss)
+	res := &Result{}
+	for f := 0; f < k; f++ {
+		var trainRows []int32
+		for g := 0; g < k; g++ {
+			if g != f {
+				trainRows = append(trainRows, folds[g]...)
+			}
+		}
+		train := d.Gather(trainRows)
+		test := d.Gather(folds[f])
+		model, err := core.Train(train, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("cv: fold %d: %w", f, err)
+		}
+		preds := model.PredictBatch(test)
+		var score float64
+		if cfg.Loss == loss.Logistic {
+			score = loss.ErrorRate(test.Labels, preds)
+		} else {
+			score = loss.RMSE(test.Labels, preds)
+		}
+		res.FoldScores = append(res.FoldScores, score)
+		res.FoldLogLoss = append(res.FoldLogLoss, loss.MeanLoss(lf, test.Labels, preds))
+	}
+	var sum, sq float64
+	for _, s := range res.FoldScores {
+		sum += s
+	}
+	res.Mean = sum / float64(k)
+	for _, s := range res.FoldScores {
+		sq += (s - res.Mean) * (s - res.Mean)
+	}
+	res.Std = math.Sqrt(sq / float64(k))
+	return res, nil
+}

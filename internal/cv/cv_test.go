@@ -1,0 +1,135 @@
+package cv
+
+import (
+	"testing"
+
+	"dimboost/internal/core"
+	"dimboost/internal/dataset"
+	"dimboost/internal/loss"
+)
+
+func TestFoldsPartition(t *testing.T) {
+	folds, err := Folds(103, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("%d folds", len(folds))
+	}
+	seen := map[int32]bool{}
+	for _, f := range folds {
+		if len(f) < 103/5 || len(f) > 103/5+1 {
+			t.Fatalf("unbalanced fold size %d", len(f))
+		}
+		for _, r := range f {
+			if seen[r] {
+				t.Fatalf("row %d in two folds", r)
+			}
+			seen[r] = true
+		}
+	}
+	if len(seen) != 103 {
+		t.Fatalf("%d rows covered", len(seen))
+	}
+}
+
+func TestFoldsErrors(t *testing.T) {
+	if _, err := Folds(10, 1, 1); err == nil {
+		t.Fatal("k=1 should fail")
+	}
+	if _, err := Folds(3, 4, 1); err == nil {
+		t.Fatal("k>n should fail")
+	}
+}
+
+func TestFoldsDeterministic(t *testing.T) {
+	a, _ := Folds(50, 3, 7)
+	b, _ := Folds(50, 3, 7)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("fold sizes differ")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("folds differ for same seed")
+			}
+		}
+	}
+	c, _ := Folds(50, 3, 8)
+	same := true
+	for i := range a {
+		for j := range a[i] {
+			if j < len(c[i]) && a[i][j] != c[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical folds")
+	}
+}
+
+func TestRunClassification(t *testing.T) {
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 600, NumFeatures: 100, AvgNNZ: 10, Seed: 3, Zipf: 1.2, NoiseStd: 0.2})
+	cfg := core.DefaultConfig()
+	cfg.NumTrees = 6
+	cfg.MaxDepth = 4
+	cfg.Parallelism = 1
+	res, err := Run(d, cfg, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldScores) != 4 || len(res.FoldLogLoss) != 4 {
+		t.Fatalf("fold counts %d/%d", len(res.FoldScores), len(res.FoldLogLoss))
+	}
+	if res.Mean <= 0 || res.Mean >= 0.5 {
+		t.Fatalf("mean error %v implausible", res.Mean)
+	}
+	if res.Std < 0 {
+		t.Fatalf("negative std %v", res.Std)
+	}
+	for _, ll := range res.FoldLogLoss {
+		if ll <= 0 || ll > 1.5 {
+			t.Fatalf("logloss %v implausible", ll)
+		}
+	}
+}
+
+func TestRunRegression(t *testing.T) {
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 400, NumFeatures: 60, AvgNNZ: 8, Seed: 5, Regression: true, NoiseStd: 0.1, Zipf: 1.2})
+	cfg := core.DefaultConfig()
+	cfg.Loss = loss.Squared
+	cfg.NumTrees = 8
+	cfg.MaxDepth = 4
+	cfg.Parallelism = 1
+	res, err := Run(d, cfg, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CV RMSE must beat the zero predictor's RMSE
+	zero := loss.RMSE(d.Labels, make([]float64, d.NumRows()))
+	if res.Mean >= zero {
+		t.Fatalf("cv RMSE %v not better than zero predictor %v", res.Mean, zero)
+	}
+}
+
+func TestRunBadK(t *testing.T) {
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 20, NumFeatures: 10, AvgNNZ: 3, Seed: 7})
+	if _, err := Run(d, core.DefaultConfig(), 1, 1); err == nil {
+		t.Fatal("k=1 should fail")
+	}
+}
+
+func TestGatherSemantics(t *testing.T) {
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 10, NumFeatures: 15, AvgNNZ: 4, Seed: 13})
+	g := d.Gather([]int32{3, 3, 0})
+	if g.NumRows() != 3 {
+		t.Fatalf("%d rows", g.NumRows())
+	}
+	if g.Labels[0] != d.Labels[3] || g.Labels[1] != d.Labels[3] || g.Labels[2] != d.Labels[0] {
+		t.Fatal("gather picked wrong rows")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	orig := Generate(SyntheticConfig{NumRows: 300, NumFeatures: 500, AvgNNZ: 15, Seed: 21, Zipf: 1.3})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Fatal("binary round trip changed the dataset")
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.bin")
+	orig := Generate(SyntheticConfig{NumRows: 100, NumFeatures: 80, AvgNNZ: 8, Seed: 23})
+	if err := WriteBinaryFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Fatal("file round trip changed the dataset")
+	}
+	if _, err := ReadBinaryFile(path + ".missing"); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestBinaryEmptyDataset(t *testing.T) {
+	b := NewBuilder(5)
+	empty := b.Build()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, empty); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 0 || back.NumFeatures != 5 {
+		t.Fatalf("empty round trip: %d rows, %d features", back.NumRows(), back.NumFeatures)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOPE" + string(make([]byte, 60))),
+	}
+	for i, c := range cases {
+		if _, err := ReadBinary(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// valid header but truncated payload
+	d := Generate(SyntheticConfig{NumRows: 10, NumFeatures: 20, AvgNNZ: 4, Seed: 25})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	// corrupting an index (out-of-range feature id) is caught by Validate
+	raw := buf.Bytes()
+	h := binaryHeader{rows: uint64(d.NumRows()), features: uint64(d.NumFeatures), nnz: uint64(d.NNZ())}
+	cp := append([]byte(nil), raw...)
+	cp[h.indicesOff()+1] = 0xFF // index becomes huge
+	if _, err := ReadBinary(bytes.NewReader(cp)); err == nil {
+		t.Fatal("corrupt index accepted")
+	}
+	// the pristine copy still reads fine
+	if _, err := ReadBinary(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("baseline read failed: %v", err)
+	}
+}
+
+func TestBinaryHeaderSanityCap(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(binaryMagic[:])
+	buf.Write([]byte{1, 0, 0, 0})             // version
+	buf.Write(bytes.Repeat([]byte{0xFF}, 24)) // absurd rows/features/nnz
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("absurd header accepted")
+	}
+}
+
+func TestReadBinaryChunks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.bin")
+	orig := Generate(SyntheticConfig{NumRows: 257, NumFeatures: 120, AvgNNZ: 9, Seed: 27, Zipf: 1.2})
+	if err := WriteBinaryFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	for _, chunkRows := range []int{1, 7, 100, 257, 1000} {
+		covered := 0
+		err := ReadBinaryChunks(path, chunkRows, func(lo, hi int, chunk *Dataset) error {
+			if lo != covered {
+				t.Fatalf("chunkRows=%d: gap at %d", chunkRows, lo)
+			}
+			covered = hi
+			if err := chunk.Validate(); err != nil {
+				return err
+			}
+			if chunk.NumFeatures != orig.NumFeatures {
+				t.Fatalf("chunk features %d", chunk.NumFeatures)
+			}
+			for i := 0; i < chunk.NumRows(); i++ {
+				want := orig.Row(lo + i)
+				got := chunk.Row(i)
+				if got.Label != want.Label || !reflect.DeepEqual(got.Indices, want.Indices) {
+					t.Fatalf("chunkRows=%d: row %d differs", chunkRows, lo+i)
+				}
+				for j := range want.Values {
+					if got.Values[j] != want.Values[j] {
+						t.Fatalf("chunkRows=%d: row %d value %d differs", chunkRows, lo+i, j)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("chunkRows=%d: %v", chunkRows, err)
+		}
+		if covered != 257 {
+			t.Fatalf("chunkRows=%d: covered %d rows", chunkRows, covered)
+		}
+	}
+}
+
+func TestReadBinaryChunksErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.bin")
+	orig := Generate(SyntheticConfig{NumRows: 20, NumFeatures: 10, AvgNNZ: 3, Seed: 29})
+	if err := WriteBinaryFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadBinaryChunks(path, 0, nil); err == nil {
+		t.Fatal("chunkRows=0 should fail")
+	}
+	if err := ReadBinaryChunks(path+".missing", 5, nil); err == nil {
+		t.Fatal("missing file should fail")
+	}
+	// callback error propagates and stops iteration
+	calls := 0
+	sentinel := os.ErrClosed
+	err := ReadBinaryChunks(path, 5, func(lo, hi int, chunk *Dataset) error {
+		calls++
+		return sentinel
+	})
+	if err != sentinel || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestBinarySmallerThanLibSVM(t *testing.T) {
+	d := Generate(SyntheticConfig{NumRows: 500, NumFeatures: 1000, AvgNNZ: 20, Seed: 31, Zipf: 1.3})
+	var bin, svm bytes.Buffer
+	if err := WriteBinary(&bin, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteLibSVM(&svm, d); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= svm.Len() {
+		t.Fatalf("binary %d bytes >= libsvm %d bytes", bin.Len(), svm.Len())
+	}
+}

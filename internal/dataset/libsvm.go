@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadLibSVM parses a dataset in LibSVM format:
+//
+//	<label> <index>:<value> <index>:<value> ...
+//
+// Indices in the file are 1-based (the LibSVM convention) and are converted
+// to 0-based. Lines that are empty or start with '#' are skipped. If
+// numFeatures is 0 the dimensionality is inferred.
+func ReadLibSVM(r io.Reader, numFeatures int) (*Dataset, error) {
+	b := NewBuilder(numFeatures)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var indices []int32
+	var values []float32
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		label, err := strconv.ParseFloat(fields[0], 32)
+		if err != nil {
+			return nil, fmt.Errorf("libsvm: line %d: bad label %q: %v", lineNo, fields[0], err)
+		}
+		indices = indices[:0]
+		values = values[:0]
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon < 0 {
+				return nil, fmt.Errorf("libsvm: line %d: malformed pair %q", lineNo, f)
+			}
+			idx, err := strconv.Atoi(f[:colon])
+			if err != nil || idx < 1 {
+				return nil, fmt.Errorf("libsvm: line %d: bad index %q", lineNo, f[:colon])
+			}
+			v, err := strconv.ParseFloat(f[colon+1:], 32)
+			if err != nil {
+				return nil, fmt.Errorf("libsvm: line %d: bad value %q: %v", lineNo, f[colon+1:], err)
+			}
+			indices = append(indices, int32(idx-1))
+			values = append(values, float32(v))
+		}
+		if err := b.Add(indices, values, float32(label)); err != nil {
+			return nil, fmt.Errorf("libsvm: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+// ReadLibSVMFile reads a LibSVM file from disk.
+func ReadLibSVMFile(path string, numFeatures int) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadLibSVM(f, numFeatures)
+}
+
+// WriteLibSVM writes the dataset in LibSVM format with 1-based indices.
+func WriteLibSVM(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < d.NumRows(); i++ {
+		in := d.Row(i)
+		if _, err := fmt.Fprintf(bw, "%g", in.Label); err != nil {
+			return err
+		}
+		for j, idx := range in.Indices {
+			if _, err := fmt.Fprintf(bw, " %d:%g", idx+1, in.Values[j]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteLibSVMFile writes a LibSVM file to disk.
+func WriteLibSVMFile(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteLibSVM(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadLibSVMBasic(t *testing.T) {
+	in := `1 1:0.5 3:2
+# comment line
+
+0 2:-1.25
+1
+`
+	d, err := ReadLibSVM(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", d.NumRows())
+	}
+	if d.NumFeatures != 3 {
+		t.Fatalf("features = %d, want 3 (inferred)", d.NumFeatures)
+	}
+	if got := d.Row(0).Feature(0); got != 0.5 {
+		t.Errorf("row0 f0 = %v, want 0.5 (1-based conversion)", got)
+	}
+	if got := d.Row(0).Feature(2); got != 2 {
+		t.Errorf("row0 f2 = %v, want 2", got)
+	}
+	if got := d.Row(1).Feature(1); got != -1.25 {
+		t.Errorf("row1 f1 = %v", got)
+	}
+	if d.Row(2).NNZ() != 0 {
+		t.Errorf("label-only row should have no features")
+	}
+	if d.Labels[0] != 1 || d.Labels[1] != 0 || d.Labels[2] != 1 {
+		t.Errorf("labels = %v", d.Labels)
+	}
+}
+
+func TestReadLibSVMExplicitNumFeatures(t *testing.T) {
+	d, err := ReadLibSVM(strings.NewReader("1 2:1\n"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumFeatures != 100 {
+		t.Fatalf("features = %d, want 100", d.NumFeatures)
+	}
+}
+
+func TestReadLibSVMErrors(t *testing.T) {
+	for _, bad := range []string{
+		"x 1:1\n",     // bad label
+		"1 1\n",       // missing colon
+		"1 0:1\n",     // 0-based index not allowed
+		"1 a:1\n",     // non-numeric index
+		"1 1:zzz\n",   // bad value
+		"1 2:1 1:2\n", // unsorted
+	} {
+		if _, err := ReadLibSVM(strings.NewReader(bad), 0); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestLibSVMRoundTrip(t *testing.T) {
+	orig := Generate(SyntheticConfig{NumRows: 50, NumFeatures: 200, AvgNNZ: 10, Seed: 5, Zipf: 1.2})
+	var buf bytes.Buffer
+	if err := WriteLibSVM(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLibSVM(&buf, orig.NumFeatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig.RowPtr, back.RowPtr) ||
+		!reflect.DeepEqual(orig.Indices, back.Indices) ||
+		!reflect.DeepEqual(orig.Labels, back.Labels) {
+		t.Fatal("libsvm round trip changed structure")
+	}
+	for i := range orig.Values {
+		if orig.Values[i] != back.Values[i] {
+			t.Fatalf("value %d: %v vs %v", i, orig.Values[i], back.Values[i])
+		}
+	}
+}
+
+func TestLibSVMFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.libsvm")
+	orig := Generate(SyntheticConfig{NumRows: 10, NumFeatures: 30, AvgNNZ: 4, Seed: 9})
+	if err := WriteLibSVMFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLibSVMFile(path, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != orig.NumRows() || back.NNZ() != orig.NNZ() {
+		t.Fatal("file round trip lost data")
+	}
+	if _, err := ReadLibSVMFile(filepath.Join(t.TempDir(), "missing"), 0); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

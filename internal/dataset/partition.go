@@ -1,0 +1,44 @@
+package dataset
+
+// PartitionRows splits the dataset into w contiguous row shards of
+// near-equal size, one per worker (the paper's "Data Partitioning" step).
+// When NumRows < w some shards are empty but w shards are always returned,
+// so worker counts remain stable.
+func PartitionRows(d *Dataset, w int) []*Dataset {
+	if w <= 0 {
+		panic("dataset: worker count must be positive")
+	}
+	shards := make([]*Dataset, w)
+	n := d.NumRows()
+	base, rem := n/w, n%w
+	lo := 0
+	for i := 0; i < w; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		shards[i] = d.Subset(lo, lo+sz)
+		lo += sz
+	}
+	return shards
+}
+
+// ShardRange reports the [lo, hi) global row range of shard i out of w, using
+// the same assignment as PartitionRows. It lets distributed workers map local
+// row ids back to global ids without materializing shards.
+func ShardRange(numRows, w, i int) (lo, hi int) {
+	base, rem := numRows/w, numRows%w
+	lo = base*i + min(i, rem)
+	sz := base
+	if i < rem {
+		sz++
+	}
+	return lo, lo + sz
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

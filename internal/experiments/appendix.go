@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"dimboost/internal/compress"
+)
+
+// A1Row is one bit-width measurement of the quantization study.
+type A1Row struct {
+	Bits         uint
+	MeanBias     float64 // |E[decode] − value| averaged over probes
+	WorstStep    float64 // worst-case one-shot error bound
+	CompressionX float64 // ratio vs float32
+}
+
+// A1 empirically verifies Appendix A.1: the stochastic fixed-point
+// compressor is unbiased — the expectation of a decoded histogram entry
+// equals the original — at every supported bit width, while the worst-case
+// one-shot error shrinks as 2^-(d-1).
+func A1(w io.Writer) []A1Row {
+	rng := rand.New(rand.NewSource(71))
+	values := make([]float64, 64)
+	for i := range values {
+		values[i] = rng.NormFloat64() * 10
+	}
+	const trials = 3000
+
+	section(w, "Appendix A.1 — unbiasedness of low-precision gradient histograms")
+	fmt.Fprintf(w, "%6s %14s %14s %14s\n", "bits", "mean |bias|", "max step", "compression")
+	var out []A1Row
+	for _, bits := range compress.SupportedBits {
+		enc := compress.NewEncoder(72)
+		sums := make([]float64, len(values))
+		var step float64
+		for t := 0; t < trials; t++ {
+			c, err := enc.Encode(values, bits)
+			if err != nil {
+				panic(err)
+			}
+			step = c.MaxError()
+			for i, v := range compress.Decode(c) {
+				sums[i] += v
+			}
+		}
+		var bias float64
+		for i, v := range values {
+			bias += math.Abs(sums[i]/trials - v)
+		}
+		bias /= float64(len(values))
+		row := A1Row{Bits: bits, MeanBias: bias, WorstStep: step, CompressionX: 32 / float64(bits)}
+		out = append(out, row)
+		fmt.Fprintf(w, "%6d %14.6f %14.6f %13.1fx\n", bits, row.MeanBias, row.WorstStep, row.CompressionX)
+	}
+	fmt.Fprintln(w, "bias stays near zero at every width (E[q''] = q); only the variance grows as bits shrink.")
+	return out
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dimboost/internal/baselines"
+	"dimboost/internal/dataset"
+)
+
+// Fig1Row is one x-axis point of Figure 1.
+type Fig1Row struct {
+	Features int
+	XGBoost  time.Duration
+	DimBoost time.Duration
+}
+
+// Fig1 reproduces Figure 1: run time versus feature count for XGBoost and
+// DimBoost on Gender-shaped data. XGBoost's dense histogram construction
+// and full-histogram tree reduce make its cost grow with M; DimBoost's
+// sparsity-aware build is O(z·N + M) and its communication is compressed
+// and sharded, so its curve stays nearly flat.
+func Fig1(w io.Writer, scale Scale) ([]Fig1Row, error) {
+	rows := scale.rows(3_000)
+	cfg := expConfig()
+	cfg.NumTrees = 2
+	cfg.MaxDepth = 4
+
+	section(w, fmt.Sprintf("Figure 1 — run time vs #features (Gender-like, %d rows, w=4, modeled 1 GbE)", rows))
+	fmt.Fprintf(w, "%10s %14s %14s %9s\n", "#features", "XGBoost", "DimBoost", "ratio")
+	var out []Fig1Row
+	for _, m := range []int{5_000, 10_000, 20_000, 40_000} {
+		d := dataset.Generate(dataset.SyntheticConfig{
+			NumRows: rows, NumFeatures: m, AvgNNZ: 107, NoiseStd: 0.3, Zipf: 1.4, Seed: int64(m),
+		})
+		_, xgb, err := baselines.Train(d, baselines.Options{Core: cfg, System: baselines.XGBoostStyle, Workers: 4})
+		if err != nil {
+			return nil, err
+		}
+		_, dim, err := baselines.Train(d, baselines.Options{Core: cfg, System: baselines.DimBoostStyle, Workers: 4})
+		if err != nil {
+			return nil, err
+		}
+		row := Fig1Row{Features: m, XGBoost: xgb.ModeledTotalTime, DimBoost: dim.ModeledTotalTime}
+		out = append(out, row)
+		fmt.Fprintf(w, "%10d %14s %14s %8.1fx\n", m, fmtDur(row.XGBoost), fmtDur(row.DimBoost),
+			float64(row.XGBoost)/float64(row.DimBoost))
+	}
+	fmt.Fprintln(w, "paper shape: XGBoost's curve rises steeply with dimensionality; DimBoost's stays flat.")
+	return out, nil
+}

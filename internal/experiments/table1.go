@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dimboost/internal/simnet"
+)
+
+// Table1Row is one (system, workers) cell of the communication cost model.
+type Table1Row struct {
+	System    simnet.System
+	Workers   int
+	Steps     int
+	PaperCost float64 // closed form of Table 1, seconds
+	SimCost   float64 // schedule simulation, seconds
+}
+
+// Table1 reproduces Table 1: the communication cost of aggregating one
+// gradient histogram under each system's collective, both as the paper's
+// closed forms and as a discrete simulation of the actual communication
+// schedules (which also drive the live implementations in internal/comm).
+// The histogram size is the paper's GradHist row for the Gender dataset:
+// h = 2·K·M·σ·4 bytes with K=20, M=330K, σ=1 ≈ 52.8 MB.
+func Table1(w io.Writer) []Table1Row {
+	params := simnet.GigabitEthernet()
+	const h = 2 * 20 * 330_000 * 4 // bytes
+
+	section(w, "Table 1 — communication cost of histogram aggregation (h = 52.8 MB, 1 GbE)")
+	fmt.Fprintf(w, "%-10s %8s %7s %14s %14s\n", "system", "workers", "steps", "paper model", "simulated")
+	var rows []Table1Row
+	for _, workers := range []int{4, 8, 16, 32, 50, 64} {
+		for _, sys := range simnet.Systems {
+			sched := simnet.ScheduleFor(sys, workers, h)
+			row := Table1Row{
+				System:    sys,
+				Workers:   workers,
+				Steps:     sched.NumRounds(),
+				PaperCost: simnet.PaperCost(sys, workers, h, params),
+				SimCost:   simnet.Evaluate(sched, params),
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(w, "%-10s %8d %7d %13.3fs %13.3fs\n",
+				row.System, row.Workers, row.Steps, row.PaperCost, row.SimCost)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "paper shape: DimBoost ≈ LightGBM(pow2) < XGBoost < MLlib for large h;")
+	fmt.Fprintln(w, "LightGBM doubles off powers of two (w = 50).")
+	return rows
+}

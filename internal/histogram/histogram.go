@@ -1,0 +1,157 @@
+// Package histogram implements gradient histograms — the central data
+// structure of GBDT training (§2.2) — and the paper's two computation
+// optimizations: sparsity-aware construction (Algorithm 2, §5.1) and
+// parallel batch construction over a node-to-instance index (§5.2).
+//
+// A histogram summarizes, for every (sampled) feature and every split-
+// candidate bucket, the sums of first-order (G) and second-order (H)
+// gradients of the instances whose feature value falls in the bucket.
+package histogram
+
+import (
+	"fmt"
+
+	"dimboost/internal/sketch"
+)
+
+// Layout maps a sampled feature set to a flat bucket array. It is immutable
+// after construction and shared by every histogram of a tree.
+type Layout struct {
+	// Features lists the sampled global feature ids in ascending order.
+	Features []int32
+	// Cands holds the split candidates of each sampled feature, parallel to
+	// Features.
+	Cands []sketch.Candidates
+	// Offsets[p] is the index of the first bucket of sampled feature p in
+	// the flat arrays; Offsets[len(Features)] == TotalBuckets.
+	Offsets []int32
+	// TotalBuckets is the flat array length.
+	TotalBuckets int
+
+	// posOf maps a global feature id to its position in Features, or -1.
+	posOf []int32
+}
+
+// NewLayout builds a layout for the given sampled features. cands must be
+// indexed by global feature id and numFeatures is the global dimensionality.
+// features must be sorted ascending and duplicate-free.
+func NewLayout(features []int32, cands []sketch.Candidates, numFeatures int) (*Layout, error) {
+	l := &Layout{
+		Features: features,
+		Cands:    make([]sketch.Candidates, len(features)),
+		Offsets:  make([]int32, len(features)+1),
+		posOf:    make([]int32, numFeatures),
+	}
+	for i := range l.posOf {
+		l.posOf[i] = -1
+	}
+	off := int32(0)
+	prev := int32(-1)
+	for p, f := range features {
+		if f <= prev || int(f) >= numFeatures {
+			return nil, fmt.Errorf("histogram: bad sampled feature %d at position %d", f, p)
+		}
+		prev = f
+		l.Cands[p] = cands[f]
+		l.Offsets[p] = off
+		l.posOf[f] = int32(p)
+		off += int32(cands[f].NumBuckets())
+	}
+	l.Offsets[len(features)] = off
+	l.TotalBuckets = int(off)
+	return l, nil
+}
+
+// AllFeatures returns the identity feature list [0, numFeatures), the σ=1
+// case.
+func AllFeatures(numFeatures int) []int32 {
+	out := make([]int32, numFeatures)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// NumFeatures returns the number of sampled features.
+func (l *Layout) NumFeatures() int { return len(l.Features) }
+
+// Pos returns the sampled position of global feature f, or -1 when f is not
+// sampled.
+func (l *Layout) Pos(f int32) int32 { return l.posOf[f] }
+
+// BucketRange returns the flat [lo, hi) bucket range of sampled position p.
+func (l *Layout) BucketRange(p int) (lo, hi int) {
+	return int(l.Offsets[p]), int(l.Offsets[p+1])
+}
+
+// SizeBytes returns the float32 wire size of one histogram under this
+// layout: 2 statistics × TotalBuckets × 4 bytes — the paper's h (§3).
+func (l *Layout) SizeBytes() int { return 2 * l.TotalBuckets * 4 }
+
+// Histogram is the G/H bucket arrays for one tree node under a Layout.
+type Histogram struct {
+	Layout *Layout
+	G, H   []float64
+}
+
+// New returns a zeroed histogram for the layout.
+func New(l *Layout) *Histogram {
+	return &Histogram{Layout: l, G: make([]float64, l.TotalBuckets), H: make([]float64, l.TotalBuckets)}
+}
+
+// Reset zeroes the histogram in place.
+func (h *Histogram) Reset() {
+	for i := range h.G {
+		h.G[i] = 0
+		h.H[i] = 0
+	}
+}
+
+// Add accumulates other into h. Both must share a layout shape.
+func (h *Histogram) Add(other *Histogram) {
+	for i, g := range other.G {
+		h.G[i] += g
+	}
+	for i, v := range other.H {
+		h.H[i] += v
+	}
+}
+
+// SetSub fills h with parent − child, the histogram-subtraction trick: a
+// split node's second child histogram equals its parent's minus its
+// sibling's, so only one child per split needs a data pass.
+func (h *Histogram) SetSub(parent, child *Histogram) {
+	for i := range h.G {
+		h.G[i] = parent.G[i] - child.G[i]
+	}
+	for i := range h.H {
+		h.H[i] = parent.H[i] - child.H[i]
+	}
+}
+
+// Clone returns a deep copy.
+func (h *Histogram) Clone() *Histogram {
+	c := New(h.Layout)
+	copy(c.G, h.G)
+	copy(c.H, h.H)
+	return c
+}
+
+// FeatureTotals sums the G and H buckets of sampled position p. By
+// construction (Algorithm 2 and the dense build alike) every feature's
+// buckets sum to the node totals, which is what lets a parameter-server
+// shard recover node statistics from its own feature range alone (§6.3).
+func (h *Histogram) FeatureTotals(p int) (g, hs float64) {
+	lo, hi := h.Layout.BucketRange(p)
+	for i := lo; i < hi; i++ {
+		g += h.G[i]
+		hs += h.H[i]
+	}
+	return
+}
+
+// Slice returns the flat bucket range [lo, hi) of the G and H arrays,
+// aliased, for shard extraction.
+func (h *Histogram) Slice(lo, hi int) (g, hs []float64) {
+	return h.G[lo:hi], h.H[lo:hi]
+}

@@ -1,0 +1,109 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dimboost/internal/dataset"
+	"dimboost/internal/sketch"
+)
+
+// TestQuickSparseEqualsDense drives the §5.1 equivalence over randomly
+// generated datasets, candidate counts, gradients, and row subsets.
+func TestQuickSparseEqualsDense(t *testing.T) {
+	f := func(seed int64, rowsRaw, featRaw, nnzRaw, kRaw uint8) bool {
+		rows := int(rowsRaw)%120 + 5
+		features := int(featRaw)%50 + 2
+		nnz := int(nnzRaw)%(features/2+1) + 1
+		k := int(kRaw)%15 + 2
+
+		d := dataset.Generate(dataset.SyntheticConfig{
+			NumRows: rows, NumFeatures: features, AvgNNZ: nnz, Seed: seed, Zipf: 1.2,
+		})
+		set := sketch.NewSet(features, 0.05)
+		set.AddDataset(d)
+		layout, err := NewLayout(AllFeatures(features), set.Candidates(k), features)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		grad := make([]float64, rows)
+		hess := make([]float64, rows)
+		for i := range grad {
+			grad[i] = rng.NormFloat64()
+			hess[i] = rng.Float64()
+		}
+		// random row subset
+		var sel []int32
+		for i := 0; i < rows; i++ {
+			if rng.Float64() < 0.7 {
+				sel = append(sel, int32(i))
+			}
+		}
+		hd, hs := New(layout), New(layout)
+		BuildDense(hd, d, sel, grad, hess)
+		BuildSparse(hs, d, sel, grad, hess)
+		for i := range hd.G {
+			if math.Abs(hd.G[i]-hs.G[i]) > 1e-9 || math.Abs(hd.H[i]-hs.H[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(99))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSubtractionIdentity: parent − left child == right child, for
+// random splits.
+func TestQuickSubtractionIdentity(t *testing.T) {
+	f := func(seed int64, pivotRaw uint8) bool {
+		const rows, features = 80, 20
+		d := dataset.Generate(dataset.SyntheticConfig{
+			NumRows: rows, NumFeatures: features, AvgNNZ: 6, Seed: seed, Zipf: 1.2,
+		})
+		set := sketch.NewSet(features, 0.05)
+		set.AddDataset(d)
+		layout, err := NewLayout(AllFeatures(features), set.Candidates(8), features)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed + 2))
+		grad := make([]float64, rows)
+		hess := make([]float64, rows)
+		for i := range grad {
+			grad[i] = rng.NormFloat64()
+			hess[i] = rng.Float64()
+		}
+		pivot := int32(pivotRaw)%rows + 1
+		var left, right, all []int32
+		for i := int32(0); i < rows; i++ {
+			all = append(all, i)
+			if i < pivot {
+				left = append(left, i)
+			} else {
+				right = append(right, i)
+			}
+		}
+		parent, lh, want := New(layout), New(layout), New(layout)
+		BuildSparse(parent, d, all, grad, hess)
+		BuildSparse(lh, d, left, grad, hess)
+		BuildSparse(want, d, right, grad, hess)
+		got := New(layout)
+		got.SetSub(parent, lh)
+		for i := range got.G {
+			if math.Abs(got.G[i]-want.G[i]) > 1e-9 || math.Abs(got.H[i]-want.H[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(98))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

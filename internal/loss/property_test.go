@@ -1,0 +1,110 @@
+package loss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteAUC counts concordant/discordant pairs directly — O(n²), the
+// definition of AUC.
+func bruteAUC(labels []float32, preds []float64) (float64, bool) {
+	var concordant, ties, pairs float64
+	for i := range labels {
+		for j := range labels {
+			if labels[i] == 1 && labels[j] == 0 {
+				pairs++
+				switch {
+				case preds[i] > preds[j]:
+					concordant++
+				case preds[i] == preds[j]:
+					ties++
+				}
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0, false
+	}
+	return (concordant + ties/2) / pairs, true
+}
+
+func TestAUCMatchesBruteForce(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%40 + 4
+		rng := rand.New(rand.NewSource(seed))
+		labels := make([]float32, n)
+		preds := make([]float64, n)
+		pos := 0
+		for i := range labels {
+			if rng.Float64() < 0.5 {
+				labels[i] = 1
+				pos++
+			}
+			// quantized scores so ties actually occur
+			preds[i] = float64(rng.Intn(6)) / 2
+		}
+		if pos == 0 || pos == n {
+			return true // AUC undefined; covered elsewhere
+		}
+		want, ok := bruteAUC(labels, preds)
+		if !ok {
+			return true
+		}
+		got, err := AUC(labels, preds)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-want) < 1e-12
+	}
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogLossConvexityInPrediction(t *testing.T) {
+	// property: logistic loss is convex in pred — midpoint below average
+	f := New(Logistic)
+	check := func(aRaw, bRaw float64, label bool) bool {
+		a := math.Mod(aRaw, 10)
+		b := math.Mod(bRaw, 10)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		y := 0.0
+		if label {
+			y = 1
+		}
+		mid := f.Loss(y, (a+b)/2)
+		avg := (f.Loss(y, a) + f.Loss(y, b)) / 2
+		return mid <= avg+1e-12
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(13))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewtonStepReducesLoss(t *testing.T) {
+	// property: one Newton step pred - g/h decreases logistic loss
+	f := New(Logistic)
+	check := func(predRaw float64, label bool) bool {
+		pred := math.Mod(predRaw, 8)
+		if math.IsNaN(pred) {
+			return true
+		}
+		y := 0.0
+		if label {
+			y = 1
+		}
+		g, h := f.Gradients(y, pred)
+		next := pred - g/h
+		return f.Loss(y, next) <= f.Loss(y, pred)+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(14))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

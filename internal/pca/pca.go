@@ -1,0 +1,371 @@
+// Package pca implements randomized principal component analysis on sparse
+// datasets, the dimension-reduction substrate of the paper's Table 6
+// experiment (Spark MLlib's PCA in the original): project a high-dimensional
+// sparse dataset onto its top-k principal directions and train GBDT on the
+// reduced dense data.
+//
+// The algorithm is the standard randomized range finder with power
+// iterations (Halko-Martinsson-Tropp): Y = (A−1μᵀ)Ω, a few subspace
+// iterations with re-orthonormalization, then an exact eigendecomposition of
+// the small projected Gram matrix via cyclic Jacobi.
+package pca
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dimboost/internal/dataset"
+)
+
+// Result holds a fitted PCA model.
+type Result struct {
+	// K is the number of components.
+	K int
+	// Mean is the per-feature mean (length M).
+	Mean []float64
+	// Components holds the principal directions row-major: component c is
+	// Components[c*M : (c+1)*M], unit length, mutually orthogonal.
+	Components []float64
+	// Variance is the explained variance per component, descending.
+	Variance []float64
+
+	m int
+}
+
+// Options tune the randomized algorithm.
+type Options struct {
+	// Oversample adds extra random probes beyond K (default 8).
+	Oversample int
+	// PowerIters is the number of subspace iterations (default 2).
+	PowerIters int
+	// Seed drives the random test matrix.
+	Seed int64
+}
+
+// Fit computes the top-k principal components of the dataset's feature
+// matrix.
+func Fit(d *dataset.Dataset, k int, opts Options) (*Result, error) {
+	n, m := d.NumRows(), d.NumFeatures
+	if k < 1 || k > m || k > n {
+		return nil, fmt.Errorf("pca: k=%d outside [1, min(%d,%d)]", k, n, m)
+	}
+	if opts.Oversample <= 0 {
+		opts.Oversample = 8
+	}
+	if opts.PowerIters <= 0 {
+		opts.PowerIters = 2
+	}
+	r := k + opts.Oversample
+	if r > n {
+		r = n
+	}
+	if r > m {
+		r = m
+	}
+	if r < k {
+		return nil, errors.New("pca: rank budget below k")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	mean := columnMeans(d)
+
+	// Y = Ac · Ω, with Ac = A − 1μᵀ applied implicitly.
+	omega := randn(rng, m*r)
+	y := centeredMul(d, mean, omega, r) // n×r
+	orthonormalize(y, n, r)
+	for it := 0; it < opts.PowerIters; it++ {
+		z := centeredMulT(d, mean, y, r) // m×r = Acᵀ·Y
+		orthonormalize(z, m, r)
+		y = centeredMul(d, mean, z, r)
+		orthonormalize(y, n, r)
+	}
+
+	// B = Yᵀ·Ac (r×m); G = B·Bᵀ (r×r) shares eigenvectors with the
+	// projected covariance.
+	b := centeredMulT(d, mean, y, r) // m×r, i.e. Bᵀ column-major by probe
+	g := gram(b, m, r)               // r×r
+	vals, vecs := jacobiEigen(g, r)
+
+	// Principal directions: columns of Bᵀ·U, normalized. Eigen pairs are
+	// sorted descending.
+	res := &Result{K: k, Mean: mean, Components: make([]float64, k*m), Variance: make([]float64, k), m: m}
+	for c := 0; c < k; c++ {
+		row := res.Components[c*m : (c+1)*m]
+		for j := 0; j < m; j++ {
+			var s float64
+			for t := 0; t < r; t++ {
+				s += b[j*r+t] * vecs[t*r+c]
+			}
+			row[j] = s
+		}
+		norm := 0.0
+		for _, v := range row {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm > 0 {
+			for j := range row {
+				row[j] /= norm
+			}
+		}
+		if n > 1 {
+			res.Variance[c] = vals[c] / float64(n-1)
+		} else {
+			res.Variance[c] = vals[c]
+		}
+	}
+	return res, nil
+}
+
+// Transform projects a dataset onto the fitted components, producing a dense
+// k-dimensional dataset with the original labels.
+func (r *Result) Transform(d *dataset.Dataset) (*dataset.Dataset, error) {
+	if d.NumFeatures != r.m {
+		return nil, fmt.Errorf("pca: dataset has %d features, model fitted on %d", d.NumFeatures, r.m)
+	}
+	// Precompute component·mean offsets so sparse rows project in O(nnz·k).
+	offsets := make([]float64, r.K)
+	for c := 0; c < r.K; c++ {
+		row := r.Components[c*r.m : (c+1)*r.m]
+		var s float64
+		for j, mu := range r.Mean {
+			s += row[j] * mu
+		}
+		offsets[c] = s
+	}
+	b := dataset.NewBuilder(r.K)
+	proj := make([]float32, r.K)
+	for i := 0; i < d.NumRows(); i++ {
+		in := d.Row(i)
+		for c := 0; c < r.K; c++ {
+			row := r.Components[c*r.m : (c+1)*r.m]
+			s := -offsets[c]
+			for j, f := range in.Indices {
+				s += row[f] * float64(in.Values[j])
+			}
+			proj[c] = float32(s)
+		}
+		b.AddDense(proj, in.Label)
+	}
+	return b.Build(), nil
+}
+
+// columnMeans returns the per-feature means of the sparse matrix.
+func columnMeans(d *dataset.Dataset) []float64 {
+	mean := make([]float64, d.NumFeatures)
+	for i := 0; i < d.NumRows(); i++ {
+		in := d.Row(i)
+		for j, f := range in.Indices {
+			mean[f] += float64(in.Values[j])
+		}
+	}
+	inv := 1.0 / float64(d.NumRows())
+	for j := range mean {
+		mean[j] *= inv
+	}
+	return mean
+}
+
+func randn(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+// centeredMul computes (A − 1μᵀ)·W for W m×r row-major; result n×r.
+func centeredMul(d *dataset.Dataset, mean, w []float64, r int) []float64 {
+	n := d.NumRows()
+	out := make([]float64, n*r)
+	muW := make([]float64, r) // μᵀ·W
+	for j, mu := range mean {
+		if mu == 0 {
+			continue
+		}
+		row := w[j*r : (j+1)*r]
+		for c := 0; c < r; c++ {
+			muW[c] += mu * row[c]
+		}
+	}
+	for i := 0; i < n; i++ {
+		dst := out[i*r : (i+1)*r]
+		copy(dst, muW)
+		for c := range dst {
+			dst[c] = -dst[c]
+		}
+		in := d.Row(i)
+		for j, f := range in.Indices {
+			v := float64(in.Values[j])
+			row := w[int(f)*r : int(f+1)*r]
+			for c := 0; c < r; c++ {
+				dst[c] += v * row[c]
+			}
+		}
+	}
+	return out
+}
+
+// centeredMulT computes (A − 1μᵀ)ᵀ·Y for Y n×r row-major; result m×r.
+func centeredMulT(d *dataset.Dataset, mean, y []float64, r int) []float64 {
+	n, m := d.NumRows(), len(mean)
+	out := make([]float64, m*r)
+	colSum := make([]float64, r) // 1ᵀ·Y
+	for i := 0; i < n; i++ {
+		row := y[i*r : (i+1)*r]
+		for c := 0; c < r; c++ {
+			colSum[c] += row[c]
+		}
+		in := d.Row(i)
+		for j, f := range in.Indices {
+			v := float64(in.Values[j])
+			dst := out[int(f)*r : int(f+1)*r]
+			for c := 0; c < r; c++ {
+				dst[c] += v * row[c]
+			}
+		}
+	}
+	for j, mu := range mean {
+		if mu == 0 {
+			continue
+		}
+		dst := out[j*r : (j+1)*r]
+		for c := 0; c < r; c++ {
+			dst[c] -= mu * colSum[c]
+		}
+	}
+	return out
+}
+
+// orthonormalize runs modified Gram-Schmidt on the r columns of the n×r
+// row-major matrix in place. Degenerate columns are replaced with zeros.
+func orthonormalize(a []float64, n, r int) {
+	for c := 0; c < r; c++ {
+		for prev := 0; prev < c; prev++ {
+			var dot float64
+			for i := 0; i < n; i++ {
+				dot += a[i*r+c] * a[i*r+prev]
+			}
+			for i := 0; i < n; i++ {
+				a[i*r+c] -= dot * a[i*r+prev]
+			}
+		}
+		var norm float64
+		for i := 0; i < n; i++ {
+			norm += a[i*r+c] * a[i*r+c]
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			for i := 0; i < n; i++ {
+				a[i*r+c] = 0
+			}
+			continue
+		}
+		for i := 0; i < n; i++ {
+			a[i*r+c] /= norm
+		}
+	}
+}
+
+// gram computes BᵀB for the m×r row-major matrix b — the r×r projected Gram
+// matrix.
+func gram(b []float64, m, r int) []float64 {
+	g := make([]float64, r*r)
+	for i := 0; i < m; i++ {
+		row := b[i*r : (i+1)*r]
+		for a := 0; a < r; a++ {
+			va := row[a]
+			if va == 0 {
+				continue
+			}
+			for c := a; c < r; c++ {
+				g[a*r+c] += va * row[c]
+			}
+		}
+	}
+	for a := 0; a < r; a++ {
+		for c := 0; c < a; c++ {
+			g[a*r+c] = g[c*r+a]
+		}
+	}
+	return g
+}
+
+// jacobiEigen diagonalizes a symmetric r×r matrix with the cyclic Jacobi
+// method, returning eigenvalues and row-major eigenvectors (columns are
+// eigenvectors), sorted by descending eigenvalue.
+func jacobiEigen(a []float64, r int) (vals []float64, vecs []float64) {
+	v := make([]float64, r*r)
+	for i := 0; i < r; i++ {
+		v[i*r+i] = 1
+	}
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < r; i++ {
+			for j := i + 1; j < r; j++ {
+				off += a[i*r+j] * a[i*r+j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < r-1; p++ {
+			for q := p + 1; q < r; q++ {
+				apq := a[p*r+q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := a[p*r+p], a[q*r+q]
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for i := 0; i < r; i++ {
+					aip, aiq := a[i*r+p], a[i*r+q]
+					a[i*r+p] = c*aip - s*aiq
+					a[i*r+q] = s*aip + c*aiq
+				}
+				for i := 0; i < r; i++ {
+					api, aqi := a[p*r+i], a[q*r+i]
+					a[p*r+i] = c*api - s*aqi
+					a[q*r+i] = s*api + c*aqi
+				}
+				for i := 0; i < r; i++ {
+					vip, viq := v[i*r+p], v[i*r+q]
+					v[i*r+p] = c*vip - s*viq
+					v[i*r+q] = s*vip + c*viq
+				}
+			}
+		}
+	}
+	vals = make([]float64, r)
+	for i := 0; i < r; i++ {
+		vals[i] = a[i*r+i]
+	}
+	// sort descending, permuting eigenvector columns alongside
+	order := make([]int, r)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < r; i++ {
+		best := i
+		for j := i + 1; j < r; j++ {
+			if vals[order[j]] > vals[order[best]] {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	sortedVals := make([]float64, r)
+	sortedVecs := make([]float64, r*r)
+	for c, o := range order {
+		sortedVals[c] = vals[o]
+		for i := 0; i < r; i++ {
+			sortedVecs[i*r+c] = v[i*r+o]
+		}
+	}
+	return sortedVals, sortedVecs
+}

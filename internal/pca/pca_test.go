@@ -1,0 +1,199 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dimboost/internal/dataset"
+)
+
+// lowRankData builds an n×m dataset of known rank plus small noise.
+func lowRankData(t *testing.T, n, m, rank int, noise float64, seed int64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	u := make([][]float64, n)
+	v := make([][]float64, rank)
+	for c := 0; c < rank; c++ {
+		v[c] = make([]float64, m)
+		for j := range v[c] {
+			v[c][j] = rng.NormFloat64()
+		}
+	}
+	b := dataset.NewBuilder(m)
+	row := make([]float32, m)
+	for i := 0; i < n; i++ {
+		u[i] = make([]float64, rank)
+		for c := range u[i] {
+			// decaying component strengths
+			u[i][c] = rng.NormFloat64() * float64(rank-c)
+		}
+		for j := 0; j < m; j++ {
+			var s float64
+			for c := 0; c < rank; c++ {
+				s += u[i][c] * v[c][j]
+			}
+			row[j] = float32(s + rng.NormFloat64()*noise)
+		}
+		b.AddDense(row, float32(i%2))
+	}
+	return b.Build()
+}
+
+func TestFitRecoversRank(t *testing.T) {
+	d := lowRankData(t, 200, 40, 3, 0.01, 1)
+	res, err := Fit(d, 6, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// first 3 components dominate the variance
+	top := res.Variance[0] + res.Variance[1] + res.Variance[2]
+	tail := res.Variance[3] + res.Variance[4] + res.Variance[5]
+	if tail > top*0.01 {
+		t.Fatalf("variance not concentrated: top3 %v, next3 %v", top, tail)
+	}
+	// variance must be non-increasing
+	for c := 1; c < res.K; c++ {
+		if res.Variance[c] > res.Variance[c-1]+1e-9 {
+			t.Fatalf("variance not sorted at %d", c)
+		}
+	}
+}
+
+func TestComponentsOrthonormal(t *testing.T) {
+	d := lowRankData(t, 150, 30, 5, 0.1, 3)
+	res, err := Fit(d, 5, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.NumFeatures
+	for a := 0; a < res.K; a++ {
+		ra := res.Components[a*m : (a+1)*m]
+		for b := a; b < res.K; b++ {
+			rb := res.Components[b*m : (b+1)*m]
+			var dot float64
+			for j := range ra {
+				dot += ra[j] * rb[j]
+			}
+			want := 0.0
+			if a == b {
+				want = 1.0
+			}
+			if math.Abs(dot-want) > 1e-6 {
+				t.Fatalf("components %d,%d dot %v, want %v", a, b, dot, want)
+			}
+		}
+	}
+}
+
+func TestTransformCapturesVariance(t *testing.T) {
+	d := lowRankData(t, 200, 50, 4, 0.05, 5)
+	res, err := Fit(d, 4, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := res.Transform(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.NumRows() != d.NumRows() || red.NumFeatures != 4 {
+		t.Fatalf("reduced shape %dx%d", red.NumRows(), red.NumFeatures)
+	}
+	// labels preserved
+	for i := range red.Labels {
+		if red.Labels[i] != d.Labels[i] {
+			t.Fatal("labels changed")
+		}
+	}
+	// the projected variance should match the original total variance
+	// closely for near-rank-4 data
+	origVar := totalVariance(d.ToDense())
+	projVar := totalVariance(red.ToDense())
+	if projVar < 0.9*origVar {
+		t.Fatalf("projection kept %v of %v variance", projVar, origVar)
+	}
+}
+
+func totalVariance(rows [][]float32) float64 {
+	n := len(rows)
+	m := len(rows[0])
+	mean := make([]float64, m)
+	for _, r := range rows {
+		for j, v := range r {
+			mean[j] += float64(v)
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	var s float64
+	for _, r := range rows {
+		for j, v := range r {
+			d := float64(v) - mean[j]
+			s += d * d
+		}
+	}
+	return s / float64(n-1)
+}
+
+func TestSparseInput(t *testing.T) {
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 300, NumFeatures: 500, AvgNNZ: 20, Seed: 7, Zipf: 1.3})
+	res, err := Fit(d, 10, Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := res.Transform(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := red.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if red.NumFeatures != 10 {
+		t.Fatalf("reduced to %d dims", red.NumFeatures)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	d := lowRankData(t, 20, 10, 2, 0.1, 9)
+	for _, k := range []int{0, 11, 21} {
+		if _, err := Fit(d, k, Options{}); err == nil {
+			t.Errorf("k=%d should fail", k)
+		}
+	}
+	res, _ := Fit(d, 2, Options{Seed: 1})
+	other := lowRankData(t, 5, 7, 2, 0.1, 10)
+	if _, err := res.Transform(other); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	d := lowRankData(t, 100, 20, 3, 0.05, 11)
+	a, err := Fit(d, 3, Options{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(d, 3, Options{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Components {
+		if a.Components[i] != b.Components[i] {
+			t.Fatal("same seed should give identical components")
+		}
+	}
+}
+
+func TestJacobiEigenKnownMatrix(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1
+	vals, vecs := jacobiEigen([]float64{2, 1, 1, 2}, 2)
+	if math.Abs(vals[0]-3) > 1e-10 || math.Abs(vals[1]-1) > 1e-10 {
+		t.Fatalf("eigenvalues %v", vals)
+	}
+	// eigenvector for 3 is (1,1)/√2 up to sign
+	if math.Abs(math.Abs(vecs[0*2+0])-1/math.Sqrt2) > 1e-10 ||
+		math.Abs(vecs[0*2+0]-vecs[1*2+0]) > 1e-10 {
+		t.Fatalf("eigenvector %v %v", vecs[0], vecs[2])
+	}
+}

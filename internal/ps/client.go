@@ -1,0 +1,364 @@
+package ps
+
+import (
+	"fmt"
+	"sync"
+
+	"dimboost/internal/compress"
+	"dimboost/internal/core"
+	"dimboost/internal/histogram"
+	"dimboost/internal/sketch"
+	"dimboost/internal/transport"
+	"dimboost/internal/wire"
+)
+
+// Client is a worker's view of the parameter-server fleet. It shards pushes
+// by the partition, fans pulls out to every server in parallel, and folds
+// two-phase split responses with core.BestOf. A Client is used by a single
+// worker goroutine; the compressor it owns is seeded per worker so
+// stochastic rounding is reproducible.
+type Client struct {
+	ep      transport.Endpoint
+	part    *Partition
+	servers []string
+	worker  int32
+
+	// Bits selects the compressed histogram width; 0 sends float32.
+	Bits uint
+	// Exact sends float64 buckets (twice the paper's wire size); used by
+	// tests needing bit-level agreement with single-process training.
+	Exact bool
+
+	enc *compress.Encoder
+}
+
+// NewClient binds a worker endpoint to the server fleet. serverNames is
+// indexed by server id.
+func NewClient(ep transport.Endpoint, part *Partition, serverNames []string, workerID int) *Client {
+	return &Client{
+		ep:      ep,
+		part:    part,
+		servers: serverNames,
+		worker:  int32(workerID),
+		enc:     compress.NewEncoder(int64(workerID) + 1),
+	}
+}
+
+// fanOut calls every server concurrently and collects responses in server
+// order.
+func (c *Client) fanOut(op uint8, body func(server int) []byte) ([]transport.Message, error) {
+	resps := make([]transport.Message, len(c.servers))
+	errs := make([]error, len(c.servers))
+	var wg sync.WaitGroup
+	for sv := range c.servers {
+		wg.Add(1)
+		go func(sv int) {
+			defer wg.Done()
+			b := body(sv)
+			if b == nil {
+				return
+			}
+			resps[sv], errs[sv] = c.ep.Call(c.servers[sv], transport.Message{Op: op, Body: b})
+		}(sv)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return resps, nil
+}
+
+// PushSketches sends each server the sketch summaries of the features it
+// owns (CREATE_SKETCH).
+func (c *Client) PushSketches(set *sketch.Set) error {
+	_, err := c.fanOut(OpPushSketch, func(sv int) []byte {
+		w := wire.NewWriter(1024)
+		w.Int32(c.worker)
+		count := 0
+		lenPos := w.Len()
+		w.Uint32(0) // patched below
+		for f := 0; f < set.NumFeatures(); f++ {
+			gk := set.Feature(f)
+			if gk == nil || c.part.ServerOf(int32(f)) != sv {
+				continue
+			}
+			values, gs, deltas := gk.Summary()
+			w.Int32(int32(f))
+			w.Float64s(values)
+			w.Uint64s(gs)
+			w.Uint64s(deltas)
+			count++
+		}
+		patchUint32(w.Bytes(), lenPos, uint32(count))
+		return w.Bytes()
+	})
+	return err
+}
+
+// patchUint32 overwrites a previously reserved length slot.
+func patchUint32(buf []byte, pos int, v uint32) {
+	buf[pos] = byte(v)
+	buf[pos+1] = byte(v >> 8)
+	buf[pos+2] = byte(v >> 16)
+	buf[pos+3] = byte(v >> 24)
+}
+
+// PullCandidates fetches every server's candidates and assembles the full
+// per-feature table (PULL_SKETCH). Features without data get the trivial
+// zero-cut candidate set.
+func (c *Client) PullCandidates(k int) ([]sketch.Candidates, error) {
+	req := func(int) []byte {
+		w := wire.NewWriter(4)
+		w.Uint32(uint32(k))
+		return w.Bytes()
+	}
+	resps, err := c.fanOut(OpPullCandidates, req)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sketch.Candidates, c.part.NumFeatures)
+	for f := range out {
+		out[f] = sketch.FromCuts([]float64{0})
+	}
+	for _, resp := range resps {
+		r := wire.NewReader(resp.Body)
+		n := int(r.Uint32())
+		for i := 0; i < n; i++ {
+			f := r.Int32()
+			cuts := r.Float64s()
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			out[f] = sketch.FromCuts(cuts)
+		}
+	}
+	return out, nil
+}
+
+// PushSampled stores the sampled feature list on every server; the leader
+// worker calls this once per tree.
+func (c *Client) PushSampled(features []int32) error {
+	_, err := c.fanOut(OpPushSampled, func(int) []byte {
+		w := wire.NewWriter(4 + 4*len(features))
+		w.Int32s(features)
+		return w.Bytes()
+	})
+	return err
+}
+
+// PullSampled fetches the sampled feature list from server 0.
+func (c *Client) PullSampled() ([]int32, error) {
+	resp, err := c.ep.Call(c.servers[0], transport.Message{Op: OpPullSampled})
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp.Body)
+	feats := r.Int32s()
+	return feats, r.Err()
+}
+
+// NewTree resets per-tree server state and installs the shard layouts.
+func (c *Client) NewTree(sampled []int32) error {
+	_, err := c.fanOut(OpNewTree, func(int) []byte {
+		w := wire.NewWriter(4 + 4*len(sampled))
+		w.Int32s(sampled)
+		return w.Bytes()
+	})
+	return err
+}
+
+// shardArrays extracts this server's bucket ranges from the worker's full
+// histogram, in the server's shard order (ascending feature id).
+func (c *Client) shardArrays(sv int, hist *histogram.Histogram) (g, h []float64) {
+	l := hist.Layout
+	mine := c.part.FeaturesOf(sv, l.Features)
+	for _, f := range mine {
+		p := l.Pos(f)
+		lo, hi := l.BucketRange(int(p))
+		g = append(g, hist.G[lo:hi]...)
+		h = append(h, hist.H[lo:hi]...)
+	}
+	return
+}
+
+// PushHistogram shards a node's local histogram across the fleet, applying
+// the configured low-precision compression (FIND_SPLIT, push half).
+func (c *Client) PushHistogram(node int, hist *histogram.Histogram) error {
+	// Encoding happens inside fanOut bodies, but the compressor is not
+	// concurrency-safe; precompute bodies serially.
+	bodies := make([][]byte, len(c.servers))
+	for sv := range c.servers {
+		g, h := c.shardArrays(sv, hist)
+		w := wire.NewWriter(16 + 8*len(g))
+		w.Int32(int32(node))
+		w.Int32(c.worker)
+		if c.Exact {
+			w.Uint8(FormatFloat64)
+			w.Float64s(g)
+			w.Float64s(h)
+		} else if c.Bits == 0 {
+			w.Uint8(FormatFloat32)
+			w.Float64sAs32(g)
+			w.Float64sAs32(h)
+		} else {
+			w.Uint8(FormatCompressed)
+			if err := writeCompressed(w, c.enc, g, c.Bits); err != nil {
+				return err
+			}
+			if err := writeCompressed(w, c.enc, h, c.Bits); err != nil {
+				return err
+			}
+		}
+		bodies[sv] = w.Bytes()
+	}
+	_, err := c.fanOut(OpPushHist, func(sv int) []byte { return bodies[sv] })
+	return err
+}
+
+func writeCompressed(w *wire.Writer, enc *compress.Encoder, vs []float64, bits uint) error {
+	comp, err := enc.Encode(vs, bits)
+	if err != nil {
+		return err
+	}
+	w.Uint8(uint8(comp.Bits))
+	w.Uint32(uint32(comp.N))
+	w.Float64(comp.MaxAbs)
+	w.Bytes32(comp.Data)
+	return nil
+}
+
+// SplitResult is a two-phase pull outcome: the global best split and the
+// node's gradient totals.
+type SplitResult struct {
+	Split     core.Split
+	NodeG     float64
+	NodeH     float64
+	HasTotals bool
+}
+
+// PullSplit asks every server for its shard-local best split and folds them
+// into the global best (two-phase split finding, §6.3).
+func (c *Client) PullSplit(node int, lambda, gamma, minChild float64) (SplitResult, error) {
+	req := func(int) []byte {
+		w := wire.NewWriter(32)
+		w.Int32(int32(node))
+		w.Float64(lambda)
+		w.Float64(gamma)
+		w.Float64(minChild)
+		return w.Bytes()
+	}
+	resps, err := c.fanOut(OpPullSplit, req)
+	if err != nil {
+		return SplitResult{}, err
+	}
+	var out SplitResult
+	for _, resp := range resps {
+		r := wire.NewReader(resp.Body)
+		rec := readSplitRecord(r)
+		if r.Err() != nil {
+			return SplitResult{}, r.Err()
+		}
+		if rec.Split.Better(out.Split) {
+			out.Split = rec.Split
+		}
+		if rec.HasTotals && !out.HasTotals {
+			out.NodeG, out.NodeH, out.HasTotals = rec.NodeG, rec.NodeH, true
+		}
+	}
+	return out, nil
+}
+
+// PullHistogram reassembles the full merged histogram from raw shards (the
+// two-phase-disabled path). layout must be the worker's full layout.
+func (c *Client) PullHistogram(node int, layout *histogram.Layout) (*histogram.Histogram, error) {
+	req := func(int) []byte {
+		w := wire.NewWriter(4)
+		w.Int32(int32(node))
+		return w.Bytes()
+	}
+	resps, err := c.fanOut(OpPullHistShard, req)
+	if err != nil {
+		return nil, err
+	}
+	hist := histogram.New(layout)
+	for sv, resp := range resps {
+		r := wire.NewReader(resp.Body)
+		g := r.Float64sFrom32()
+		h := r.Float64sFrom32()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		mine := c.part.FeaturesOf(sv, layout.Features)
+		off := 0
+		for _, f := range mine {
+			p := layout.Pos(f)
+			lo, hi := layout.BucketRange(int(p))
+			n := hi - lo
+			if off+n > len(g) {
+				return nil, fmt.Errorf("ps: shard from server %d too short", sv)
+			}
+			copy(hist.G[lo:hi], g[off:off+n])
+			copy(hist.H[lo:hi], h[off:off+n])
+			off += n
+		}
+		if off != len(g) {
+			return nil, fmt.Errorf("ps: shard from server %d has %d extra buckets", sv, len(g)-off)
+		}
+	}
+	return hist, nil
+}
+
+// PushSplitResult stores a node's global best split (plus its node totals,
+// needed by peers to weight unsplit leaves) on its owner server.
+func (c *Client) PushSplitResult(node int, res SplitResult) error {
+	w := wire.NewWriter(96)
+	w.Int32(int32(node))
+	writeSplitRecord(w, splitRecord{Split: res.Split, HasTotals: res.HasTotals, NodeG: res.NodeG, NodeH: res.NodeH})
+	owner := c.part.NodeOwner(node)
+	_, err := c.ep.Call(c.servers[owner], transport.Message{Op: OpPushSplitResult, Body: w.Bytes()})
+	return err
+}
+
+// PullSplitResults fetches the stored splits for a node set (SPLIT_TREE).
+// Nodes without a stored split are absent from the result map.
+func (c *Client) PullSplitResults(nodes []int) (map[int]SplitResult, error) {
+	byServer := make(map[int][]int32)
+	for _, n := range nodes {
+		owner := c.part.NodeOwner(n)
+		byServer[owner] = append(byServer[owner], int32(n))
+	}
+	out := make(map[int]SplitResult, len(nodes))
+	resps, err := c.fanOut(OpPullSplitResults, func(sv int) []byte {
+		ns := byServer[sv]
+		if len(ns) == 0 {
+			return nil // skip servers owning none of the nodes
+		}
+		w := wire.NewWriter(4 + 4*len(ns))
+		w.Int32s(ns)
+		return w.Bytes()
+	})
+	if err != nil {
+		return nil, err
+	}
+	for sv, resp := range resps {
+		if len(byServer[sv]) == 0 {
+			continue
+		}
+		r := wire.NewReader(resp.Body)
+		n := int(r.Uint32())
+		for i := 0; i < n; i++ {
+			node := r.Int32()
+			ok := r.Bool()
+			rec := readSplitRecord(r)
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			if ok {
+				out[int(node)] = SplitResult{Split: rec.Split, HasTotals: rec.HasTotals, NodeG: rec.NodeG, NodeH: rec.NodeH}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+// Package ps implements DimBoost's parameter server (§4): servers store
+// model shards — quantile sketches, split candidates, sampled features,
+// gradient histograms, and split results — partitioned over the feature
+// space with the paper's hybrid range-hash strategy (§4.3). Servers expose
+// push and pull with user-defined semantics; in particular the histogram
+// pull runs Algorithm 1 on the server's own shard and returns only a split
+// record, which is the server-side half of two-phase split finding (§6.3).
+package ps
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Partition maps features to parameter servers using range-hash
+// partitioning: the feature space [0, M) is cut into NumRanges contiguous
+// ranges and each range is hashed onto a server. Contiguous ranges keep
+// range queries (histogram shards) compact while hashing balances load.
+type Partition struct {
+	NumFeatures int
+	NumServers  int
+	NumRanges   int
+}
+
+// NewPartition builds a partition. numRanges < 1 defaults to 8 ranges per
+// server — more ranges than the paper's default of one per server, which
+// smooths the hash-assignment imbalance at the small server counts used on
+// a single machine.
+func NewPartition(numFeatures, numServers, numRanges int) (*Partition, error) {
+	if numFeatures < 1 || numServers < 1 {
+		return nil, fmt.Errorf("ps: bad partition %d features over %d servers", numFeatures, numServers)
+	}
+	if numRanges < 1 {
+		numRanges = 8 * numServers
+	}
+	if numRanges > numFeatures {
+		numRanges = numFeatures
+	}
+	return &Partition{NumFeatures: numFeatures, NumServers: numServers, NumRanges: numRanges}, nil
+}
+
+// rangeOf returns the range index of a feature. Ranges are the near-equal
+// contiguous blocks of the feature space.
+func (p *Partition) rangeOf(f int32) int {
+	base, rem := p.NumFeatures/p.NumRanges, p.NumFeatures%p.NumRanges
+	cut := rem * (base + 1)
+	if int(f) < cut {
+		return int(f) / (base + 1)
+	}
+	if base == 0 {
+		return p.NumRanges - 1
+	}
+	return rem + (int(f)-cut)/base
+}
+
+// RangeBounds returns the [lo, hi) feature bounds of range r.
+func (p *Partition) RangeBounds(r int) (lo, hi int32) {
+	base, rem := p.NumFeatures/p.NumRanges, p.NumFeatures%p.NumRanges
+	l := base*r + min(r, rem)
+	sz := base
+	if r < rem {
+		sz++
+	}
+	return int32(l), int32(l + sz)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// serverOfRange hashes a range index onto a server.
+func (p *Partition) serverOfRange(r int) int {
+	h := fnv.New32a()
+	var buf [4]byte
+	buf[0] = byte(r)
+	buf[1] = byte(r >> 8)
+	buf[2] = byte(r >> 16)
+	buf[3] = byte(r >> 24)
+	h.Write(buf[:])
+	return int(h.Sum32() % uint32(p.NumServers))
+}
+
+// ServerOf returns the server owning a feature.
+func (p *Partition) ServerOf(f int32) int {
+	if f < 0 || int(f) >= p.NumFeatures {
+		panic(fmt.Sprintf("ps: feature %d outside [0,%d)", f, p.NumFeatures))
+	}
+	return p.serverOfRange(p.rangeOf(f))
+}
+
+// FeaturesOf filters the sorted feature list down to those owned by the
+// given server, preserving order.
+func (p *Partition) FeaturesOf(server int, features []int32) []int32 {
+	var out []int32
+	for _, f := range features {
+		if p.ServerOf(f) == server {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// NodeOwner returns the server that stores the split result of a tree node.
+func (p *Partition) NodeOwner(node int) int { return node % p.NumServers }

@@ -1,0 +1,102 @@
+package ps
+
+import (
+	"dimboost/internal/core"
+	"dimboost/internal/wire"
+)
+
+// Operation codes of the parameter-server protocol. Workers are the
+// clients; servers answer. The master's barrier op lives in
+// internal/cluster.
+const (
+	// OpPushSketch merges worker-local quantile sketches into the server's
+	// shard (CREATE_SKETCH).
+	OpPushSketch uint8 = iota + 1
+	// OpPullCandidates returns the split candidates of the server's
+	// features (PULL_SKETCH).
+	OpPullCandidates
+	// OpPushSampled stores the leader's sampled feature list for the
+	// current tree (NEW_TREE).
+	OpPushSampled
+	// OpPullSampled returns the sampled feature list.
+	OpPullSampled
+	// OpNewTree resets per-tree state (histograms, splits) and builds the
+	// server's shard layout for the sampled features.
+	OpNewTree
+	// OpPushHist accumulates a worker's local histogram shard for one tree
+	// node (FIND_SPLIT, push half).
+	OpPushHist
+	// OpPullSplit runs Algorithm 1 on the server's shard and returns the
+	// local best split — the server-side phase of two-phase split finding.
+	OpPullSplit
+	// OpPullHistShard returns the server's merged raw shard; used when
+	// two-phase split finding is disabled (ablation).
+	OpPullHistShard
+	// OpPushSplitResult stores the global best split of a node.
+	OpPushSplitResult
+	// OpPullSplitResults returns the stored splits of a node set
+	// (SPLIT_TREE).
+	OpPullSplitResults
+)
+
+// Histogram wire formats.
+const (
+	// FormatFloat32 sends buckets as float32 — "full precision" in the
+	// paper's comparison (4 bytes per statistic).
+	FormatFloat32 uint8 = 0
+	// FormatCompressed sends low-precision fixed-point buckets (§6.1).
+	FormatCompressed uint8 = 1
+	// FormatFloat64 sends full float64 buckets; twice the bytes of the
+	// paper's format, used by tests that need bit-level reproducibility
+	// between distributed and single-process training.
+	FormatFloat64 uint8 = 2
+)
+
+// splitRecord is the two-phase split response: a candidate split plus the
+// node totals the server derived from its own shard.
+type splitRecord struct {
+	Split     core.Split
+	HasTotals bool
+	NodeG     float64
+	NodeH     float64
+}
+
+func writeSplit(w *wire.Writer, s core.Split) {
+	w.Bool(s.Found)
+	w.Int32(s.Feature)
+	w.Float64(s.Value)
+	w.Float64(s.Gain)
+	w.Float64(s.LeftG)
+	w.Float64(s.LeftH)
+	w.Float64(s.RightG)
+	w.Float64(s.RightH)
+}
+
+func readSplit(r *wire.Reader) core.Split {
+	var s core.Split
+	s.Found = r.Bool()
+	s.Feature = r.Int32()
+	s.Value = r.Float64()
+	s.Gain = r.Float64()
+	s.LeftG = r.Float64()
+	s.LeftH = r.Float64()
+	s.RightG = r.Float64()
+	s.RightH = r.Float64()
+	return s
+}
+
+func writeSplitRecord(w *wire.Writer, rec splitRecord) {
+	writeSplit(w, rec.Split)
+	w.Bool(rec.HasTotals)
+	w.Float64(rec.NodeG)
+	w.Float64(rec.NodeH)
+}
+
+func readSplitRecord(r *wire.Reader) splitRecord {
+	var rec splitRecord
+	rec.Split = readSplit(r)
+	rec.HasTotals = r.Bool()
+	rec.NodeG = r.Float64()
+	rec.NodeH = r.Float64()
+	return rec
+}

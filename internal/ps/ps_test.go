@@ -1,0 +1,417 @@
+package ps
+
+import (
+	"math"
+	"testing"
+
+	"dimboost/internal/core"
+	"dimboost/internal/dataset"
+	"dimboost/internal/histogram"
+	"dimboost/internal/sketch"
+	"dimboost/internal/transport"
+)
+
+func TestPartitionCoversAllFeatures(t *testing.T) {
+	for _, tc := range []struct{ m, p, r int }{
+		{100, 1, 0}, {100, 4, 0}, {330, 7, 0}, {10, 3, 5}, {5, 8, 0}, {1000, 50, 0},
+	} {
+		part, err := NewPartition(tc.m, tc.p, tc.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, tc.p)
+		for f := 0; f < tc.m; f++ {
+			sv := part.ServerOf(int32(f))
+			if sv < 0 || sv >= tc.p {
+				t.Fatalf("m=%d p=%d: feature %d on server %d", tc.m, tc.p, f, sv)
+			}
+			counts[sv]++
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total != tc.m {
+			t.Fatalf("m=%d p=%d: covered %d", tc.m, tc.p, total)
+		}
+	}
+}
+
+func TestPartitionRangesContiguous(t *testing.T) {
+	part, _ := NewPartition(101, 4, 7)
+	covered := 0
+	for r := 0; r < part.NumRanges; r++ {
+		lo, hi := part.RangeBounds(r)
+		if int(lo) != covered {
+			t.Fatalf("range %d starts at %d, want %d", r, lo, covered)
+		}
+		covered = int(hi)
+		// every feature in the range maps back to this range's server
+		sv := part.serverOfRange(r)
+		for f := lo; f < hi; f++ {
+			if part.ServerOf(f) != sv {
+				t.Fatalf("feature %d: server %d, range server %d", f, part.ServerOf(f), sv)
+			}
+		}
+	}
+	if covered != 101 {
+		t.Fatalf("ranges cover %d", covered)
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	// with the default 8 ranges/server, no server should be starved
+	part, _ := NewPartition(100_000, 10, 0)
+	counts := make([]int, 10)
+	for f := 0; f < 100_000; f++ {
+		counts[part.ServerOf(int32(f))]++
+	}
+	for sv, c := range counts {
+		if c == 0 {
+			t.Fatalf("server %d owns no features", sv)
+		}
+		if c > 40_000 {
+			t.Fatalf("server %d owns %d features — hash badly skewed", sv, c)
+		}
+	}
+}
+
+func TestPartitionErrorsAndPanics(t *testing.T) {
+	if _, err := NewPartition(0, 1, 0); err == nil {
+		t.Fatal("0 features should fail")
+	}
+	if _, err := NewPartition(10, 0, 0); err == nil {
+		t.Fatal("0 servers should fail")
+	}
+	part, _ := NewPartition(10, 2, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range feature should panic")
+		}
+	}()
+	part.ServerOf(10)
+}
+
+func TestFeaturesOfPreservesOrder(t *testing.T) {
+	part, _ := NewPartition(50, 3, 0)
+	all := make([]int32, 50)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	seen := 0
+	for sv := 0; sv < 3; sv++ {
+		fs := part.FeaturesOf(sv, all)
+		for i := 1; i < len(fs); i++ {
+			if fs[i] <= fs[i-1] {
+				t.Fatal("FeaturesOf not sorted")
+			}
+		}
+		seen += len(fs)
+	}
+	if seen != 50 {
+		t.Fatalf("FeaturesOf covered %d", seen)
+	}
+}
+
+// cluster is a test fixture: p servers and w clients over a MemNetwork.
+type psFixture struct {
+	net     *transport.MemNetwork
+	part    *Partition
+	servers []*Server
+	clients []*Client
+}
+
+func newFixture(t *testing.T, numFeatures, p, w int) *psFixture {
+	t.Helper()
+	net := transport.NewMemNetwork()
+	part, err := NewPartition(numFeatures, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &psFixture{net: net, part: part}
+	names := make([]string, p)
+	for i := 0; i < p; i++ {
+		names[i] = serverName(i)
+		ep, err := net.Endpoint(names[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(i, part, 0.02)
+		ep.Handle(srv.Handler())
+		fx.servers = append(fx.servers, srv)
+	}
+	for i := 0; i < w; i++ {
+		ep, err := net.Endpoint(workerName(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fx.clients = append(fx.clients, NewClient(ep, part, names, i))
+	}
+	return fx
+}
+
+func serverName(i int) string { return "server-" + string(rune('0'+i)) }
+func workerName(i int) string { return "worker-" + string(rune('0'+i)) }
+
+func TestSketchPushPullEndToEnd(t *testing.T) {
+	const m, p, w = 60, 3, 4
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 400, NumFeatures: m, AvgNNZ: 10, Seed: 3, Zipf: 1.2})
+	shards := dataset.PartitionRows(d, w)
+	fx := newFixture(t, m, p, w)
+
+	for i, c := range fx.clients {
+		set := sketch.NewSet(m, 0.02)
+		set.AddDataset(shards[i])
+		if err := c.PushSketches(set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for _, srv := range fx.servers {
+		total += srv.NumSketches()
+	}
+	// every feature with at least one nonzero has a sketch on exactly one server
+	whole := sketch.NewSet(m, 0.02)
+	whole.AddDataset(d)
+	want := 0
+	for f := 0; f < m; f++ {
+		if whole.Feature(f) != nil {
+			want++
+		}
+	}
+	if total != want {
+		t.Fatalf("servers hold %d sketches, want %d", total, want)
+	}
+
+	cands, err := fx.clients[0].PullCandidates(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != m {
+		t.Fatalf("candidates for %d features", len(cands))
+	}
+	ref := whole.Candidates(12)
+	for f := 0; f < m; f++ {
+		if whole.Feature(f) == nil {
+			if cands[f].NumBuckets() != 1 {
+				t.Fatalf("feature %d should be trivial", f)
+			}
+			continue
+		}
+		if cands[f].NumBuckets() < 1 || cands[f].NumBuckets() > ref[f].NumBuckets()+12 {
+			t.Fatalf("feature %d has implausible bucket count %d", f, cands[f].NumBuckets())
+		}
+		if cands[f].Cuts[cands[f].ZeroBucket] != 0 {
+			t.Fatalf("feature %d lost its zero bucket", f)
+		}
+	}
+}
+
+func TestSampledFeaturesRoundTrip(t *testing.T) {
+	fx := newFixture(t, 30, 2, 2)
+	feats := []int32{1, 5, 9, 22}
+	if err := fx.clients[0].PushSampled(feats); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fx.clients[1].PullSampled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(feats) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range feats {
+		if got[i] != feats[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+// buildDistributedHistograms pushes per-worker histograms for node 0 and
+// returns the worker-side union histogram and layout for comparison.
+func buildDistributedHistograms(t *testing.T, fx *psFixture, d *dataset.Dataset, bits uint) (*histogram.Histogram, *histogram.Layout) {
+	t.Helper()
+	m := d.NumFeatures
+	w := len(fx.clients)
+	shards := dataset.PartitionRows(d, w)
+	for i, c := range fx.clients {
+		set := sketch.NewSet(m, 0.02)
+		set.AddDataset(shards[i])
+		if err := c.PushSketches(set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cands, err := fx.clients[0].PullCandidates(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled := histogram.AllFeatures(m)
+	if err := fx.clients[0].NewTree(sampled); err != nil {
+		t.Fatal(err)
+	}
+	layout, err := histogram.NewLayout(sampled, cands, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	union := histogram.New(layout)
+	for i, c := range fx.clients {
+		c.Bits = bits
+		sh := shards[i]
+		grad := make([]float64, sh.NumRows())
+		hess := make([]float64, sh.NumRows())
+		rows := make([]int32, sh.NumRows())
+		for r := range rows {
+			rows[r] = int32(r)
+			grad[r] = math.Sin(float64(i*1000 + r))
+			hess[r] = 0.3 + 0.05*float64(r%4)
+		}
+		local := histogram.New(layout)
+		histogram.BuildSparse(local, sh, rows, grad, hess)
+		union.Add(local)
+		if err := c.PushHistogram(0, local); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return union, layout
+}
+
+func TestTwoPhaseSplitMatchesLocal(t *testing.T) {
+	const m, p, w = 50, 3, 4
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 500, NumFeatures: m, AvgNNZ: 10, Seed: 7, Zipf: 1.2})
+	fx := newFixture(t, m, p, w)
+	union, _ := buildDistributedHistograms(t, fx, d, 0)
+
+	totalG, totalH := union.FeatureTotals(0)
+	want := core.FindSplit(union, totalG, totalH, 1.0, 0.0, 1e-4)
+
+	res, err := fx.clients[1].PullSplit(0, 1.0, 0.0, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasTotals {
+		t.Fatal("no totals returned")
+	}
+	// float32 wire narrowing costs ~1e-7 relative precision
+	if math.Abs(res.NodeG-totalG) > 1e-3 || math.Abs(res.NodeH-totalH) > 1e-3 {
+		t.Fatalf("totals (%v,%v), want (%v,%v)", res.NodeG, res.NodeH, totalG, totalH)
+	}
+	if !want.Found || !res.Split.Found {
+		t.Fatalf("splits not found: local %v remote %v", want.Found, res.Split.Found)
+	}
+	if res.Split.Feature != want.Feature || math.Abs(res.Split.Value-want.Value) > 1e-6 {
+		t.Fatalf("split (%d,%v), want (%d,%v)", res.Split.Feature, res.Split.Value, want.Feature, want.Value)
+	}
+	if math.Abs(res.Split.Gain-want.Gain) > 1e-3*(1+math.Abs(want.Gain)) {
+		t.Fatalf("gain %v, want %v", res.Split.Gain, want.Gain)
+	}
+}
+
+func TestPullHistogramReassembles(t *testing.T) {
+	const m, p, w = 40, 4, 3
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 300, NumFeatures: m, AvgNNZ: 8, Seed: 11, Zipf: 1.2})
+	fx := newFixture(t, m, p, w)
+	union, layout := buildDistributedHistograms(t, fx, d, 0)
+
+	got, err := fx.clients[0].PullHistogram(0, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range union.G {
+		if math.Abs(got.G[i]-union.G[i]) > 1e-3 {
+			t.Fatalf("G[%d]: %v vs %v", i, got.G[i], union.G[i])
+		}
+		if math.Abs(got.H[i]-union.H[i]) > 1e-3 {
+			t.Fatalf("H[%d]: %v vs %v", i, got.H[i], union.H[i])
+		}
+	}
+}
+
+func TestCompressedPushStillFindsGoodSplit(t *testing.T) {
+	const m, p, w = 50, 3, 4
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 500, NumFeatures: m, AvgNNZ: 10, Seed: 13, Zipf: 1.2})
+
+	fxFull := newFixture(t, m, p, w)
+	unionFull, _ := buildDistributedHistograms(t, fxFull, d, 0)
+	totalG, totalH := unionFull.FeatureTotals(0)
+	exact := core.FindSplit(unionFull, totalG, totalH, 1.0, 0.0, 1e-4)
+
+	fx := newFixture(t, m, p, w)
+	buildDistributedHistograms(t, fx, d, 8)
+	res, err := fx.clients[0].PullSplit(0, 1.0, 0.0, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Split.Found {
+		t.Fatal("compressed path found no split")
+	}
+	// the 8-bit split's gain must be close to the exact best gain
+	if res.Split.Gain < exact.Gain*0.8 {
+		t.Fatalf("compressed gain %v far below exact %v", res.Split.Gain, exact.Gain)
+	}
+}
+
+func TestSplitResultStoreFetch(t *testing.T) {
+	fx := newFixture(t, 20, 3, 2)
+	s1 := SplitResult{Split: core.Split{Found: true, Feature: 3, Value: 1.5, Gain: 2.0, LeftG: 1, LeftH: 2, RightG: 3, RightH: 4}, HasTotals: true, NodeG: 4, NodeH: 6}
+	s2 := SplitResult{Split: core.Split{Found: true, Feature: 7, Value: -0.5, Gain: 1.0}}
+	if err := fx.clients[0].PushSplitResult(1, s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.clients[1].PushSplitResult(2, s2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fx.clients[0].PullSplitResults([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d results", len(got))
+	}
+	if got[1] != s1 || got[2] != s2 {
+		t.Fatalf("round trip mangled splits: %+v", got)
+	}
+	if _, ok := got[3]; ok {
+		t.Fatal("node 3 should be absent")
+	}
+}
+
+func TestServerRejectsBadTraffic(t *testing.T) {
+	fx := newFixture(t, 20, 2, 1)
+	ep, _ := fx.net.Endpoint("rogue")
+	// unknown op
+	if _, err := ep.Call(serverName(0), transport.Message{Op: 200}); err == nil {
+		t.Fatal("unknown op should fail")
+	}
+	// push histogram before NEW_TREE
+	c := fx.clients[0]
+	cands := make([]sketch.Candidates, 20)
+	for i := range cands {
+		cands[i] = sketch.FromCuts([]float64{0})
+	}
+	layout, _ := histogram.NewLayout(histogram.AllFeatures(20), cands, 20)
+	if err := c.PushHistogram(0, histogram.New(layout)); err == nil {
+		t.Fatal("push before NEW_TREE should fail")
+	}
+	// pull split with nothing pushed
+	if err := c.NewTree(histogram.AllFeatures(20)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PullSplit(0, 1, 0, 0); err == nil {
+		t.Fatal("pull split with no pushes should fail")
+	}
+	// truncated body
+	if _, err := ep.Call(serverName(0), transport.Message{Op: OpPushHist, Body: []byte{1, 2}}); err == nil {
+		t.Fatal("truncated body should fail")
+	}
+}
+
+func TestNodeOwnerSpread(t *testing.T) {
+	part, _ := NewPartition(10, 4, 0)
+	owners := map[int]bool{}
+	for n := 0; n < 8; n++ {
+		owners[part.NodeOwner(n)] = true
+	}
+	if len(owners) != 4 {
+		t.Fatalf("node ownership uses %d servers, want 4", len(owners))
+	}
+}

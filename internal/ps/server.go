@@ -1,0 +1,499 @@
+package ps
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dimboost/internal/compress"
+	"dimboost/internal/core"
+	"dimboost/internal/histogram"
+	"dimboost/internal/sketch"
+	"dimboost/internal/transport"
+	"dimboost/internal/wire"
+)
+
+// Server is one parameter-server shard. It owns the features of its hash
+// ranges: their quantile sketches, split candidates, histogram buckets of
+// every active tree node, and the split results of the nodes it is the
+// NodeOwner of. All state is guarded by one mutex; handlers are invoked
+// concurrently by the transport.
+type Server struct {
+	id   int
+	part *Partition
+	eps  float64 // sketch rank error
+
+	mu sync.Mutex
+	// pendingSketches buffers per-worker sketch pushes; they merge in
+	// worker-id order at candidate proposal so the result is independent
+	// of push arrival order (GK merging is not order-commutative at the
+	// bit level).
+	pendingSketches map[int32]map[int32]*sketch.GK
+	sketches        map[int32]*sketch.GK
+	cands           map[int32]sketch.Candidates
+	sampled         []int32
+	layout          *histogram.Layout // shard layout: owned ∩ sampled features
+	// pending holds per-node, per-worker pushed shards awaiting the
+	// deterministic worker-ordered merge. Shards stay in their wire format
+	// (float32 or compressed) until the merge, keeping server memory at
+	// wire size rather than decoded float64 size.
+	pending map[int32]map[int32]*wireShard
+	merged  map[int32]*shard
+	splits  map[int32]splitRecord
+}
+
+// shard is the G/H bucket arrays of one node restricted to this server's
+// features, laid out per s.layout.
+type shard struct {
+	g, h []float64
+}
+
+// wireShard is a pushed histogram shard still in wire format.
+type wireShard struct {
+	format uint8
+	body   []byte // the undecoded G/H payload portion of the push
+}
+
+// NewServer constructs a server for shard id under the partition.
+func NewServer(id int, part *Partition, sketchEps float64) *Server {
+	return &Server{
+		id:              id,
+		part:            part,
+		eps:             sketchEps,
+		pendingSketches: make(map[int32]map[int32]*sketch.GK),
+		sketches:        make(map[int32]*sketch.GK),
+		cands:           make(map[int32]sketch.Candidates),
+		pending:         make(map[int32]map[int32]*wireShard),
+		merged:          make(map[int32]*shard),
+		splits:          make(map[int32]splitRecord),
+	}
+}
+
+// Handler returns the transport handler serving the PS protocol.
+func (s *Server) Handler() transport.Handler {
+	return func(from string, req transport.Message) (transport.Message, error) {
+		r := wire.NewReader(req.Body)
+		var resp *wire.Writer
+		var err error
+		switch req.Op {
+		case OpPushSketch:
+			resp, err = s.pushSketch(r)
+		case OpPullCandidates:
+			resp, err = s.pullCandidates(r)
+		case OpPushSampled:
+			resp, err = s.pushSampled(r)
+		case OpPullSampled:
+			resp, err = s.pullSampled()
+		case OpNewTree:
+			resp, err = s.newTree(r)
+		case OpPushHist:
+			resp, err = s.pushHist(r)
+		case OpPullSplit:
+			resp, err = s.pullSplit(r)
+		case OpPullHistShard:
+			resp, err = s.pullHistShard(r)
+		case OpPushSplitResult:
+			resp, err = s.pushSplitResult(r)
+		case OpPullSplitResults:
+			resp, err = s.pullSplitResults(r)
+		default:
+			return transport.Message{}, fmt.Errorf("ps: server %d: unknown op %d", s.id, req.Op)
+		}
+		if err != nil {
+			return transport.Message{}, fmt.Errorf("ps: server %d: op %d: %w", s.id, req.Op, err)
+		}
+		if rerr := r.Err(); rerr != nil {
+			return transport.Message{}, fmt.Errorf("ps: server %d: op %d: %w", s.id, req.Op, rerr)
+		}
+		if resp == nil {
+			resp = wire.NewWriter(0)
+		}
+		return transport.Message{Op: req.Op, Body: resp.Bytes()}, nil
+	}
+}
+
+// pushSketch buffers a batch of per-feature sketch summaries from one
+// worker.
+func (s *Server) pushSketch(r *wire.Reader) (*wire.Writer, error) {
+	worker := r.Int32()
+	n := int(r.Uint32())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < n; i++ {
+		f := r.Int32()
+		values := r.Float64s()
+		gs := r.Uint64s()
+		deltas := r.Uint64s()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if s.part.ServerOf(f) != s.id {
+			return nil, fmt.Errorf("feature %d pushed to wrong server", f)
+		}
+		in, err := sketch.Restore(s.eps, values, gs, deltas)
+		if err != nil {
+			return nil, err
+		}
+		byWorker := s.pendingSketches[f]
+		if byWorker == nil {
+			byWorker = make(map[int32]*sketch.GK)
+			s.pendingSketches[f] = byWorker
+		}
+		byWorker[worker] = in
+	}
+	return nil, nil
+}
+
+// mergeSketches folds buffered per-worker sketches in worker-id order.
+// Caller holds s.mu.
+func (s *Server) mergeSketches() {
+	for f, byWorker := range s.pendingSketches {
+		workers := make([]int32, 0, len(byWorker))
+		for wk := range byWorker {
+			workers = append(workers, wk)
+		}
+		sort.Slice(workers, func(a, b int) bool { return workers[a] < workers[b] })
+		cur := s.sketches[f]
+		for _, wk := range workers {
+			if cur == nil {
+				cur = byWorker[wk]
+			} else {
+				cur.Merge(byWorker[wk])
+			}
+		}
+		s.sketches[f] = cur
+		delete(s.pendingSketches, f)
+	}
+}
+
+// pullCandidates proposes (and caches) split candidates for this server's
+// features that have sketches.
+func (s *Server) pullCandidates(r *wire.Reader) (*wire.Writer, error) {
+	k := int(r.Uint32())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mergeSketches()
+	feats := make([]int32, 0, len(s.sketches))
+	for f := range s.sketches {
+		feats = append(feats, f)
+	}
+	sort.Slice(feats, func(a, b int) bool { return feats[a] < feats[b] })
+	w := wire.NewWriter(len(feats) * 64)
+	w.Uint32(uint32(len(feats)))
+	for _, f := range feats {
+		c, ok := s.cands[f]
+		if !ok {
+			c = sketch.Propose(s.sketches[f], k)
+			s.cands[f] = c
+		}
+		w.Int32(f)
+		w.Float64s(c.Cuts)
+	}
+	return w, nil
+}
+
+func (s *Server) pushSampled(r *wire.Reader) (*wire.Writer, error) {
+	feats := r.Int32s()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sampled = feats
+	return nil, nil
+}
+
+func (s *Server) pullSampled() (*wire.Writer, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := wire.NewWriter(4 * len(s.sampled))
+	w.Int32s(s.sampled)
+	return w, nil
+}
+
+// newTree resets per-tree state and builds the shard layout over
+// (owned ∩ sampled) features. The sampled list travels in the request so
+// NEW_TREE is a single round trip.
+func (s *Server) newTree(r *wire.Reader) (*wire.Writer, error) {
+	sampled := r.Int32s()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sampled = sampled
+	mine := s.part.FeaturesOf(s.id, sampled)
+	candsByFeature := make([]sketch.Candidates, s.part.NumFeatures)
+	for _, f := range mine {
+		c, ok := s.cands[f]
+		if !ok {
+			// feature never saw a nonzero value anywhere: single zero cut
+			c = sketch.Propose(nil, 1)
+			s.cands[f] = c
+		}
+		candsByFeature[f] = c
+	}
+	layout, err := histogram.NewLayout(mine, candsByFeature, s.part.NumFeatures)
+	if err != nil {
+		return nil, err
+	}
+	s.layout = layout
+	s.pending = make(map[int32]map[int32]*wireShard)
+	s.merged = make(map[int32]*shard)
+	s.splits = make(map[int32]splitRecord)
+	return nil, nil
+}
+
+// pushHist stores one worker's shard of one node's histogram. Shards are
+// buffered in wire format and merged (decoded) in worker-id order at first
+// read, so the global histogram is independent of push arrival order and
+// server memory stays proportional to the compressed wire size.
+func (s *Server) pushHist(r *wire.Reader) (*wire.Writer, error) {
+	node := r.Int32()
+	worker := r.Int32()
+	format := r.Uint8()
+	body := make([]byte, len(r.Rest()))
+	copy(body, r.Rest())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.layout == nil {
+		return nil, fmt.Errorf("push before NEW_TREE")
+	}
+	// Validate the payload shape in O(1) — headers only; the full decode
+	// happens once, at the worker-ordered merge.
+	if err := validateShardPayload(body, format, s.layout.TotalBuckets); err != nil {
+		return nil, err
+	}
+	byWorker := s.pending[node]
+	if byWorker == nil {
+		byWorker = make(map[int32]*wireShard)
+		s.pending[node] = byWorker
+	}
+	byWorker[worker] = &wireShard{format: format, body: body}
+	delete(s.merged, node) // new data invalidates a previous merge
+	return nil, nil
+}
+
+// validateShardPayload checks, from headers alone, that a pushed payload
+// decodes to two vectors of exactly totalBuckets values.
+func validateShardPayload(body []byte, format uint8, totalBuckets int) error {
+	r := wire.NewReader(body)
+	checkVec := func(elemSize int) error {
+		n := int(r.Uint32())
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if n != totalBuckets {
+			return fmt.Errorf("shard vector has %d values, layout wants %d", n, totalBuckets)
+		}
+		r.Skip(n * elemSize)
+		return r.Err()
+	}
+	switch format {
+	case FormatFloat32:
+		if err := checkVec(4); err != nil {
+			return err
+		}
+		return checkVec(4)
+	case FormatFloat64:
+		if err := checkVec(8); err != nil {
+			return err
+		}
+		return checkVec(8)
+	case FormatCompressed:
+		for i := 0; i < 2; i++ {
+			r.Uint8() // bits
+			n := int(r.Uint32())
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if n != totalBuckets {
+				return fmt.Errorf("compressed shard has %d values, layout wants %d", n, totalBuckets)
+			}
+			r.Float64() // maxAbs
+			ln := int(r.Uint32())
+			r.Skip(ln)
+			if r.Err() != nil {
+				return r.Err()
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown histogram format %d", format)
+	}
+}
+
+// decodeShardPayload decodes a G/H payload in the given wire format.
+func decodeShardPayload(r *wire.Reader, format uint8) (g, h []float64, err error) {
+	switch format {
+	case FormatFloat32:
+		g = r.Float64sFrom32()
+		h = r.Float64sFrom32()
+	case FormatCompressed:
+		if g, err = readCompressed(r); err != nil {
+			return nil, nil, err
+		}
+		if h, err = readCompressed(r); err != nil {
+			return nil, nil, err
+		}
+	case FormatFloat64:
+		g = r.Float64s()
+		h = r.Float64s()
+	default:
+		return nil, nil, fmt.Errorf("unknown histogram format %d", format)
+	}
+	return g, h, r.Err()
+}
+
+func readCompressed(r *wire.Reader) ([]float64, error) {
+	bits := uint(r.Uint8())
+	n := int(r.Uint32())
+	maxAbs := r.Float64()
+	data := r.Bytes32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	c := &compress.Compressed{Bits: bits, N: n, MaxAbs: maxAbs, Data: data}
+	return compress.Decode(c), nil
+}
+
+// mergedShard folds pending pushes (worker-id order) into the node's global
+// shard. Caller holds s.mu.
+func (s *Server) mergedShard(node int32) (*shard, error) {
+	if m := s.merged[node]; m != nil {
+		return m, nil
+	}
+	byWorker := s.pending[node]
+	if len(byWorker) == 0 {
+		return nil, fmt.Errorf("no histogram pushed for node %d", node)
+	}
+	workers := make([]int32, 0, len(byWorker))
+	for wk := range byWorker {
+		workers = append(workers, wk)
+	}
+	sort.Slice(workers, func(a, b int) bool { return workers[a] < workers[b] })
+	out := &shard{g: make([]float64, s.layout.TotalBuckets), h: make([]float64, s.layout.TotalBuckets)}
+	for _, wk := range workers {
+		ws := byWorker[wk]
+		g, h, err := decodeShardPayload(wire.NewReader(ws.body), ws.format)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range g {
+			out.g[i] += v
+		}
+		for i, v := range h {
+			out.h[i] += v
+		}
+	}
+	delete(s.pending, node) // wire buffers are no longer needed
+	s.merged[node] = out
+	return out, nil
+}
+
+// pullSplit is the user-defined pull of §6.3: run Algorithm 1 over this
+// shard only and answer with one split record instead of the shard's bytes.
+func (s *Server) pullSplit(r *wire.Reader) (*wire.Writer, error) {
+	node := r.Int32()
+	lambda := r.Float64()
+	gamma := r.Float64()
+	minChild := r.Float64()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := wire.NewWriter(96)
+	if s.layout == nil || s.layout.NumFeatures() == 0 {
+		writeSplitRecord(w, splitRecord{})
+		return w, nil
+	}
+	sh, err := s.mergedShard(node)
+	if err != nil {
+		return nil, err
+	}
+	hist := &histogram.Histogram{Layout: s.layout, G: sh.g, H: sh.h}
+	// Every feature's buckets sum to the node totals (Algorithm 2
+	// invariant), so the shard alone recovers them.
+	totalG, totalH := hist.FeatureTotals(0)
+	split := core.FindSplit(hist, totalG, totalH, lambda, gamma, minChild)
+	writeSplitRecord(w, splitRecord{Split: split, HasTotals: true, NodeG: totalG, NodeH: totalH})
+	return w, nil
+}
+
+// pullHistShard returns the merged raw shard (two-phase disabled).
+func (s *Server) pullHistShard(r *wire.Reader) (*wire.Writer, error) {
+	node := r.Int32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.layout == nil || s.layout.NumFeatures() == 0 {
+		w := wire.NewWriter(8)
+		w.Float64sAs32(nil)
+		w.Float64sAs32(nil)
+		return w, nil
+	}
+	sh, err := s.mergedShard(node)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(8 * len(sh.g))
+	w.Float64sAs32(sh.g)
+	w.Float64sAs32(sh.h)
+	return w, nil
+}
+
+func (s *Server) pushSplitResult(r *wire.Reader) (*wire.Writer, error) {
+	node := r.Int32()
+	rec := readSplitRecord(r)
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if s.part.NodeOwner(int(node)) != s.id {
+		return nil, fmt.Errorf("node %d split pushed to wrong server", node)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.splits[node] = rec
+	return nil, nil
+}
+
+func (s *Server) pullSplitResults(r *wire.Reader) (*wire.Writer, error) {
+	nodes := r.Int32s()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := wire.NewWriter(96 * len(nodes))
+	w.Uint32(uint32(len(nodes)))
+	for _, node := range nodes {
+		rec, ok := s.splits[node]
+		w.Int32(node)
+		w.Bool(ok)
+		writeSplitRecord(w, rec)
+	}
+	return w, nil
+}
+
+// NumSketches reports how many features this server holds sketches for
+// (observability/tests).
+func (s *Server) NumSketches() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mergeSketches()
+	return len(s.sketches)
+}
+
+// ShardFeatures returns the server's current shard feature list
+// (observability/tests).
+func (s *Server) ShardFeatures() []int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.layout == nil {
+		return nil
+	}
+	return s.layout.Features
+}

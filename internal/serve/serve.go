@@ -1,0 +1,213 @@
+// Package serve exposes a trained GBDT model over HTTP — the scoring-side
+// counterpart of the training system, for deployments that serve the model
+// the paper's pipeline produces. Endpoints:
+//
+//	GET  /healthz            liveness probe
+//	GET  /model              model summary (loss, trees, node counts)
+//	GET  /importance?top=N   gain-based feature importance
+//	POST /predict            score instances (JSON or LibSVM lines)
+//
+// The handler is safe for concurrent use and supports atomic hot model
+// swaps.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"dimboost/internal/core"
+	"dimboost/internal/dataset"
+	"dimboost/internal/loss"
+)
+
+// Handler serves a model over HTTP.
+type Handler struct {
+	model atomic.Pointer[core.Model]
+	mux   *http.ServeMux
+	// MaxBodyBytes caps request bodies (default 32 MiB).
+	MaxBodyBytes int64
+}
+
+// New returns a handler serving the given model.
+func New(m *core.Model) *Handler {
+	h := &Handler{mux: http.NewServeMux(), MaxBodyBytes: 32 << 20}
+	h.model.Store(m)
+	h.mux.HandleFunc("GET /healthz", h.healthz)
+	h.mux.HandleFunc("GET /model", h.modelInfo)
+	h.mux.HandleFunc("GET /importance", h.importance)
+	h.mux.HandleFunc("POST /predict", h.predict)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// Swap atomically replaces the served model (hot reload).
+func (h *Handler) Swap(m *core.Model) { h.model.Store(m) }
+
+func (h *Handler) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n") //nolint:errcheck
+}
+
+type modelInfo struct {
+	Loss          string `json:"loss"`
+	Trees         int    `json:"trees"`
+	InternalNodes int    `json:"internal_nodes"`
+	Leaves        int    `json:"leaves"`
+	FeaturesUsed  int    `json:"features_used"`
+}
+
+func (h *Handler) modelInfo(w http.ResponseWriter, _ *http.Request) {
+	m := h.model.Load()
+	internal, leaves := m.NumNodes()
+	writeJSON(w, http.StatusOK, modelInfo{
+		Loss:          m.Loss.String(),
+		Trees:         len(m.Trees),
+		InternalNodes: internal,
+		Leaves:        leaves,
+		FeaturesUsed:  len(m.Importance()),
+	})
+}
+
+type importanceEntry struct {
+	Feature int32   `json:"feature"`
+	Gain    float64 `json:"gain"`
+	Splits  int     `json:"splits"`
+}
+
+func (h *Handler) importance(w http.ResponseWriter, r *http.Request) {
+	top := 20
+	if s := r.URL.Query().Get("top"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			httpError(w, http.StatusBadRequest, "bad top parameter %q", s)
+			return
+		}
+		top = v
+	}
+	imp := h.model.Load().Importance()
+	if len(imp) > top {
+		imp = imp[:top]
+	}
+	out := make([]importanceEntry, len(imp))
+	for i, fi := range imp {
+		out[i] = importanceEntry{Feature: fi.Feature, Gain: fi.Gain, Splits: fi.Splits}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// predictRequest is the JSON scoring request.
+type predictRequest struct {
+	Instances []jsonInstance `json:"instances"`
+}
+
+type jsonInstance struct {
+	Indices []int32   `json:"indices"`
+	Values  []float32 `json:"values"`
+}
+
+// predictResponse is the JSON scoring response.
+type predictResponse struct {
+	Scores []float64 `json:"scores"`
+	// Probabilities is present for logistic models.
+	Probabilities []float64 `json:"probabilities,omitempty"`
+}
+
+func (h *Handler) predict(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, h.MaxBodyBytes)
+	defer body.Close()
+
+	var instances []dataset.Instance
+	ct := r.Header.Get("Content-Type")
+	switch {
+	case strings.HasPrefix(ct, "application/json"), ct == "":
+		var req predictRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+		for i, ji := range req.Instances {
+			in, err := jsonToInstance(ji)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "instance %d: %v", i, err)
+				return
+			}
+			instances = append(instances, in)
+		}
+	case strings.HasPrefix(ct, "text/libsvm"):
+		d, err := dataset.ReadLibSVM(body, 0)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad LibSVM body: %v", err)
+			return
+		}
+		for i := 0; i < d.NumRows(); i++ {
+			instances = append(instances, d.Row(i))
+		}
+	default:
+		httpError(w, http.StatusUnsupportedMediaType, "use application/json or text/libsvm")
+		return
+	}
+	if len(instances) == 0 {
+		httpError(w, http.StatusBadRequest, "no instances")
+		return
+	}
+
+	m := h.model.Load()
+	resp := predictResponse{Scores: make([]float64, len(instances))}
+	for i, in := range instances {
+		resp.Scores[i] = m.Predict(in)
+	}
+	if m.Loss == loss.Logistic {
+		resp.Probabilities = make([]float64, len(instances))
+		for i, s := range resp.Scores {
+			resp.Probabilities[i] = loss.Sigmoid(s)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// jsonToInstance validates and sorts a JSON instance into dataset form.
+func jsonToInstance(ji jsonInstance) (dataset.Instance, error) {
+	if len(ji.Indices) != len(ji.Values) {
+		return dataset.Instance{}, fmt.Errorf("%d indices vs %d values", len(ji.Indices), len(ji.Values))
+	}
+	type pair struct {
+		f int32
+		v float32
+	}
+	pairs := make([]pair, len(ji.Indices))
+	for i := range ji.Indices {
+		if ji.Indices[i] < 0 {
+			return dataset.Instance{}, fmt.Errorf("negative feature index %d", ji.Indices[i])
+		}
+		pairs[i] = pair{ji.Indices[i], ji.Values[i]}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].f < pairs[b].f })
+	idx := make([]int32, 0, len(pairs))
+	vals := make([]float32, 0, len(pairs))
+	for i, p := range pairs {
+		if i > 0 && p.f == pairs[i-1].f {
+			return dataset.Instance{}, fmt.Errorf("duplicate feature index %d", p.f)
+		}
+		idx = append(idx, p.f)
+		vals = append(vals, p.v)
+	}
+	return dataset.Instance{Indices: idx, Values: vals}, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dimboost/internal/core"
+	"dimboost/internal/dataset"
+	"dimboost/internal/loss"
+)
+
+func trainedModel(t *testing.T) (*core.Model, *dataset.Dataset) {
+	t.Helper()
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 400, NumFeatures: 60, AvgNNZ: 8, Seed: 5, Zipf: 1.2})
+	cfg := core.DefaultConfig()
+	cfg.NumTrees = 4
+	cfg.MaxDepth = 4
+	cfg.Parallelism = 1
+	m, err := core.Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, d
+}
+
+func TestHealthz(t *testing.T) {
+	m, _ := trainedModel(t)
+	srv := httptest.NewServer(New(m))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestModelInfo(t *testing.T) {
+	m, _ := trainedModel(t)
+	srv := httptest.NewServer(New(m))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info struct {
+		Loss  string `json:"loss"`
+		Trees int    `json:"trees"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Loss != "logistic" || info.Trees != 4 {
+		t.Fatalf("info %+v", info)
+	}
+}
+
+func TestImportanceEndpoint(t *testing.T) {
+	m, _ := trainedModel(t)
+	srv := httptest.NewServer(New(m))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/importance?top=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []struct {
+		Gain float64 `json:"gain"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 || len(out) > 3 {
+		t.Fatalf("%d entries", len(out))
+	}
+	// bad top parameter
+	resp2, _ := http.Get(srv.URL + "/importance?top=zero")
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad top: status %d", resp2.StatusCode)
+	}
+}
+
+func TestPredictJSON(t *testing.T) {
+	m, d := trainedModel(t)
+	srv := httptest.NewServer(New(m))
+	defer srv.Close()
+
+	// take two real rows and submit them with unsorted indices
+	var req predictRequest
+	want := make([]float64, 0, 2)
+	for i := 0; i < 2; i++ {
+		in := d.Row(i)
+		ji := jsonInstance{}
+		// reverse order to exercise server-side sorting
+		for j := len(in.Indices) - 1; j >= 0; j-- {
+			ji.Indices = append(ji.Indices, in.Indices[j])
+			ji.Values = append(ji.Values, in.Values[j])
+		}
+		req.Instances = append(req.Instances, ji)
+		want = append(want, m.Predict(in))
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Scores) != 2 || len(out.Probabilities) != 2 {
+		t.Fatalf("response %+v", out)
+	}
+	for i := range want {
+		if math.Abs(out.Scores[i]-want[i]) > 1e-12 {
+			t.Fatalf("score %d: %v want %v", i, out.Scores[i], want[i])
+		}
+		if p := out.Probabilities[i]; math.Abs(p-loss.Sigmoid(want[i])) > 1e-12 {
+			t.Fatalf("probability %d: %v", i, p)
+		}
+	}
+}
+
+func TestPredictLibSVM(t *testing.T) {
+	m, d := trainedModel(t)
+	srv := httptest.NewServer(New(m))
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	sub := d.Subset(0, 3)
+	if err := dataset.WriteLibSVM(&buf, sub); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/predict", "text/libsvm", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Scores) != 3 {
+		t.Fatalf("%d scores", len(out.Scores))
+	}
+	for i := 0; i < 3; i++ {
+		if math.Abs(out.Scores[i]-m.Predict(sub.Row(i))) > 1e-6 {
+			t.Fatalf("score %d mismatch", i)
+		}
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	m, _ := trainedModel(t)
+	srv := httptest.NewServer(New(m))
+	defer srv.Close()
+
+	cases := []struct {
+		ct     string
+		body   string
+		status int
+	}{
+		{"application/json", "{not json", http.StatusBadRequest},
+		{"application/json", `{"instances":[]}`, http.StatusBadRequest},
+		{"application/json", `{"instances":[{"indices":[1,2],"values":[1]}]}`, http.StatusBadRequest},
+		{"application/json", `{"instances":[{"indices":[-1],"values":[1]}]}`, http.StatusBadRequest},
+		{"application/json", `{"instances":[{"indices":[2,2],"values":[1,1]}]}`, http.StatusBadRequest},
+		{"text/libsvm", "1 notapair\n", http.StatusBadRequest},
+		{"application/xml", "<nope/>", http.StatusUnsupportedMediaType},
+	}
+	for i, c := range cases {
+		resp, err := http.Post(srv.URL+"/predict", c.ct, strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.status {
+			t.Fatalf("case %d: status %d, want %d", i, resp.StatusCode, c.status)
+		}
+	}
+	// wrong method
+	resp, _ := http.Get(srv.URL + "/predict")
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("GET /predict should fail")
+	}
+}
+
+func TestBodyLimit(t *testing.T) {
+	m, _ := trainedModel(t)
+	h := New(m)
+	h.MaxBodyBytes = 64
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	big := `{"instances":[{"indices":[1],"values":[1.0]},{"indices":[2],"values":[2.0]}]}`
+	resp, err := http.Post(srv.URL+"/predict", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized body: status %d", resp.StatusCode)
+	}
+}
+
+func TestHotSwap(t *testing.T) {
+	m1, d := trainedModel(t)
+	h := New(m1)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// a different model: single tree
+	m2 := &core.Model{Loss: m1.Loss, Trees: m1.Trees[:1]}
+	h.Swap(m2)
+
+	in := d.Row(0)
+	body, _ := json.Marshal(predictRequest{Instances: []jsonInstance{{Indices: in.Indices, Values: in.Values}}})
+	resp, err := http.Post(srv.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Scores[0]-m2.Predict(in)) > 1e-12 {
+		t.Fatal("swap did not take effect")
+	}
+}

@@ -1,0 +1,149 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"dimboost/internal/comm"
+)
+
+func TestPaperCostFormulas(t *testing.T) {
+	p := Params{Alpha: 1e-4, Beta: 8e-9, Gamma: 5e-10}
+	h := 8e6 // 8 MB histogram
+	w := 16
+	// spot-check each closed form against hand computation
+	if got, want := PaperCost(MLlib, w, h, p), h*p.Beta*16+p.Alpha+h*p.Gamma; got != want {
+		t.Errorf("MLlib: %v vs %v", got, want)
+	}
+	if got, want := PaperCost(XGBoost, w, h, p), (h*p.Beta+p.Alpha+h*p.Gamma)*4; got != want {
+		t.Errorf("XGBoost: %v vs %v", got, want)
+	}
+	if got, want := PaperCost(LightGBM, w, h, p), 15.0/16*h*p.Beta+(p.Alpha+h*p.Gamma)*4; got != want {
+		t.Errorf("LightGBM: %v vs %v", got, want)
+	}
+	if got, want := PaperCost(DimBoost, w, h, p), 15.0/16*h*p.Beta+15*p.Alpha+h*p.Gamma; got != want {
+		t.Errorf("DimBoost: %v vs %v", got, want)
+	}
+}
+
+func TestLightGBMNonPow2Doubles(t *testing.T) {
+	p := GigabitEthernet()
+	h := 1e7
+	pow2 := PaperCost(LightGBM, 16, h, p)
+	// w=17 uses log2ceil=5 and doubles
+	base17 := 16.0/17*h*p.Beta + (p.Alpha+h*p.Gamma)*5
+	if got := PaperCost(LightGBM, 17, h, p); math.Abs(got-2*base17) > 1e-12 {
+		t.Errorf("w=17: %v, want doubled %v", got, 2*base17)
+	}
+	if PaperCost(LightGBM, 17, h, p) <= pow2 {
+		t.Error("non-power-of-two should cost more")
+	}
+}
+
+func TestTable1Ordering(t *testing.T) {
+	// For large histograms and many workers (the paper's regime), DimBoost
+	// and LightGBM (pow-2) beat XGBoost beats MLlib.
+	p := GigabitEthernet()
+	h := 50e6 // GradHist row for 330K features ≈ 2*20*330K*4 bytes
+	for _, w := range []int{16, 32, 64} {
+		ml := PaperCost(MLlib, w, h, p)
+		xgb := PaperCost(XGBoost, w, h, p)
+		lgbm := PaperCost(LightGBM, w, h, p)
+		dim := PaperCost(DimBoost, w, h, p)
+		if !(dim < xgb && xgb < ml) {
+			t.Errorf("w=%d: want dim(%v) < xgb(%v) < mllib(%v)", w, dim, xgb, ml)
+		}
+		if math.Abs(lgbm-dim) > dim { // comparable within 2x at pow-2 w
+			t.Errorf("w=%d: lightgbm %v and dimboost %v should be comparable", w, lgbm, dim)
+		}
+	}
+}
+
+func TestSimulatedMatchesClosedFormNoGamma(t *testing.T) {
+	// With γ=0, the schedule simulation should track the closed forms
+	// closely for power-of-two w (the paper derives them for that case).
+	p := Params{Alpha: 1e-4, Beta: 8e-9, Gamma: 0}
+	h := int64(16 << 20)
+	for _, w := range []int{2, 4, 8, 16, 32} {
+		for _, sys := range Systems {
+			sim := Evaluate(ScheduleFor(sys, w, h), p)
+			form := PaperCost(sys, w, float64(h), p)
+			// MLlib's closed form counts w·h through the root link; the
+			// schedule counts (w−1)·h. Allow the corresponding slack.
+			lo := 0.7
+			if sys == MLlib {
+				lo = float64(w-1) / float64(w) * 0.95
+			}
+			ratio := sim / form
+			if ratio < lo || ratio > 1.3 {
+				t.Errorf("%s w=%d: simulated %.6g vs closed form %.6g (ratio %.2f)", sys, w, sim, form, ratio)
+			}
+		}
+	}
+}
+
+func TestSimulatedOrderingMatchesPaper(t *testing.T) {
+	// The qualitative claim of §3 under the full model with merge costs.
+	p := GigabitEthernet()
+	h := int64(50 << 20)
+	for _, w := range []int{8, 16, 32, 64} {
+		ml := Evaluate(ScheduleFor(MLlib, w, h), p)
+		xgb := Evaluate(ScheduleFor(XGBoost, w, h), p)
+		dim := Evaluate(ScheduleFor(DimBoost, w, h), p)
+		lgbm := Evaluate(ScheduleFor(LightGBM, w, h), p)
+		if !(dim < xgb && xgb < ml) {
+			t.Errorf("w=%d: dim=%v xgb=%v ml=%v out of order", w, dim, xgb, ml)
+		}
+		if dim > lgbm*1.5 {
+			t.Errorf("w=%d: dimboost %v much worse than lightgbm %v", w, dim, lgbm)
+		}
+	}
+}
+
+func TestEvaluateSmallMessagesFavorTree(t *testing.T) {
+	// For tiny messages latency dominates: the binomial tree's log(w)·α
+	// beats the PS's (w−1)·α — exactly why the paper says existing
+	// implementations are fine for low-dimensional data.
+	p := GigabitEthernet()
+	h := int64(64)
+	w := 64
+	xgb := Evaluate(ScheduleFor(XGBoost, w, h), p)
+	dim := Evaluate(ScheduleFor(DimBoost, w, h), p)
+	if xgb >= dim {
+		t.Errorf("small message: xgboost %v should beat dimboost %v", xgb, dim)
+	}
+}
+
+func TestEvaluateEmptySchedule(t *testing.T) {
+	if got := Evaluate(nil, GigabitEthernet()); got != 0 {
+		t.Fatalf("empty schedule cost %v", got)
+	}
+}
+
+func TestEvaluateSingleTransfer(t *testing.T) {
+	p := Params{Alpha: 1, Beta: 2, Gamma: 3}
+	s := comm.Schedule{{{From: 0, To: 1, Bytes: 10}}}
+	// α + 10β + 10γ = 1 + 20 + 30
+	if got := Evaluate(s, p); got != 51 {
+		t.Fatalf("cost = %v, want 51", got)
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	names := map[System]string{MLlib: "MLlib", XGBoost: "XGBoost", LightGBM: "LightGBM", DimBoost: "DimBoost"}
+	for sys, want := range names {
+		if sys.String() != want {
+			t.Errorf("%d: %s", int(sys), sys)
+		}
+	}
+	if System(9).String() != "System(9)" {
+		t.Error("unknown system string")
+	}
+}
+
+func TestGigabitDefaults(t *testing.T) {
+	p := GigabitEthernet()
+	if p.Alpha <= 0 || p.Beta <= 0 || p.Gamma <= 0 || p.Gamma >= p.Beta {
+		t.Fatalf("implausible defaults %+v", p)
+	}
+}

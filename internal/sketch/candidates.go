@@ -1,0 +1,142 @@
+package sketch
+
+import (
+	"sort"
+
+	"dimboost/internal/dataset"
+)
+
+// Candidates holds the split cut points of one feature in ascending order.
+// Bucket k holds values in (Cuts[k-1], Cuts[k]]; the last bucket additionally
+// absorbs everything above the largest cut. One cut always equals 0, so the
+// "zero bucket" of the sparsity-aware histogram construction (§5.1) is well
+// defined even for features with negative values.
+type Candidates struct {
+	Cuts []float64
+	// ZeroBucket caches Bucket(0).
+	ZeroBucket int
+}
+
+// NumBuckets returns the number of histogram buckets for this feature.
+func (c Candidates) NumBuckets() int { return len(c.Cuts) }
+
+// Bucket maps a feature value to its histogram bucket: the smallest k with
+// v <= Cuts[k], or the last bucket when v exceeds every cut.
+func (c Candidates) Bucket(v float64) int {
+	k := sort.SearchFloat64s(c.Cuts, v)
+	// SearchFloat64s finds the first cut >= v; bucket semantics are
+	// v <= cut, which is the same index except when v equals a cut —
+	// Search already returns that cut's index, which is correct.
+	if k >= len(c.Cuts) {
+		return len(c.Cuts) - 1
+	}
+	return k
+}
+
+// SplitValue returns the threshold of splitting after bucket k ("x <= value
+// goes left"). Splits at the last bucket are not meaningful (everything goes
+// left) and are never proposed by the split finder.
+func (c Candidates) SplitValue(k int) float64 { return c.Cuts[k] }
+
+// newCandidates sorts, deduplicates, and injects the zero cut.
+func newCandidates(cuts []float64) Candidates {
+	cuts = append(cuts, 0)
+	sort.Float64s(cuts)
+	out := cuts[:0]
+	for i, v := range cuts {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	c := Candidates{Cuts: out}
+	c.ZeroBucket = c.Bucket(0)
+	return c
+}
+
+// FromCuts rebuilds a Candidates value from serialized cut points (which
+// already include the zero cut and are sorted and deduplicated).
+func FromCuts(cuts []float64) Candidates {
+	c := Candidates{Cuts: cuts}
+	c.ZeroBucket = c.Bucket(0)
+	return c
+}
+
+// Propose extracts at most k cut points from the sketch as the 1/k .. k/k
+// quantiles (the paper's percentile-based candidate proposal, §2.2). The
+// zero cut is always added. An empty sketch yields the single zero cut.
+func Propose(s *GK, k int) Candidates {
+	if s == nil || s.Count() == 0 {
+		return newCandidates(nil)
+	}
+	cuts := make([]float64, 0, k)
+	for i := 1; i <= k; i++ {
+		q, err := s.Query(float64(i) / float64(k))
+		if err != nil {
+			break
+		}
+		cuts = append(cuts, q)
+	}
+	return newCandidates(cuts)
+}
+
+// Set is a per-feature collection of GK sketches over the nonzero values of
+// each feature. Workers build a local Set over their shard and the parameter
+// server merges them (CREATE_SKETCH / PULL_SKETCH).
+type Set struct {
+	eps      float64
+	sketches []*GK // nil until a feature sees a nonzero value
+}
+
+// NewSet creates an empty sketch set for numFeatures features with rank
+// error eps per feature.
+func NewSet(numFeatures int, eps float64) *Set {
+	return &Set{eps: eps, sketches: make([]*GK, numFeatures)}
+}
+
+// NumFeatures returns the number of features covered.
+func (t *Set) NumFeatures() int { return len(t.sketches) }
+
+// Feature returns the sketch of feature f, or nil if f never had a nonzero.
+func (t *Set) Feature(f int) *GK { return t.sketches[f] }
+
+// Add inserts one observation for feature f.
+func (t *Set) Add(f int, v float64) {
+	s := t.sketches[f]
+	if s == nil {
+		s = NewGK(t.eps)
+		t.sketches[f] = s
+	}
+	s.Insert(v)
+}
+
+// AddDataset inserts every nonzero entry of the dataset.
+func (t *Set) AddDataset(d *dataset.Dataset) {
+	for i := 0; i < d.NumRows(); i++ {
+		in := d.Row(i)
+		for j, f := range in.Indices {
+			t.Add(int(f), float64(in.Values[j]))
+		}
+	}
+}
+
+// Merge folds other into t feature by feature.
+func (t *Set) Merge(other *Set) {
+	for f, os := range other.sketches {
+		if os == nil {
+			continue
+		}
+		if t.sketches[f] == nil {
+			t.sketches[f] = NewGK(t.eps)
+		}
+		t.sketches[f].Merge(os)
+	}
+}
+
+// Candidates proposes k split candidates per feature.
+func (t *Set) Candidates(k int) []Candidates {
+	out := make([]Candidates, len(t.sketches))
+	for f, s := range t.sketches {
+		out[f] = Propose(s, k)
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// weightedRank computes the exact cumulative weight of values <= v.
+func weightedRank(vals, weights []float64, v float64) float64 {
+	var r float64
+	for i, x := range vals {
+		if x <= v {
+			r += weights[i]
+		}
+	}
+	return r
+}
+
+func checkWeightedEps(t *testing.T, s *WeightedGK, vals, weights []float64, eps float64) {
+	t.Helper()
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	for _, phi := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+		got, err := s.Query(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// rank interval of got: [rank(<got), rank(<=got)]
+		lo := weightedRank(vals, weights, math.Nextafter(got, math.Inf(-1)))
+		hi := weightedRank(vals, weights, got)
+		target := phi * total
+		dist := 0.0
+		if target < lo {
+			dist = lo - target
+		} else if target > hi {
+			dist = target - hi
+		}
+		if dist > 2.5*eps*total {
+			t.Errorf("phi=%v: value %v ranks [%v,%v], target %v ± %v", phi, got, lo, hi, target, 2.5*eps*total)
+		}
+	}
+}
+
+func TestWeightedGKUniformWeights(t *testing.T) {
+	// with equal weights it behaves like plain GK
+	rng := rand.New(rand.NewSource(1))
+	s := NewWeightedGK(0.02)
+	n := 10000
+	vals := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+		weights[i] = 1
+		s.Insert(vals[i], 1)
+	}
+	checkWeightedEps(t, s, vals, weights, 0.02)
+}
+
+func TestWeightedGKSkewedWeights(t *testing.T) {
+	// heavy weights shift quantiles toward the heavy values
+	rng := rand.New(rand.NewSource(2))
+	s := NewWeightedGK(0.02)
+	n := 8000
+	vals := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.Float64() * 100
+		if vals[i] > 80 {
+			weights[i] = 50 // top 20% of values carry most weight
+		} else {
+			weights[i] = 1
+		}
+		s.Insert(vals[i], weights[i])
+	}
+	checkWeightedEps(t, s, vals, weights, 0.02)
+	med, err := s.Query(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med < 75 {
+		t.Fatalf("weighted median %v should sit in the heavy region (>80ish)", med)
+	}
+}
+
+func TestWeightedGKIgnoresBadInput(t *testing.T) {
+	s := NewWeightedGK(0.1)
+	s.Insert(math.NaN(), 1)
+	s.Insert(1, 0)
+	s.Insert(1, -2)
+	s.Insert(math.Inf(1), 1)
+	s.Insert(1, math.Inf(1))
+	if s.Weight() != 0 {
+		t.Fatalf("weight %v after garbage inserts", s.Weight())
+	}
+	if _, err := s.Query(0.5); err == nil {
+		t.Fatal("empty query should error")
+	}
+}
+
+func TestWeightedGKMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var vals, weights []float64
+	parts := make([]*WeightedGK, 4)
+	for p := range parts {
+		parts[p] = NewWeightedGK(0.02)
+		for i := 0; i < 3000; i++ {
+			v := rng.NormFloat64() + float64(p)
+			w := rng.Float64()*2 + 0.1
+			parts[p].Insert(v, w)
+			vals = append(vals, v)
+			weights = append(weights, w)
+		}
+	}
+	merged := NewWeightedGK(0.02)
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if math.Abs(merged.Weight()-total) > 1e-6*total {
+		t.Fatalf("merged weight %v, want %v", merged.Weight(), total)
+	}
+	checkWeightedEps(t, merged, vals, weights, 2*0.02)
+}
+
+func TestWeightedGKSpaceStaysBounded(t *testing.T) {
+	s := NewWeightedGK(0.02)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100000; i++ {
+		s.Insert(rng.NormFloat64(), rng.Float64()+0.01)
+	}
+	s.flush()
+	if len(s.tuples) > 5000 {
+		t.Fatalf("summary has %d tuples", len(s.tuples))
+	}
+}
+
+func TestProposeWeighted(t *testing.T) {
+	s := NewWeightedGK(0.02)
+	for i := 1; i <= 1000; i++ {
+		s.Insert(float64(i), 1)
+	}
+	c := ProposeWeighted(s, 10)
+	if !sort.Float64sAreSorted(c.Cuts) {
+		t.Fatal("cuts not sorted")
+	}
+	hasZero := false
+	for _, v := range c.Cuts {
+		if v == 0 {
+			hasZero = true
+		}
+	}
+	if !hasZero {
+		t.Fatal("zero cut missing")
+	}
+	if c.NumBuckets() < 8 {
+		t.Fatalf("only %d buckets for 1000 distinct values", c.NumBuckets())
+	}
+	// empty propose
+	if ProposeWeighted(nil, 5).NumBuckets() != 1 {
+		t.Fatal("nil propose")
+	}
+	if ProposeWeighted(NewWeightedGK(0.1), 5).NumBuckets() != 1 {
+		t.Fatal("empty propose")
+	}
+}
+
+func TestWeightedExtremes(t *testing.T) {
+	s := NewWeightedGK(0.05)
+	for i := 1; i <= 100; i++ {
+		s.Insert(float64(i), float64(i))
+	}
+	lo, _ := s.Query(0)
+	hi, _ := s.Query(1)
+	if lo != 1 || hi != 100 {
+		t.Fatalf("extremes %v..%v", lo, hi)
+	}
+}

@@ -1,0 +1,298 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// frame kinds
+const (
+	kindRequest  = 1
+	kindResponse = 2
+	kindError    = 3
+)
+
+// maxFrame caps a single frame at 1 GiB to reject corrupt length prefixes.
+const maxFrame = 1 << 30
+
+// TCPEndpoint is a network node reachable over TCP. Frames are
+// length-prefixed: u32 length, then u64 request id, u8 kind, u8 op,
+// length-prefixed sender name, and the body.
+type TCPEndpoint struct {
+	name     string
+	listener net.Listener
+	handler  atomic.Value // Handler
+
+	mu       sync.Mutex
+	peers    map[string]string // name -> address
+	conns    map[string]*tcpConn
+	allConns map[*tcpConn]struct{} // dialed and accepted, for Close
+	pending  map[uint64]chan Message
+	nextID   uint64
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+type tcpConn struct {
+	c       net.Conn
+	writeMu sync.Mutex
+}
+
+// NewTCPEndpoint starts a listener on listenAddr (e.g. "127.0.0.1:0") and
+// returns the endpoint. Addr reports the bound address for peer exchange.
+func NewTCPEndpoint(name, listenAddr string) (*TCPEndpoint, error) {
+	l, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	e := &TCPEndpoint{
+		name:     name,
+		listener: l,
+		peers:    make(map[string]string),
+		conns:    make(map[string]*tcpConn),
+		allConns: make(map[*tcpConn]struct{}),
+		pending:  make(map[uint64]chan Message),
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the bound listen address.
+func (e *TCPEndpoint) Addr() string { return e.listener.Addr().String() }
+
+// Name implements Endpoint.
+func (e *TCPEndpoint) Name() string { return e.name }
+
+// Handle implements Endpoint.
+func (e *TCPEndpoint) Handle(h Handler) { e.handler.Store(h) }
+
+// AddPeer registers the address of a named peer.
+func (e *TCPEndpoint) AddPeer(name, addr string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.peers[name] = addr
+}
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		c, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		tc := &tcpConn{c: c}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			c.Close()
+			continue
+		}
+		e.allConns[tc] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.readLoop(tc)
+		}()
+	}
+}
+
+// conn returns (dialing if necessary) the connection to a peer.
+func (e *TCPEndpoint) conn(to string) (*tcpConn, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if tc := e.conns[to]; tc != nil {
+		e.mu.Unlock()
+		return tc, nil
+	}
+	addr, ok := e.peers[to]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownEndpoint, to)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s (%s): %w", to, addr, err)
+	}
+	tc := &tcpConn{c: c}
+	e.mu.Lock()
+	if existing := e.conns[to]; existing != nil {
+		e.mu.Unlock()
+		c.Close()
+		return existing, nil
+	}
+	e.conns[to] = tc
+	e.allConns[tc] = struct{}{}
+	e.mu.Unlock()
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		e.readLoop(tc)
+	}()
+	return tc, nil
+}
+
+// Call implements Endpoint.
+func (e *TCPEndpoint) Call(to string, req Message) (Message, error) {
+	tc, err := e.conn(to)
+	if err != nil {
+		return Message{}, err
+	}
+	id := atomic.AddUint64(&e.nextID, 1)
+	ch := make(chan Message, 1)
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return Message{}, ErrClosed
+	}
+	e.pending[id] = ch
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.pending, id)
+		e.mu.Unlock()
+	}()
+
+	if err := writeFrame(tc, id, kindRequest, req.Op, e.name, req.Body); err != nil {
+		return Message{}, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		return Message{}, ErrClosed
+	}
+	if resp.Op == 0 && len(resp.Body) > 0 && resp.Body[0] == kindError {
+		return Message{}, fmt.Errorf("transport: remote error from %s: %s", to, resp.Body[1:])
+	}
+	return resp, nil
+}
+
+func (e *TCPEndpoint) readLoop(tc *tcpConn) {
+	defer func() {
+		tc.c.Close()
+		e.mu.Lock()
+		delete(e.allConns, tc)
+		e.mu.Unlock()
+	}()
+	for {
+		id, kind, op, from, body, err := readFrame(tc.c)
+		if err != nil {
+			e.failPending()
+			return
+		}
+		switch kind {
+		case kindRequest:
+			go e.dispatch(tc, id, op, from, body)
+		case kindResponse, kindError:
+			e.mu.Lock()
+			ch := e.pending[id]
+			e.mu.Unlock()
+			if ch != nil {
+				if kind == kindError {
+					ch <- Message{Op: 0, Body: append([]byte{kindError}, body...)}
+				} else {
+					ch <- Message{Op: op, Body: body}
+				}
+			}
+		}
+	}
+}
+
+func (e *TCPEndpoint) dispatch(tc *tcpConn, id uint64, op uint8, from string, body []byte) {
+	h, _ := e.handler.Load().(Handler)
+	if h == nil {
+		writeFrame(tc, id, kindError, 0, e.name, []byte("no handler"))
+		return
+	}
+	resp, err := h(from, Message{Op: op, Body: body})
+	if err != nil {
+		writeFrame(tc, id, kindError, 0, e.name, []byte(err.Error()))
+		return
+	}
+	writeFrame(tc, id, kindResponse, resp.Op, e.name, resp.Body)
+}
+
+// failPending unblocks all waiting Calls after a connection failure.
+func (e *TCPEndpoint) failPending() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for id, ch := range e.pending {
+		close(ch)
+		delete(e.pending, id)
+	}
+}
+
+// Close implements Endpoint.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := make([]*tcpConn, 0, len(e.allConns))
+	for tc := range e.allConns {
+		conns = append(conns, tc)
+	}
+	e.conns = make(map[string]*tcpConn)
+	e.mu.Unlock()
+
+	e.listener.Close()
+	for _, tc := range conns {
+		tc.c.Close()
+	}
+	e.failPending()
+	e.wg.Wait()
+	return nil
+}
+
+func writeFrame(tc *tcpConn, id uint64, kind, op uint8, from string, body []byte) error {
+	n := 8 + 1 + 1 + 4 + len(from) + len(body)
+	buf := make([]byte, 4+n)
+	binary.LittleEndian.PutUint32(buf, uint32(n))
+	binary.LittleEndian.PutUint64(buf[4:], id)
+	buf[12] = kind
+	buf[13] = op
+	binary.LittleEndian.PutUint32(buf[14:], uint32(len(from)))
+	copy(buf[18:], from)
+	copy(buf[18+len(from):], body)
+	tc.writeMu.Lock()
+	defer tc.writeMu.Unlock()
+	_, err := tc.c.Write(buf)
+	return err
+}
+
+func readFrame(c net.Conn) (id uint64, kind, op uint8, from string, body []byte, err error) {
+	var hdr [4]byte
+	if _, err = io.ReadFull(c, hdr[:]); err != nil {
+		return
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 18-4 || n > maxFrame {
+		err = fmt.Errorf("transport: bad frame length %d", n)
+		return
+	}
+	buf := make([]byte, n)
+	if _, err = io.ReadFull(c, buf); err != nil {
+		return
+	}
+	id = binary.LittleEndian.Uint64(buf)
+	kind = buf[8]
+	op = buf[9]
+	fl := binary.LittleEndian.Uint32(buf[10:])
+	if 14+int(fl) > len(buf) {
+		err = fmt.Errorf("transport: bad name length %d", fl)
+		return
+	}
+	from = string(buf[14 : 14+fl])
+	body = buf[14+fl:]
+	return
+}

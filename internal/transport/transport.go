@@ -1,0 +1,261 @@
+// Package transport provides the RPC substrate the DimBoost cluster runs
+// on: named endpoints exchanging request/response messages. Two
+// implementations exist — an in-memory network with per-node traffic
+// metering (used by the in-process cluster runtime and the communication
+// cost experiments) and a TCP network with length-prefixed frames for
+// genuinely distributed processes (the role Netty plays in the paper's
+// implementation, §7.1).
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Message is one RPC payload: an operation code plus an opaque wire-encoded
+// body.
+type Message struct {
+	Op   uint8
+	Body []byte
+}
+
+// Size returns the accounted wire size of the message.
+func (m Message) Size() int64 { return int64(len(m.Body)) + 1 }
+
+// Handler processes one incoming request and produces a response. Handlers
+// run concurrently and must be safe for concurrent use; a handler may block
+// (the master's barrier does).
+type Handler func(from string, req Message) (Message, error)
+
+// Endpoint is one named node on a network.
+type Endpoint interface {
+	// Name returns the endpoint's network-unique name.
+	Name() string
+	// Handle installs the request handler. It must be called before any
+	// peer Calls this endpoint.
+	Handle(h Handler)
+	// Call sends a request to the named peer and waits for its response.
+	Call(to string, req Message) (Message, error)
+	// Close releases the endpoint.
+	Close() error
+}
+
+// Network creates endpoints that can reach each other by name.
+type Network interface {
+	// Endpoint registers a new named endpoint.
+	Endpoint(name string) (Endpoint, error)
+	// Close shuts down the network and all endpoints.
+	Close() error
+}
+
+// Counter accumulates one node's traffic statistics.
+type Counter struct {
+	BytesSent, BytesRecv int64
+	MsgsSent, MsgsRecv   int64
+}
+
+// Meter tracks per-node traffic for the communication cost model. All
+// methods are safe for concurrent use.
+type Meter struct {
+	mu    sync.Mutex
+	nodes map[string]*counter
+}
+
+type counter struct {
+	bytesSent, bytesRecv atomic.Int64
+	msgsSent, msgsRecv   atomic.Int64
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter { return &Meter{nodes: make(map[string]*counter)} }
+
+func (m *Meter) node(name string) *counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.nodes[name]
+	if c == nil {
+		c = &counter{}
+		m.nodes[name] = c
+	}
+	return c
+}
+
+// Record accounts one request/response exchange.
+func (m *Meter) Record(from, to string, reqBytes, respBytes int64) {
+	f, t := m.node(from), m.node(to)
+	f.bytesSent.Add(reqBytes)
+	f.bytesRecv.Add(respBytes)
+	f.msgsSent.Add(1)
+	t.bytesRecv.Add(reqBytes)
+	t.bytesSent.Add(respBytes)
+	t.msgsRecv.Add(1)
+}
+
+// Node returns the counters of one node.
+func (m *Meter) Node(name string) Counter {
+	c := m.node(name)
+	return Counter{
+		BytesSent: c.bytesSent.Load(),
+		BytesRecv: c.bytesRecv.Load(),
+		MsgsSent:  c.msgsSent.Load(),
+		MsgsRecv:  c.msgsRecv.Load(),
+	}
+}
+
+// Totals sums counters over every node. Because both directions of every
+// exchange are recorded on both nodes, total bytes are double-counted
+// relative to the wire; comparisons between strategies are unaffected.
+func (m *Meter) Totals() Counter {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.nodes))
+	for n := range m.nodes {
+		names = append(names, n)
+	}
+	m.mu.Unlock()
+	var out Counter
+	for _, n := range names {
+		c := m.Node(n)
+		out.BytesSent += c.BytesSent
+		out.BytesRecv += c.BytesRecv
+		out.MsgsSent += c.MsgsSent
+		out.MsgsRecv += c.MsgsRecv
+	}
+	return out
+}
+
+// MaxPerNode returns the maxima over nodes, the quantities the cost model
+// multiplies by β and α.
+func (m *Meter) MaxPerNode() Counter {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.nodes))
+	for n := range m.nodes {
+		names = append(names, n)
+	}
+	m.mu.Unlock()
+	var out Counter
+	for _, n := range names {
+		c := m.Node(n)
+		if c.BytesSent > out.BytesSent {
+			out.BytesSent = c.BytesSent
+		}
+		if c.BytesRecv > out.BytesRecv {
+			out.BytesRecv = c.BytesRecv
+		}
+		if c.MsgsSent > out.MsgsSent {
+			out.MsgsSent = c.MsgsSent
+		}
+		if c.MsgsRecv > out.MsgsRecv {
+			out.MsgsRecv = c.MsgsRecv
+		}
+	}
+	return out
+}
+
+// Reset zeroes all counters.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes = make(map[string]*counter)
+}
+
+// Common errors.
+var (
+	ErrClosed          = errors.New("transport: endpoint closed")
+	ErrUnknownEndpoint = errors.New("transport: unknown endpoint")
+)
+
+// MemNetwork is an in-process Network: calls invoke the target handler
+// directly on the caller's goroutine. All traffic is metered.
+type MemNetwork struct {
+	mu        sync.RWMutex
+	endpoints map[string]*memEndpoint
+	meter     *Meter
+	closed    bool
+}
+
+// NewMemNetwork returns an empty in-memory network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{endpoints: make(map[string]*memEndpoint), meter: NewMeter()}
+}
+
+// Meter exposes the network's traffic meter.
+func (n *MemNetwork) Meter() *Meter { return n.meter }
+
+// Endpoint implements Network.
+func (n *MemNetwork) Endpoint(name string) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := n.endpoints[name]; dup {
+		return nil, fmt.Errorf("transport: duplicate endpoint %q", name)
+	}
+	ep := &memEndpoint{name: name, net: n}
+	n.endpoints[name] = ep
+	return ep, nil
+}
+
+// Close implements Network.
+func (n *MemNetwork) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+	n.endpoints = make(map[string]*memEndpoint)
+	return nil
+}
+
+type memEndpoint struct {
+	name    string
+	net     *MemNetwork
+	mu      sync.RWMutex
+	handler Handler
+	closed  bool
+}
+
+func (e *memEndpoint) Name() string { return e.name }
+
+func (e *memEndpoint) Handle(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+func (e *memEndpoint) Call(to string, req Message) (Message, error) {
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return Message{}, ErrClosed
+	}
+	e.net.mu.RLock()
+	target := e.net.endpoints[to]
+	e.net.mu.RUnlock()
+	if target == nil {
+		return Message{}, fmt.Errorf("%w: %q", ErrUnknownEndpoint, to)
+	}
+	target.mu.RLock()
+	h := target.handler
+	target.mu.RUnlock()
+	if h == nil {
+		return Message{}, fmt.Errorf("transport: endpoint %q has no handler", to)
+	}
+	resp, err := h(e.name, req)
+	if err != nil {
+		return Message{}, err
+	}
+	e.net.meter.Record(e.name, to, req.Size(), resp.Size())
+	return resp, nil
+}
+
+func (e *memEndpoint) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.net.mu.Lock()
+	delete(e.net.endpoints, e.name)
+	e.net.mu.Unlock()
+	return nil
+}

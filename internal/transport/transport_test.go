@@ -1,0 +1,271 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMemNetworkBasicRPC(t *testing.T) {
+	net := NewMemNetwork()
+	a, err := net.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Handle(func(from string, req Message) (Message, error) {
+		if from != "a" {
+			t.Errorf("from = %q", from)
+		}
+		return Message{Op: req.Op + 1, Body: append([]byte("echo:"), req.Body...)}, nil
+	})
+	resp, err := a.Call("b", Message{Op: 7, Body: []byte("hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Op != 8 || string(resp.Body) != "echo:hi" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestMemNetworkErrors(t *testing.T) {
+	net := NewMemNetwork()
+	a, _ := net.Endpoint("a")
+	if _, err := net.Endpoint("a"); err == nil {
+		t.Fatal("duplicate endpoint should fail")
+	}
+	if _, err := a.Call("ghost", Message{}); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Fatalf("err = %v", err)
+	}
+	b, _ := net.Endpoint("b")
+	if _, err := a.Call("b", Message{}); err == nil {
+		t.Fatal("no-handler call should fail")
+	}
+	b.Handle(func(string, Message) (Message, error) { return Message{}, errors.New("boom") })
+	if _, err := a.Call("b", Message{}); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("handler error not propagated: %v", err)
+	}
+	a.Close()
+	if _, err := a.Call("b", Message{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed call err = %v", err)
+	}
+	net.Close()
+	if _, err := net.Endpoint("c"); !errors.Is(err, ErrClosed) {
+		t.Fatal("closed network should reject endpoints")
+	}
+}
+
+func TestMeterAccounting(t *testing.T) {
+	net := NewMemNetwork()
+	a, _ := net.Endpoint("a")
+	b, _ := net.Endpoint("b")
+	b.Handle(func(_ string, req Message) (Message, error) {
+		return Message{Body: make([]byte, 10)}, nil
+	})
+	if _, err := a.Call("b", Message{Body: make([]byte, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	ca := net.Meter().Node("a")
+	cb := net.Meter().Node("b")
+	if ca.BytesSent != 101 || ca.BytesRecv != 11 || ca.MsgsSent != 1 {
+		t.Fatalf("a = %+v", ca)
+	}
+	if cb.BytesRecv != 101 || cb.BytesSent != 11 || cb.MsgsRecv != 1 {
+		t.Fatalf("b = %+v", cb)
+	}
+	tot := net.Meter().Totals()
+	if tot.BytesSent != 112 || tot.MsgsSent != 1 || tot.MsgsRecv != 1 {
+		t.Fatalf("totals = %+v", tot)
+	}
+	mx := net.Meter().MaxPerNode()
+	if mx.BytesSent != 101 || mx.BytesRecv != 101 {
+		t.Fatalf("max = %+v", mx)
+	}
+	net.Meter().Reset()
+	if net.Meter().Totals().BytesSent != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestMemNetworkConcurrentCalls(t *testing.T) {
+	net := NewMemNetwork()
+	srv, _ := net.Endpoint("srv")
+	var mu sync.Mutex
+	seen := map[string]int{}
+	srv.Handle(func(from string, req Message) (Message, error) {
+		mu.Lock()
+		seen[from]++
+		mu.Unlock()
+		return Message{Op: req.Op}, nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		ep, err := net.Endpoint(fmt.Sprintf("w%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(ep Endpoint) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, err := ep.Call("srv", Message{Op: 1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(ep)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range seen {
+		total += n
+	}
+	if total != 16*50 {
+		t.Fatalf("server saw %d calls", total)
+	}
+}
+
+func TestTCPBasicRPC(t *testing.T) {
+	a, err := NewTCPEndpoint("a", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTCPEndpoint("b", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.AddPeer("b", b.Addr())
+	b.AddPeer("a", a.Addr())
+
+	b.Handle(func(from string, req Message) (Message, error) {
+		return Message{Op: req.Op * 2, Body: append([]byte(from+":"), req.Body...)}, nil
+	})
+	resp, err := a.Call("b", Message{Op: 21, Body: []byte("ping")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Op != 42 || string(resp.Body) != "a:ping" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestTCPBidirectionalAndLarge(t *testing.T) {
+	a, _ := NewTCPEndpoint("a", "127.0.0.1:0")
+	defer a.Close()
+	b, _ := NewTCPEndpoint("b", "127.0.0.1:0")
+	defer b.Close()
+	a.AddPeer("b", b.Addr())
+	b.AddPeer("a", a.Addr())
+
+	big := make([]byte, 4<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	a.Handle(func(_ string, req Message) (Message, error) {
+		return Message{Op: 1, Body: req.Body}, nil
+	})
+	b.Handle(func(_ string, req Message) (Message, error) {
+		// call back into a from b's handler over a fresh dial
+		return a.Call("b", Message{Op: 9}) // nested call the other way
+	})
+	// large payload echo through a's handler
+	resp, err := b.Call("a", Message{Op: 5, Body: big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Body) != len(big) || resp.Body[1<<20] != big[1<<20] {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+func TestTCPConcurrentCalls(t *testing.T) {
+	srv, _ := NewTCPEndpoint("srv", "127.0.0.1:0")
+	defer srv.Close()
+	srv.Handle(func(_ string, req Message) (Message, error) {
+		return Message{Op: req.Op, Body: req.Body}, nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		cl, err := NewTCPEndpoint(fmt.Sprintf("c%d", i), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.AddPeer("srv", srv.Addr())
+		wg.Add(1)
+		go func(cl *TCPEndpoint, i int) {
+			defer wg.Done()
+			defer cl.Close()
+			for j := 0; j < 30; j++ {
+				body := []byte(fmt.Sprintf("%d-%d", i, j))
+				resp, err := cl.Call("srv", Message{Op: uint8(i), Body: body})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if string(resp.Body) != string(body) {
+					t.Errorf("echo mismatch: %q vs %q", resp.Body, body)
+					return
+				}
+			}
+		}(cl, i)
+	}
+	wg.Wait()
+}
+
+func TestTCPHandlerError(t *testing.T) {
+	a, _ := NewTCPEndpoint("a", "127.0.0.1:0")
+	defer a.Close()
+	b, _ := NewTCPEndpoint("b", "127.0.0.1:0")
+	defer b.Close()
+	a.AddPeer("b", b.Addr())
+	b.Handle(func(string, Message) (Message, error) {
+		return Message{}, errors.New("server exploded")
+	})
+	if _, err := a.Call("b", Message{}); err == nil || !strings.Contains(err.Error(), "server exploded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPUnknownPeerAndClosed(t *testing.T) {
+	a, _ := NewTCPEndpoint("a", "127.0.0.1:0")
+	if _, err := a.Call("nobody", Message{}); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Fatalf("err = %v", err)
+	}
+	a.Close()
+	if _, err := a.Call("nobody", Message{}); err == nil {
+		t.Fatal("closed endpoint should fail")
+	}
+	// double close is fine
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPPeerCrashUnblocksCalls(t *testing.T) {
+	a, _ := NewTCPEndpoint("a", "127.0.0.1:0")
+	defer a.Close()
+	b, _ := NewTCPEndpoint("b", "127.0.0.1:0")
+	a.AddPeer("b", b.Addr())
+	started := make(chan struct{})
+	b.Handle(func(string, Message) (Message, error) {
+		close(started)
+		select {} // hang forever
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Call("b", Message{Op: 1})
+		done <- err
+	}()
+	<-started
+	b.Close() // kill the peer while the call is outstanding
+	if err := <-done; err == nil {
+		t.Fatal("call should fail when peer dies")
+	}
+}

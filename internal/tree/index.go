@@ -1,0 +1,100 @@
+package tree
+
+import "fmt"
+
+// Index is the node-to-instance index of §5.2: a single permutation array of
+// instance ids plus a [lo, hi) range per tree node. Splitting a node
+// partitions its range in place with a two-directional scan-and-swap, so
+// histogram builders can read a node's instances contiguously without
+// scanning the dataset.
+type Index struct {
+	pos    []int32
+	lo, hi []int32
+}
+
+// NewIndex creates an index over n instances for a tree with maxNodes slots;
+// all instances start in the root (node 0).
+func NewIndex(n, maxNodes int) *Index {
+	idx := &Index{
+		pos: make([]int32, n),
+		lo:  make([]int32, maxNodes),
+		hi:  make([]int32, maxNodes),
+	}
+	for i := range idx.pos {
+		idx.pos[i] = int32(i)
+	}
+	for i := range idx.lo {
+		idx.lo[i] = -1
+		idx.hi[i] = -1
+	}
+	idx.lo[0] = 0
+	idx.hi[0] = int32(n)
+	return idx
+}
+
+// NewIndexFrom creates an index over an explicit row subset (instance
+// subsampling): only the given rows participate in the tree; the slice is
+// copied.
+func NewIndexFrom(rows []int32, maxNodes int) *Index {
+	idx := &Index{
+		pos: append([]int32(nil), rows...),
+		lo:  make([]int32, maxNodes),
+		hi:  make([]int32, maxNodes),
+	}
+	for i := range idx.lo {
+		idx.lo[i] = -1
+		idx.hi[i] = -1
+	}
+	idx.lo[0] = 0
+	idx.hi[0] = int32(len(rows))
+	return idx
+}
+
+// Rows returns the instance ids of node i as a subslice of the permutation
+// array. The slice is invalidated by a later Split of node i.
+func (x *Index) Rows(node int) []int32 {
+	if x.lo[node] < 0 {
+		return nil
+	}
+	return x.pos[x.lo[node]:x.hi[node]]
+}
+
+// Count returns the number of instances in node i.
+func (x *Index) Count(node int) int {
+	if x.lo[node] < 0 {
+		return 0
+	}
+	return int(x.hi[node] - x.lo[node])
+}
+
+// Split partitions node's instances by goLeft: instances for which goLeft
+// returns true move to the front of the range (child Left(node)), the rest
+// to the back (child Right(node)). It returns the two child sizes.
+func (x *Index) Split(node int, goLeft func(row int32) bool) (nLeft, nRight int) {
+	l, r := x.lo[node], x.hi[node]
+	if l < 0 {
+		panic(fmt.Sprintf("tree: splitting unset node %d", node))
+	}
+	i, j := l, r-1
+	for i <= j {
+		for i <= j && goLeft(x.pos[i]) {
+			i++
+		}
+		for i <= j && !goLeft(x.pos[j]) {
+			j--
+		}
+		if i < j {
+			x.pos[i], x.pos[j] = x.pos[j], x.pos[i]
+			i++
+			j--
+		}
+	}
+	mid := i
+	left, right := Left(node), Right(node)
+	x.lo[left], x.hi[left] = l, mid
+	x.lo[right], x.hi[right] = mid, r
+	return int(mid - l), int(r - mid)
+}
+
+// Len returns the total number of indexed instances.
+func (x *Index) Len() int { return len(x.pos) }

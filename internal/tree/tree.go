@@ -1,0 +1,166 @@
+// Package tree provides the regression-tree model trained by GBDT and the
+// node-to-instance index used to build per-node gradient histograms without
+// rescanning the dataset (§5.2).
+//
+// Trees use the paper's implicit complete-binary layout: a tree of maximal
+// depth d occupies 2^d − 1 slots, node i has children 2i+1 and 2i+2 (the
+// "state array" of the round-robin task scheduler, §6.2, uses the same
+// numbering).
+package tree
+
+import (
+	"fmt"
+	"math"
+
+	"dimboost/internal/dataset"
+)
+
+// MaxNodes returns the slot count of a tree with the given maximal depth
+// (depth 1 is a single leaf).
+func MaxNodes(maxDepth int) int { return (1 << maxDepth) - 1 }
+
+// LayerRange returns the [lo, hi) node-id range of layer l (the root is
+// layer 0).
+func LayerRange(l int) (lo, hi int) { return (1 << l) - 1, (1 << (l + 1)) - 1 }
+
+// Depth returns the layer of node id i.
+func Depth(i int) int {
+	return int(math.Floor(math.Log2(float64(i + 1))))
+}
+
+// Left and Right return the child ids of node i.
+func Left(i int) int  { return 2*i + 1 }
+func Right(i int) int { return 2*i + 2 }
+
+// Parent returns the parent id of node i (undefined for the root).
+func Parent(i int) int { return (i - 1) / 2 }
+
+// Node is one slot of a regression tree. A node is unused (never created),
+// an internal split, or a leaf with a prediction weight.
+type Node struct {
+	// Used marks whether this slot exists in the tree.
+	Used bool
+	// Leaf marks leaf nodes; leaves carry Weight, internal nodes carry
+	// Feature/Value/Gain.
+	Leaf bool
+	// Feature is the global split feature id.
+	Feature int32
+	// Value is the split threshold: x[Feature] <= Value goes left. Missing
+	// features read as 0.
+	Value float64
+	// Gain is the objective gain of this split (for model inspection).
+	Gain float64
+	// Weight is the leaf prediction, with shrinkage already applied.
+	Weight float64
+}
+
+// Tree is a single regression tree in implicit layout.
+type Tree struct {
+	MaxDepth int
+	Nodes    []Node
+}
+
+// New returns a tree of the given maximal depth whose root exists as a leaf
+// of weight 0.
+func New(maxDepth int) *Tree {
+	if maxDepth < 1 {
+		panic("tree: maxDepth must be >= 1")
+	}
+	t := &Tree{MaxDepth: maxDepth, Nodes: make([]Node, MaxNodes(maxDepth))}
+	t.Nodes[0] = Node{Used: true, Leaf: true}
+	return t
+}
+
+// SetSplit converts node i into an internal split and creates its children
+// as leaves (their weights are set separately).
+func (t *Tree) SetSplit(i int, feature int32, value, gain float64) {
+	if Right(i) >= len(t.Nodes) {
+		panic(fmt.Sprintf("tree: splitting node %d exceeds max depth %d", i, t.MaxDepth))
+	}
+	t.Nodes[i] = Node{Used: true, Feature: feature, Value: value, Gain: gain}
+	t.Nodes[Left(i)] = Node{Used: true, Leaf: true}
+	t.Nodes[Right(i)] = Node{Used: true, Leaf: true}
+}
+
+// SetLeaf makes node i a leaf with the given (already shrunk) weight.
+func (t *Tree) SetLeaf(i int, weight float64) {
+	t.Nodes[i] = Node{Used: true, Leaf: true, Weight: weight}
+}
+
+// Predict routes one instance from the root to a leaf and returns the leaf
+// weight.
+func (t *Tree) Predict(in dataset.Instance) float64 {
+	i := 0
+	for {
+		n := &t.Nodes[i]
+		if n.Leaf {
+			return n.Weight
+		}
+		if float64(in.Feature(int(n.Feature))) <= n.Value {
+			i = Left(i)
+		} else {
+			i = Right(i)
+		}
+	}
+}
+
+// PredictNode returns the leaf node id an instance lands in.
+func (t *Tree) PredictNode(in dataset.Instance) int {
+	i := 0
+	for {
+		if t.Nodes[i].Leaf {
+			return i
+		}
+		n := &t.Nodes[i]
+		if float64(in.Feature(int(n.Feature))) <= n.Value {
+			i = Left(i)
+		} else {
+			i = Right(i)
+		}
+	}
+}
+
+// NumLeaves counts the leaves.
+func (t *Tree) NumLeaves() int {
+	n := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].Used && t.Nodes[i].Leaf {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks the structural invariants of the implicit layout: the root
+// exists, children exist exactly for internal nodes, and unused slots have
+// no used descendants.
+func (t *Tree) Validate() error {
+	if len(t.Nodes) != MaxNodes(t.MaxDepth) {
+		return fmt.Errorf("tree: %d slots for depth %d", len(t.Nodes), t.MaxDepth)
+	}
+	if !t.Nodes[0].Used {
+		return fmt.Errorf("tree: root missing")
+	}
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		hasKids := Right(i) < len(t.Nodes)
+		switch {
+		case !n.Used:
+			if hasKids && (t.Nodes[Left(i)].Used || t.Nodes[Right(i)].Used) {
+				return fmt.Errorf("tree: unused node %d has used children", i)
+			}
+		case n.Leaf:
+			if hasKids && (t.Nodes[Left(i)].Used || t.Nodes[Right(i)].Used) {
+				return fmt.Errorf("tree: leaf %d has children", i)
+			}
+		default: // internal
+			if !hasKids {
+				return fmt.Errorf("tree: internal node %d at max depth", i)
+			}
+			if !t.Nodes[Left(i)].Used || !t.Nodes[Right(i)].Used {
+				return fmt.Errorf("tree: internal node %d missing children", i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+package tree
+
+import (
+	"testing"
+
+	"dimboost/internal/dataset"
+)
+
+func TestLayoutHelpers(t *testing.T) {
+	if MaxNodes(1) != 1 || MaxNodes(3) != 7 || MaxNodes(7) != 127 {
+		t.Fatal("MaxNodes")
+	}
+	if Left(0) != 1 || Right(0) != 2 || Left(2) != 5 || Right(2) != 6 {
+		t.Fatal("children")
+	}
+	if Parent(1) != 0 || Parent(2) != 0 || Parent(5) != 2 || Parent(6) != 2 {
+		t.Fatal("parent")
+	}
+	for _, c := range []struct{ node, depth int }{{0, 0}, {1, 1}, {2, 1}, {3, 2}, {6, 2}, {7, 3}, {14, 3}} {
+		if Depth(c.node) != c.depth {
+			t.Errorf("Depth(%d) = %d, want %d", c.node, Depth(c.node), c.depth)
+		}
+	}
+	lo, hi := LayerRange(0)
+	if lo != 0 || hi != 1 {
+		t.Fatal("layer 0")
+	}
+	lo, hi = LayerRange(2)
+	if lo != 3 || hi != 7 {
+		t.Fatal("layer 2")
+	}
+}
+
+func inst(pairs map[int]float32) dataset.Instance {
+	var idx []int32
+	var val []float32
+	for f := 0; f < 100; f++ {
+		if v, ok := pairs[f]; ok {
+			idx = append(idx, int32(f))
+			val = append(val, v)
+		}
+	}
+	return dataset.Instance{Indices: idx, Values: val}
+}
+
+func TestTreePredict(t *testing.T) {
+	tr := New(3)
+	// root splits on feature 2 at 0.5; left leaf -1; right splits on
+	// feature 0 at 2 with leaves +1 / +2
+	tr.SetSplit(0, 2, 0.5, 1.0)
+	tr.SetLeaf(Left(0), -1)
+	tr.SetSplit(Right(0), 0, 2, 0.7)
+	tr.SetLeaf(Left(Right(0)), 1)
+	tr.SetLeaf(Right(Right(0)), 2)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		in   dataset.Instance
+		want float64
+		node int
+	}{
+		{inst(map[int]float32{2: 0.3}), -1, 1},
+		{inst(map[int]float32{}), -1, 1}, // missing feature 2 reads 0 <= 0.5
+		{inst(map[int]float32{2: 0.9, 0: 1.5}), 1, 5},
+		{inst(map[int]float32{2: 0.9, 0: 3}), 2, 6},
+		{inst(map[int]float32{2: 0.9}), 1, 5}, // missing feature 0 reads 0 <= 2
+	}
+	for i, c := range cases {
+		if got := tr.Predict(c.in); got != c.want {
+			t.Errorf("case %d: Predict = %v, want %v", i, got, c.want)
+		}
+		if got := tr.PredictNode(c.in); got != c.node {
+			t.Errorf("case %d: PredictNode = %v, want %v", i, got, c.node)
+		}
+	}
+	if tr.NumLeaves() != 3 {
+		t.Fatalf("NumLeaves = %d, want 3", tr.NumLeaves())
+	}
+}
+
+func TestTreeBoundaryEquality(t *testing.T) {
+	tr := New(2)
+	tr.SetSplit(0, 1, 5, 1)
+	tr.SetLeaf(1, 10)
+	tr.SetLeaf(2, 20)
+	// x == threshold goes left
+	if got := tr.Predict(inst(map[int]float32{1: 5})); got != 10 {
+		t.Fatalf("boundary: got %v, want left leaf", got)
+	}
+	if got := tr.Predict(inst(map[int]float32{1: 5.0001})); got != 20 {
+		t.Fatalf("just above boundary: got %v, want right leaf", got)
+	}
+}
+
+func TestTreeValidateCatchesCorruption(t *testing.T) {
+	tr := New(3)
+	tr.SetSplit(0, 0, 1, 1)
+	tr.SetLeaf(1, 0)
+	tr.SetLeaf(2, 0)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// leaf with used child
+	tr.Nodes[3].Used = true
+	if err := tr.Validate(); err == nil {
+		t.Fatal("expected leaf-with-children error")
+	}
+	tr.Nodes[3].Used = false
+	// internal node missing a child
+	tr.Nodes[1] = Node{Used: true} // internal, children unset
+	if err := tr.Validate(); err == nil {
+		t.Fatal("expected missing-children error")
+	}
+	// missing root
+	tr2 := New(2)
+	tr2.Nodes[0].Used = false
+	if err := tr2.Validate(); err == nil {
+		t.Fatal("expected missing-root error")
+	}
+}
+
+func TestTreePanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("New(0) should panic")
+			}
+		}()
+		New(0)
+	}()
+	func() {
+		tr := New(2)
+		defer func() {
+			if recover() == nil {
+				t.Error("splitting at max depth should panic")
+			}
+		}()
+		tr.SetSplit(1, 0, 0, 0) // node 1's children would be 3,4 >= 3 slots
+	}()
+}
+
+func TestIndexSplit(t *testing.T) {
+	idx := NewIndex(10, MaxNodes(3))
+	if idx.Len() != 10 || idx.Count(0) != 10 {
+		t.Fatal("initial index")
+	}
+	// even rows left, odd right
+	nl, nr := idx.Split(0, func(r int32) bool { return r%2 == 0 })
+	if nl != 5 || nr != 5 {
+		t.Fatalf("split sizes %d/%d", nl, nr)
+	}
+	seen := map[int32]bool{}
+	for _, r := range idx.Rows(Left(0)) {
+		if r%2 != 0 {
+			t.Fatalf("row %d in left child", r)
+		}
+		seen[r] = true
+	}
+	for _, r := range idx.Rows(Right(0)) {
+		if r%2 != 1 {
+			t.Fatalf("row %d in right child", r)
+		}
+		seen[r] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("split lost rows: %d", len(seen))
+	}
+	// split a child again
+	nl, nr = idx.Split(Left(0), func(r int32) bool { return r < 4 })
+	if nl != 2 || nr != 3 { // rows 0,2 vs 4,6,8
+		t.Fatalf("second split %d/%d", nl, nr)
+	}
+	if idx.Count(Left(Left(0))) != 2 {
+		t.Fatal("grandchild count")
+	}
+}
+
+func TestIndexSplitAllOneSide(t *testing.T) {
+	idx := NewIndex(5, MaxNodes(2))
+	nl, nr := idx.Split(0, func(int32) bool { return true })
+	if nl != 5 || nr != 0 {
+		t.Fatalf("all-left split %d/%d", nl, nr)
+	}
+	if idx.Count(Right(0)) != 0 || idx.Rows(Right(0)) != nil && len(idx.Rows(Right(0))) != 0 {
+		t.Fatal("right child should be empty")
+	}
+	idx2 := NewIndex(5, MaxNodes(2))
+	nl, nr = idx2.Split(0, func(int32) bool { return false })
+	if nl != 0 || nr != 5 {
+		t.Fatalf("all-right split %d/%d", nl, nr)
+	}
+}
+
+func TestIndexUnsetNode(t *testing.T) {
+	idx := NewIndex(3, MaxNodes(3))
+	if idx.Rows(5) != nil {
+		t.Fatal("unset node should have nil rows")
+	}
+	if idx.Count(5) != 0 {
+		t.Fatal("unset node count")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("splitting unset node should panic")
+		}
+	}()
+	idx.Split(5, func(int32) bool { return true })
+}
+
+func TestIndexEmptyNodeSplit(t *testing.T) {
+	idx := NewIndex(4, MaxNodes(3))
+	idx.Split(0, func(int32) bool { return true }) // right child empty
+	nl, nr := idx.Split(Right(0), func(int32) bool { return true })
+	if nl != 0 || nr != 0 {
+		t.Fatalf("empty split %d/%d", nl, nr)
+	}
+}
+
+func TestIndexPreservesMultisetProperty(t *testing.T) {
+	// property-style: random splits at every layer keep the permutation a
+	// permutation and children partition parents correctly
+	for seed := int64(0); seed < 20; seed++ {
+		idx := NewIndex(64, MaxNodes(4))
+		rngState := uint64(seed*2654435761 + 1)
+		next := func() uint64 {
+			rngState ^= rngState << 13
+			rngState ^= rngState >> 7
+			rngState ^= rngState << 17
+			return rngState
+		}
+		for layer := 0; layer < 3; layer++ {
+			lo, hi := LayerRange(layer)
+			for node := lo; node < hi; node++ {
+				if idx.Count(node) == 0 && idx.Rows(node) == nil {
+					continue
+				}
+				bit := next()
+				idx.Split(node, func(r int32) bool { return (bit>>(uint(r)%64))&1 == 1 })
+			}
+		}
+		// leaves partition all 64 rows
+		seen := make(map[int32]int)
+		lo, hi := LayerRange(3)
+		for node := lo; node < hi; node++ {
+			for _, r := range idx.Rows(node) {
+				seen[r]++
+			}
+		}
+		if len(seen) != 64 {
+			t.Fatalf("seed %d: %d rows seen", seed, len(seen))
+		}
+		for r, c := range seen {
+			if c != 1 {
+				t.Fatalf("seed %d: row %d seen %d times", seed, r, c)
+			}
+		}
+	}
+}
+
+func TestNewIndexFrom(t *testing.T) {
+	rows := []int32{5, 2, 9, 7}
+	idx := NewIndexFrom(rows, MaxNodes(2))
+	if idx.Len() != 4 || idx.Count(0) != 4 {
+		t.Fatalf("len %d count %d", idx.Len(), idx.Count(0))
+	}
+	got := idx.Rows(0)
+	for i, r := range rows {
+		if got[i] != r {
+			t.Fatalf("row %d: %d want %d", i, got[i], r)
+		}
+	}
+	// the input slice must be copied, not aliased
+	rows[0] = 99
+	if idx.Rows(0)[0] == 99 {
+		t.Fatal("NewIndexFrom aliased caller slice")
+	}
+	// splitting works on the subset
+	nl, nr := idx.Split(0, func(r int32) bool { return r < 7 })
+	if nl != 2 || nr != 2 {
+		t.Fatalf("split %d/%d", nl, nr)
+	}
+}

@@ -1,0 +1,111 @@
+// Package tune provides grid search over GBDT hyper-parameters, scored by
+// k-fold cross-validation — how the paper's hyper-parameters (η, d, K, λ)
+// would be chosen in practice.
+package tune
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dimboost/internal/core"
+	"dimboost/internal/cv"
+	"dimboost/internal/dataset"
+)
+
+// Axis is one hyper-parameter dimension of a grid.
+type Axis struct {
+	// Name labels the axis in candidate names, e.g. "lr".
+	Name string
+	// Values are the settings to try.
+	Values []float64
+	// Set writes one value into a config.
+	Set func(*core.Config, float64)
+}
+
+// Candidate is one point of the grid.
+type Candidate struct {
+	Name   string
+	Config core.Config
+}
+
+// Grid expands the cartesian product of the axes over a base config.
+func Grid(base core.Config, axes ...Axis) []Candidate {
+	out := []Candidate{{Name: "base", Config: base}}
+	if len(axes) == 0 {
+		return out
+	}
+	out = out[:0]
+	var expand func(prefix []string, cfg core.Config, rest []Axis)
+	expand = func(prefix []string, cfg core.Config, rest []Axis) {
+		if len(rest) == 0 {
+			out = append(out, Candidate{Name: strings.Join(prefix, ","), Config: cfg})
+			return
+		}
+		ax := rest[0]
+		for _, v := range ax.Values {
+			c := cfg
+			ax.Set(&c, v)
+			expand(append(prefix, fmt.Sprintf("%s=%g", ax.Name, v)), c, rest[1:])
+		}
+	}
+	expand(nil, base, axes)
+	return out
+}
+
+// Outcome is one candidate's cross-validated result.
+type Outcome struct {
+	Candidate
+	CV *cv.Result
+}
+
+// Search cross-validates every candidate and returns them sorted best
+// (lowest mean score) first. Ties break toward the lower standard deviation
+// and then the earlier candidate.
+func Search(d *dataset.Dataset, candidates []Candidate, k int, seed int64) ([]Outcome, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("tune: no candidates")
+	}
+	out := make([]Outcome, 0, len(candidates))
+	for i, c := range candidates {
+		res, err := cv.Run(d, c.Config, k, seed)
+		if err != nil {
+			return nil, fmt.Errorf("tune: candidate %d (%s): %w", i, c.Name, err)
+		}
+		out = append(out, Outcome{Candidate: c, CV: res})
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].CV.Mean != out[b].CV.Mean {
+			return out[a].CV.Mean < out[b].CV.Mean
+		}
+		return out[a].CV.Std < out[b].CV.Std
+	})
+	return out, nil
+}
+
+// Common axes.
+
+// LearningRate varies η.
+func LearningRate(values ...float64) Axis {
+	return Axis{Name: "lr", Values: values, Set: func(c *core.Config, v float64) { c.LearningRate = v }}
+}
+
+// MaxDepth varies d.
+func MaxDepth(values ...float64) Axis {
+	return Axis{Name: "depth", Values: values, Set: func(c *core.Config, v float64) { c.MaxDepth = int(v) }}
+}
+
+// Lambda varies the L2 regularizer.
+func Lambda(values ...float64) Axis {
+	return Axis{Name: "lambda", Values: values, Set: func(c *core.Config, v float64) { c.Lambda = v }}
+}
+
+// NumCandidates varies K.
+func NumCandidates(values ...float64) Axis {
+	return Axis{Name: "k", Values: values, Set: func(c *core.Config, v float64) { c.NumCandidates = int(v) }}
+}
+
+// FeatureSample varies σ.
+func FeatureSample(values ...float64) Axis {
+	return Axis{Name: "sigma", Values: values, Set: func(c *core.Config, v float64) { c.FeatureSampleRatio = v }}
+}

@@ -1,0 +1,105 @@
+package tune
+
+import (
+	"strings"
+	"testing"
+
+	"dimboost/internal/core"
+	"dimboost/internal/dataset"
+)
+
+func TestGridCartesianProduct(t *testing.T) {
+	base := core.DefaultConfig()
+	grid := Grid(base, LearningRate(0.1, 0.3), MaxDepth(3, 4, 5))
+	if len(grid) != 6 {
+		t.Fatalf("%d candidates, want 6", len(grid))
+	}
+	seen := map[string]bool{}
+	for _, c := range grid {
+		if seen[c.Name] {
+			t.Fatalf("duplicate candidate %s", c.Name)
+		}
+		seen[c.Name] = true
+		if !strings.Contains(c.Name, "lr=") || !strings.Contains(c.Name, "depth=") {
+			t.Fatalf("name %q missing axes", c.Name)
+		}
+	}
+	// values actually applied
+	found := false
+	for _, c := range grid {
+		if c.Name == "lr=0.3,depth=5" {
+			found = true
+			if c.Config.LearningRate != 0.3 || c.Config.MaxDepth != 5 {
+				t.Fatalf("config not applied: %+v", c.Config)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("expected candidate missing")
+	}
+	// base config untouched
+	if base.LearningRate != core.DefaultConfig().LearningRate {
+		t.Fatal("base mutated")
+	}
+}
+
+func TestGridNoAxes(t *testing.T) {
+	grid := Grid(core.DefaultConfig())
+	if len(grid) != 1 || grid[0].Name != "base" {
+		t.Fatalf("%+v", grid)
+	}
+}
+
+func TestSearchRanksByScore(t *testing.T) {
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 400, NumFeatures: 80, AvgNNZ: 8, Seed: 3, Zipf: 1.2, NoiseStd: 0.2})
+	base := core.DefaultConfig()
+	base.NumTrees = 4
+	base.MaxDepth = 3
+	base.Parallelism = 1
+	// an absurd candidate (1 tree, depth 2, tiny lr) should rank below a
+	// sensible one
+	weak := base
+	weak.NumTrees = 1
+	weak.MaxDepth = 2
+	weak.LearningRate = 0.01
+	strong := base
+	strong.NumTrees = 8
+	strong.MaxDepth = 5
+	strong.LearningRate = 0.3
+
+	out, err := Search(d, []Candidate{{Name: "weak", Config: weak}, {Name: "strong", Config: strong}}, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("%d outcomes", len(out))
+	}
+	if out[0].CV.Mean > out[1].CV.Mean {
+		t.Fatal("not sorted by mean score")
+	}
+	if out[0].Name != "strong" {
+		t.Fatalf("winner %s (%.4f) vs %s (%.4f)", out[0].Name, out[0].CV.Mean, out[1].Name, out[1].CV.Mean)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 50, NumFeatures: 10, AvgNNZ: 3, Seed: 5})
+	if _, err := Search(d, nil, 3, 1); err == nil {
+		t.Fatal("no candidates should fail")
+	}
+	bad := core.DefaultConfig()
+	bad.NumTrees = 0
+	if _, err := Search(d, []Candidate{{Name: "bad", Config: bad}}, 3, 1); err == nil {
+		t.Fatal("invalid config should fail with candidate name in error")
+	}
+}
+
+func TestAxisHelpers(t *testing.T) {
+	cfg := core.DefaultConfig()
+	Lambda(2.5).Set(&cfg, 2.5)
+	NumCandidates(30).Set(&cfg, 30)
+	FeatureSample(0.5).Set(&cfg, 0.5)
+	if cfg.Lambda != 2.5 || cfg.NumCandidates != 30 || cfg.FeatureSampleRatio != 0.5 {
+		t.Fatalf("axis setters broken: %+v", cfg)
+	}
+}
