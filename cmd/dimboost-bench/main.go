@@ -14,14 +14,19 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sync"
 	"time"
 
+	"dimboost/internal/cluster"
 	"dimboost/internal/experiments"
+	"dimboost/internal/faultinject"
+	"dimboost/internal/transport"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "dataset row-count multiplier (smaller = quicker)")
 	ds := flag.String("dataset", "rcv1", "fig12 dataset: rcv1 | synthesis | gender")
+	faultSpec := flag.String("fault-spec", "", "fault-injection spec for distributed runs, e.g. 'seed=7;server-*:err=0.02'")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -34,13 +39,53 @@ func main() {
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		scale2 := fs.Float64("scale", *scale, "dataset row-count multiplier")
 		ds2 := fs.String("dataset", *ds, "fig12 dataset")
+		fault2 := fs.String("fault-spec", *faultSpec, "fault-injection spec for distributed runs")
 		if err := fs.Parse(flag.Args()[1:]); err != nil {
 			log.Fatal(err)
 		}
-		scale, ds = scale2, ds2
+		scale, ds, faultSpec = scale2, ds2, fault2
 	}
 	s := experiments.Scale(*scale)
 	out := os.Stdout
+
+	if *faultSpec != "" {
+		spec, err := faultinject.ParseSpec(*faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Every distributed run trains over a fault-injecting network with
+		// retries enabled, so the benchmarks double as a soak test of the
+		// fault-tolerance machinery.
+		var mu sync.Mutex
+		var nets []*faultinject.Network
+		cluster.TrainHooks.WrapNetwork = func(inner transport.Network) transport.Network {
+			fn := faultinject.New(inner, spec)
+			mu.Lock()
+			nets = append(nets, fn)
+			mu.Unlock()
+			return fn
+		}
+		cluster.TrainHooks.Config = func(c *cluster.Config) {
+			if c.Retry == nil {
+				p := transport.DefaultRetryPolicy()
+				c.Retry = &p
+			}
+		}
+		defer func() {
+			var total faultinject.Stats
+			mu.Lock()
+			for _, fn := range nets {
+				st := fn.Stats()
+				total.Errors += st.Errors
+				total.RespLosses += st.RespLosses
+				total.Delays += st.Delays
+				total.Partitions += st.Partitions
+			}
+			mu.Unlock()
+			fmt.Fprintf(out, "[fault injection: %d errors, %d lost responses, %d delays, %d partition refusals]\n",
+				total.Errors, total.RespLosses, total.Delays, total.Partitions)
+		}()
+	}
 
 	run := func(name string, f func() error) {
 		start := time.Now()

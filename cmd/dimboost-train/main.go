@@ -46,10 +46,18 @@ func main() {
 		servers  = flag.Int("servers", 0, "parameter server count (default = workers)")
 		bits     = flag.Uint("bits", 8, "compressed histogram bits (distributed; 0 = float32)")
 		valFrac  = flag.Float64("validate", 0.1, "held-out fraction for the final report")
+		ckptDir  = flag.String("checkpoint-dir", "", "directory for per-tree checkpoints (distributed mode)")
+		resume   = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir")
 	)
 	flag.Parse()
 	if *data == "" {
 		log.Fatal("-data is required")
+	}
+	if *resume && *ckptDir == "" {
+		log.Fatal("-resume requires -checkpoint-dir")
+	}
+	if *ckptDir != "" && *workers == 0 {
+		log.Fatal("-checkpoint-dir requires distributed mode (-workers > 0)")
 	}
 
 	d, err := loadData(*data, *features)
@@ -89,6 +97,27 @@ func main() {
 		ccfg := dimboost.DefaultClusterConfig(*workers, p)
 		ccfg.Config = cfg
 		ccfg.Bits = *bits
+		if *ckptDir != "" {
+			sink, err := dimboost.NewDirCheckpointSink(*ckptDir)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ccfg.Checkpoint = sink
+			retry := dimboost.DefaultRetryPolicy()
+			ccfg.Retry = &retry
+			if *resume {
+				ck, err := dimboost.LoadCheckpoint(*ckptDir)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if ck != nil {
+					ccfg.Resume = ck
+					fmt.Printf("resuming from checkpoint: %d/%d trees done\n", ck.TreesDone, ccfg.NumTrees)
+				} else {
+					fmt.Println("no checkpoint found; starting from tree 0")
+				}
+			}
+		}
 		res, err := dimboost.TrainDistributed(train, ccfg)
 		if err != nil {
 			log.Fatal(err)

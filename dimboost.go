@@ -29,6 +29,7 @@ import (
 	"dimboost/internal/loss"
 	"dimboost/internal/pca"
 	"dimboost/internal/serve"
+	"dimboost/internal/transport"
 	"dimboost/internal/tune"
 )
 
@@ -88,6 +89,33 @@ func DefaultClusterConfig(workers, servers int) ClusterConfig {
 func TrainDistributed(d *Dataset, cfg ClusterConfig) (*ClusterResult, error) {
 	return cluster.Train(d, cfg)
 }
+
+// Checkpoint is the per-tree training state a distributed run persists,
+// enough to resume a killed run at tree k with a bit-identical trajectory.
+type Checkpoint = cluster.Checkpoint
+
+// CheckpointSink receives encoded checkpoints after every finished tree.
+type CheckpointSink = cluster.CheckpointSink
+
+// DirCheckpointSink persists checkpoints into a directory, atomically
+// replacing a single rotating file.
+type DirCheckpointSink = cluster.DirSink
+
+// NewDirCheckpointSink creates (if needed) a checkpoint directory and
+// returns a sink over it; assign it to ClusterConfig.Checkpoint.
+func NewDirCheckpointSink(dir string) (*DirCheckpointSink, error) { return cluster.NewDirSink(dir) }
+
+// LoadCheckpoint reads the latest checkpoint from a sink directory; it
+// returns (nil, nil) when no checkpoint exists yet.
+func LoadCheckpoint(dir string) (*Checkpoint, error) { return cluster.LoadCheckpoint(dir) }
+
+// RetryPolicy shapes the capped exponential backoff applied to
+// worker→server RPCs when assigned to ClusterConfig.Retry.
+type RetryPolicy = transport.RetryPolicy
+
+// DefaultRetryPolicy is the cluster runtime's standard worker→server retry
+// policy: 5 attempts, 10ms base delay doubling to a 2s cap, 25% jitter.
+func DefaultRetryPolicy() RetryPolicy { return transport.DefaultRetryPolicy() }
 
 // Dataset is a sparse (CSR) labeled dataset.
 type Dataset = dataset.Dataset

@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dimboost/internal/core"
+	"dimboost/internal/loss"
+	"dimboost/internal/tree"
+	"dimboost/internal/wire"
+)
+
+// Checkpoint is the state needed to resume a killed distributed run at tree
+// k instead of tree 0: the trees boosted so far plus a fingerprint of the
+// hyper-parameters that shaped them. Worker-local state (shard predictions,
+// the feature-sampling RNG) is deliberately not stored — it is recomputed
+// deterministically from the model on resume, which keeps checkpoints small
+// and lets the worker count change between the original run and the resume.
+type Checkpoint struct {
+	// TreesDone is how many trees the model contains; boosting resumes at
+	// tree TreesDone.
+	TreesDone int
+	// Model holds the finished trees.
+	Model *core.Model
+	// Events are the per-tree convergence events recorded so far.
+	Events []core.TreeEvent
+	// Fingerprint pins the hyper-parameters a resume must match.
+	Fingerprint Fingerprint
+}
+
+// Fingerprint is the subset of Config that determines the boosting
+// trajectory. NumWorkers and NumServers are excluded on purpose: resuming on
+// a different topology is valid (predictions are recomputed per shard and
+// feature sampling is seeded globally).
+type Fingerprint struct {
+	Seed               int64
+	Loss               loss.Kind
+	NumTrees           int
+	MaxDepth           int
+	NumCandidates      int
+	FeatureSampleRatio float64
+	Bits               uint
+	ExactWire          bool
+}
+
+// fingerprintOf derives the fingerprint of a config.
+func fingerprintOf(cfg Config) Fingerprint {
+	return Fingerprint{
+		Seed:               cfg.Seed,
+		Loss:               cfg.Loss,
+		NumTrees:           cfg.NumTrees,
+		MaxDepth:           cfg.MaxDepth,
+		NumCandidates:      cfg.NumCandidates,
+		FeatureSampleRatio: cfg.FeatureSampleRatio,
+		Bits:               cfg.Bits,
+		ExactWire:          cfg.ExactWire,
+	}
+}
+
+// CheckpointSink receives the encoded checkpoint after every finished tree.
+// Save must be durable when it returns: the driver treats a sink error as
+// fatal rather than silently training on without checkpoint coverage.
+type CheckpointSink interface {
+	Save(treesDone int, data []byte) error
+}
+
+// checkpoint wire format
+const (
+	checkpointMagic   = "DBCK"
+	checkpointVersion = 1
+)
+
+// Encode serializes the checkpoint with the internal/wire codec.
+func (c *Checkpoint) Encode() []byte {
+	w := wire.NewWriter(4096)
+	w.Raw([]byte(checkpointMagic))
+	w.Uint32(checkpointVersion)
+	fp := c.Fingerprint
+	w.Int64(fp.Seed)
+	w.Int32(int32(fp.Loss))
+	w.Uint32(uint32(fp.NumTrees))
+	w.Uint32(uint32(fp.MaxDepth))
+	w.Uint32(uint32(fp.NumCandidates))
+	w.Float64(fp.FeatureSampleRatio)
+	w.Uint32(uint32(fp.Bits))
+	w.Bool(fp.ExactWire)
+	w.Uint32(uint32(c.TreesDone))
+	w.Int32(int32(c.Model.Loss))
+	w.Float64(c.Model.BaseScore)
+	w.Uint32(uint32(len(c.Model.Trees)))
+	for _, t := range c.Model.Trees {
+		w.Uint32(uint32(t.MaxDepth))
+		w.Uint32(uint32(len(t.Nodes)))
+		for _, n := range t.Nodes {
+			w.Bool(n.Used)
+			w.Bool(n.Leaf)
+			w.Int32(n.Feature)
+			w.Float64(n.Value)
+			w.Float64(n.Gain)
+			w.Float64(n.Weight)
+		}
+	}
+	w.Uint32(uint32(len(c.Events)))
+	for _, e := range c.Events {
+		w.Uint32(uint32(e.Tree))
+		w.Float64(e.TrainLoss)
+		w.Int64(int64(e.Elapsed))
+	}
+	return w.Bytes()
+}
+
+// DecodeCheckpoint parses a checkpoint written by Encode and validates the
+// embedded trees.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	r := wire.NewReader(data)
+	if len(data) < 8 || string(data[:4]) != checkpointMagic {
+		return nil, fmt.Errorf("cluster: not a checkpoint (bad magic)")
+	}
+	r.Skip(4)
+	if v := r.Uint32(); v != checkpointVersion {
+		return nil, fmt.Errorf("cluster: unsupported checkpoint version %d", v)
+	}
+	var c Checkpoint
+	c.Fingerprint.Seed = r.Int64()
+	c.Fingerprint.Loss = loss.Kind(r.Int32())
+	c.Fingerprint.NumTrees = int(r.Uint32())
+	c.Fingerprint.MaxDepth = int(r.Uint32())
+	c.Fingerprint.NumCandidates = int(r.Uint32())
+	c.Fingerprint.FeatureSampleRatio = r.Float64()
+	c.Fingerprint.Bits = uint(r.Uint32())
+	c.Fingerprint.ExactWire = r.Bool()
+	c.TreesDone = int(r.Uint32())
+	c.Model = &core.Model{Loss: loss.Kind(r.Int32()), BaseScore: r.Float64()}
+	numTrees := int(r.Uint32())
+	if r.Err() != nil {
+		return nil, fmt.Errorf("cluster: decoding checkpoint: %w", r.Err())
+	}
+	for i := 0; i < numTrees; i++ {
+		depth := int(r.Uint32())
+		numNodes := int(r.Uint32())
+		if r.Err() != nil {
+			return nil, fmt.Errorf("cluster: decoding checkpoint tree %d: %w", i, r.Err())
+		}
+		if numNodes != tree.MaxNodes(depth) {
+			return nil, fmt.Errorf("cluster: checkpoint tree %d has %d nodes for depth %d", i, numNodes, depth)
+		}
+		t := &tree.Tree{MaxDepth: depth, Nodes: make([]tree.Node, numNodes)}
+		for j := range t.Nodes {
+			t.Nodes[j] = tree.Node{
+				Used:    r.Bool(),
+				Leaf:    r.Bool(),
+				Feature: r.Int32(),
+				Value:   r.Float64(),
+				Gain:    r.Float64(),
+				Weight:  r.Float64(),
+			}
+		}
+		if r.Err() != nil {
+			return nil, fmt.Errorf("cluster: decoding checkpoint tree %d: %w", i, r.Err())
+		}
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("cluster: checkpoint tree %d invalid: %w", i, err)
+		}
+		c.Model.Trees = append(c.Model.Trees, t)
+	}
+	numEvents := int(r.Uint32())
+	if r.Err() != nil {
+		return nil, fmt.Errorf("cluster: decoding checkpoint: %w", r.Err())
+	}
+	for i := 0; i < numEvents; i++ {
+		c.Events = append(c.Events, core.TreeEvent{
+			Tree:      int(r.Uint32()),
+			TrainLoss: r.Float64(),
+			Elapsed:   time.Duration(r.Int64()),
+		})
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("cluster: decoding checkpoint: %w", r.Err())
+	}
+	if c.TreesDone != len(c.Model.Trees) {
+		return nil, fmt.Errorf("cluster: checkpoint claims %d trees, holds %d", c.TreesDone, len(c.Model.Trees))
+	}
+	return &c, nil
+}
+
+// validateResume checks a resume point against the run's config.
+func validateResume(c *Checkpoint, cfg Config) error {
+	if c.Model == nil || c.TreesDone != len(c.Model.Trees) {
+		return fmt.Errorf("cluster: malformed resume checkpoint")
+	}
+	if c.TreesDone > cfg.NumTrees {
+		return fmt.Errorf("cluster: checkpoint has %d trees, config wants only %d", c.TreesDone, cfg.NumTrees)
+	}
+	if got, want := c.Fingerprint, fingerprintOf(cfg); got != want {
+		return fmt.Errorf("cluster: checkpoint fingerprint %+v does not match config %+v", got, want)
+	}
+	return nil
+}
+
+// checkpointFile is the single rotating checkpoint a DirSink maintains.
+const checkpointFile = "checkpoint.dimbck"
+
+// DirSink persists checkpoints into a directory, atomically replacing one
+// rotating file (write to a temp name, fsync, rename) so a crash mid-save
+// leaves the previous checkpoint intact.
+type DirSink struct {
+	Dir string
+}
+
+// NewDirSink creates the directory (if needed) and returns a sink over it.
+func NewDirSink(dir string) (*DirSink, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: checkpoint dir: %w", err)
+	}
+	return &DirSink{Dir: dir}, nil
+}
+
+// Save implements CheckpointSink.
+func (s *DirSink) Save(treesDone int, data []byte) error {
+	tmp, err := os.CreateTemp(s.Dir, checkpointFile+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cluster: checkpoint save: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("cluster: checkpoint save: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("cluster: checkpoint save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("cluster: checkpoint save: %w", err)
+	}
+	if err := os.Rename(name, filepath.Join(s.Dir, checkpointFile)); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("cluster: checkpoint save: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads the latest checkpoint from a DirSink directory.
+// Returns (nil, nil) if no checkpoint exists yet — a fresh start.
+func LoadCheckpoint(dir string) (*Checkpoint, error) {
+	data, err := os.ReadFile(filepath.Join(dir, checkpointFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cluster: loading checkpoint: %w", err)
+	}
+	return DecodeCheckpoint(data)
+}

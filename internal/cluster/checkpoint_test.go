@@ -1,0 +1,278 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"dimboost/internal/faultinject"
+	"dimboost/internal/ps"
+)
+
+// memSink captures checkpoints in memory.
+type memSink struct {
+	mu    sync.Mutex
+	last  []byte
+	saves int
+}
+
+func (s *memSink) Save(treesDone int, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.last = append(s.last[:0], data...)
+	s.saves++
+	return nil
+}
+
+func (s *memSink) latest(t *testing.T) *Checkpoint {
+	t.Helper()
+	s.mu.Lock()
+	data := append([]byte(nil), s.last...)
+	s.mu.Unlock()
+	ck, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ck
+}
+
+// TestCheckpointEncodeDecodeRoundTrip: every field survives the wire codec.
+func TestCheckpointEncodeDecodeRoundTrip(t *testing.T) {
+	d := testData(t, 300, 91)
+	cfg := smallCfg(2, 2)
+	cfg.ExactWire = true
+	sink := &memSink{}
+	cfg.Checkpoint = sink
+	res, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.saves != cfg.NumTrees {
+		t.Fatalf("saved %d checkpoints, want one per tree (%d)", sink.saves, cfg.NumTrees)
+	}
+	ck := sink.latest(t)
+	if ck.TreesDone != cfg.NumTrees {
+		t.Fatalf("TreesDone %d, want %d", ck.TreesDone, cfg.NumTrees)
+	}
+	if !sameStructure(t, res.Model, ck.Model) {
+		t.Fatal("decoded model differs from trained model")
+	}
+	if !reflect.DeepEqual(ck.Events, res.Events) {
+		t.Fatalf("events round-trip mismatch: %+v vs %+v", ck.Events, res.Events)
+	}
+	if ck.Fingerprint != fingerprintOf(cfg) {
+		t.Fatalf("fingerprint mismatch: %+v vs %+v", ck.Fingerprint, fingerprintOf(cfg))
+	}
+
+	// Corruptions must be rejected, not crash.
+	enc := ck.Encode()
+	for name, data := range map[string][]byte{
+		"empty":     {},
+		"bad-magic": append([]byte("XXXX"), enc[4:]...),
+		"truncated": enc[:len(enc)/2],
+	} {
+		if _, err := DecodeCheckpoint(data); err == nil {
+			t.Errorf("%s checkpoint decoded without error", name)
+		}
+	}
+}
+
+// TestCheckpointResumeAfterKill is the PR's second headline scenario: a
+// 10-tree run is killed by a fatal injected fault on the 6th NEW_TREE (so
+// exactly 5 trees are checkpointed), then resumed from the checkpoint — and
+// the resumed model must be identical, node for node, to a never-killed run
+// (ExactWire removes float32 wire noise, so "identical" is exact).
+func TestCheckpointResumeAfterKill(t *testing.T) {
+	d := testData(t, 400, 95)
+	cfg := smallCfg(3, 2)
+	cfg.NumTrees = 10
+	cfg.ExactWire = true
+	cfg.Retry = testRetry()
+
+	// Reference: the same run, never killed.
+	clean := cfg
+	clean.Retry = nil
+	ref, err := Train(d, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 1: killed while starting tree 5 (0-based). The leader sends one
+	// NEW_TREE per server per tree, so the 6th NEW_TREE seen by server-0
+	// belongs to the 6th tree.
+	sink := &memSink{}
+	cfg.Checkpoint = sink
+	_, _, err = faultTrain(t, d, cfg, faultinject.Spec{Rules: []faultinject.Rule{
+		{Endpoint: ServerName(0), Op: ps.OpNewTree, After: 5, ErrRate: 1, Fatal: true},
+	}})
+	if err == nil {
+		t.Fatal("expected the injected kill to fail the run")
+	}
+	ck := sink.latest(t)
+	if ck.TreesDone != 5 {
+		t.Fatalf("checkpoint holds %d trees, want 5", ck.TreesDone)
+	}
+
+	// Run 2: resume from the checkpoint on a fresh, healthy cluster.
+	cfg2 := cfg
+	cfg2.Checkpoint = &memSink{}
+	cfg2.Resume = ck
+	res, err := Train(d, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Model.Trees) != cfg.NumTrees {
+		t.Fatalf("resumed run has %d trees, want %d", len(res.Model.Trees), cfg.NumTrees)
+	}
+	if !sameStructure(t, ref.Model, res.Model) {
+		t.Fatal("resumed model differs from the never-killed run")
+	}
+	if len(res.Events) != cfg.NumTrees {
+		t.Fatalf("resumed run reports %d events, want %d", len(res.Events), cfg.NumTrees)
+	}
+}
+
+// TestResumeWithFeatureSampling exercises the RNG fast-forward: with
+// FeatureSampleRatio < 1 each tree consumes a seeded random draw, so a
+// resume that fails to replay the first k draws picks different features
+// and diverges from the reference run.
+func TestResumeWithFeatureSampling(t *testing.T) {
+	d := testData(t, 400, 97)
+	cfg := smallCfg(2, 2)
+	cfg.NumTrees = 8
+	cfg.ExactWire = true
+	cfg.FeatureSampleRatio = 0.5
+
+	ref, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sink := &memSink{}
+	killed := cfg
+	killed.Checkpoint = sink
+	killed.Retry = testRetry()
+	_, _, err = faultTrain(t, d, killed, faultinject.Spec{Rules: []faultinject.Rule{
+		{Endpoint: ServerName(0), Op: ps.OpNewTree, After: 3, ErrRate: 1, Fatal: true},
+	}})
+	if err == nil {
+		t.Fatal("expected the injected kill to fail the run")
+	}
+	ck := sink.latest(t)
+	if ck.TreesDone != 3 {
+		t.Fatalf("checkpoint holds %d trees, want 3", ck.TreesDone)
+	}
+
+	resumed := cfg
+	resumed.Resume = ck
+	res, err := Train(d, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameStructure(t, ref.Model, res.Model) {
+		t.Fatal("resumed model differs — RNG fast-forward is broken")
+	}
+}
+
+// TestResumeFingerprintMismatch: resuming under changed hyper-parameters
+// must be refused up front, not silently produce a chimera model.
+func TestResumeFingerprintMismatch(t *testing.T) {
+	d := testData(t, 200, 99)
+	cfg := smallCfg(2, 2)
+	sink := &memSink{}
+	cfg.Checkpoint = sink
+	if _, err := Train(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	ck := sink.latest(t)
+
+	for name, mutate := range map[string]func(*Config){
+		"seed":  func(c *Config) { c.Seed++ },
+		"depth": func(c *Config) { c.MaxDepth++ },
+		"wire":  func(c *Config) { c.Bits = 0; c.ExactWire = true },
+		"trees": func(c *Config) { c.NumTrees = ck.TreesDone - 1 },
+	} {
+		bad := cfg
+		bad.Resume = ck
+		mutate(&bad)
+		if _, err := Train(d, bad); err == nil {
+			t.Errorf("%s: mismatched resume accepted", name)
+		} else if !strings.Contains(err.Error(), "checkpoint") {
+			t.Errorf("%s: error does not mention the checkpoint: %v", name, err)
+		}
+	}
+
+	// NumWorkers is deliberately NOT in the fingerprint: resuming on a
+	// different topology is allowed.
+	more := cfg
+	more.Resume = ck
+	more.Checkpoint = nil
+	more.NumWorkers = 3
+	more.NumTrees = cfg.NumTrees + 2
+	if _, err := Train(d, more); err == nil {
+		// NumTrees IS fingerprinted, so this must fail; the pure worker
+		// change below must pass.
+		t.Error("changed NumTrees accepted")
+	}
+	workersOnly := cfg
+	workersOnly.Resume = ck
+	workersOnly.Checkpoint = nil
+	workersOnly.NumWorkers = 3
+	workersOnly.NumTrees = cfg.NumTrees
+	if ck.TreesDone == cfg.NumTrees {
+		// Resume at the end: training should complete immediately with the
+		// checkpointed trees.
+		res, err := Train(d, workersOnly)
+		if err != nil {
+			t.Fatalf("worker-count change rejected: %v", err)
+		}
+		if len(res.Model.Trees) != cfg.NumTrees {
+			t.Fatalf("got %d trees, want %d", len(res.Model.Trees), cfg.NumTrees)
+		}
+	}
+}
+
+// TestDirSink: atomic save, load, and the fresh-start (no checkpoint) case.
+func TestDirSink(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	if ck, err := LoadCheckpoint(dir); err != nil || ck != nil {
+		t.Fatalf("missing dir should load as (nil, nil), got (%v, %v)", ck, err)
+	}
+	sink, err := NewDirSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := testData(t, 200, 93)
+	cfg := smallCfg(2, 1)
+	cfg.Checkpoint = sink
+	res, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil || ck.TreesDone != cfg.NumTrees {
+		t.Fatalf("loaded checkpoint %+v, want %d trees", ck, cfg.NumTrees)
+	}
+	if !sameStructure(t, res.Model, ck.Model) {
+		t.Fatal("loaded model differs from trained model")
+	}
+	// Only the rotating file remains — no leaked temp files.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != checkpointFile {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("checkpoint dir holds %v, want only %q", names, checkpointFile)
+	}
+}

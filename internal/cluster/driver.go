@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -41,6 +42,27 @@ type Config struct {
 	// than workers. Results are unchanged; wall time on multi-core
 	// machines grows.
 	SerializeCompute bool
+
+	// Retry, when non-nil, wraps every worker→server endpoint in a
+	// transport.RetryEndpoint with this policy, so transient RPC failures
+	// (timeouts, lost responses, recovering servers) are retried instead of
+	// killing the run. Servers deduplicate the retried requests by their
+	// idempotency envelope, so a retry after a lost response never
+	// double-applies. Barrier calls to the master are deliberately not
+	// retried: a barrier call increments the master's generation, so a
+	// retried barrier would count one worker twice.
+	Retry *transport.RetryPolicy
+	// Checkpoint, when non-nil, receives the encoded model state after
+	// every finished tree (leader worker only — all workers hold identical
+	// models). A sink error is fatal: training stops rather than silently
+	// continuing without checkpoint coverage.
+	Checkpoint CheckpointSink
+	// Resume, when non-nil, restarts boosting at Resume.TreesDone: workers
+	// adopt the checkpointed trees, recompute their shard predictions from
+	// them, and fast-forward the feature-sampling RNG, producing the same
+	// model a never-killed run would have. The checkpoint's fingerprint
+	// must match this config (see Fingerprint).
+	Resume *Checkpoint
 }
 
 // DefaultConfig mirrors the paper's protocol: r=8 compressed histograms,
@@ -110,15 +132,35 @@ type Result struct {
 	Stats  Stats
 }
 
+// TrainHooks customize the network and config Train builds internally — the
+// seam dimboost-bench uses to run the paper's experiments under injected
+// faults (-fault-spec) without threading fault plumbing through every
+// experiment signature.
+var TrainHooks struct {
+	// WrapNetwork, when non-nil, wraps the in-process network (e.g. in a
+	// faultinject.Network).
+	WrapNetwork func(transport.Network) transport.Network
+	// Config, when non-nil, edits the effective config just before TrainOn
+	// (e.g. enabling retries to survive the injected faults).
+	Config func(*Config)
+}
+
 // Train runs DimBoost's full distributed pipeline in process: p servers, one
 // master, and w workers over a metered in-memory network.
 func Train(d *dataset.Dataset, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	net := transport.NewMemNetwork()
-	defer net.Close()
-	return TrainOn(net, net.Meter(), d, cfg)
+	if TrainHooks.Config != nil {
+		TrainHooks.Config(&cfg)
+	}
+	mem := transport.NewMemNetwork()
+	defer mem.Close()
+	var net transport.Network = mem
+	if TrainHooks.WrapNetwork != nil {
+		net = TrainHooks.WrapNetwork(net)
+	}
+	return TrainOn(net, mem.Meter(), d, cfg)
 }
 
 // TrainOn runs the pipeline over a caller-supplied network (tests use this
@@ -126,6 +168,11 @@ func Train(d *dataset.Dataset, cfg Config) (*Result, error) {
 func TrainOn(net transport.Network, meter *transport.Meter, d *dataset.Dataset, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Resume != nil {
+		if err := validateResume(cfg.Resume, cfg); err != nil {
+			return nil, err
+		}
 	}
 	start := time.Now()
 
@@ -168,11 +215,12 @@ func TrainOn(net transport.Network, meter *transport.Meter, d *dataset.Dataset, 
 		if err != nil {
 			return nil, err
 		}
-		client := ps.NewClient(ep, part, serverNames, i)
+		client := ps.NewClient(clientEndpoint(ep, cfg), part, serverNames, i)
 		client.Bits = cfg.Bits
 		client.Exact = cfg.ExactWire
-		workers[i] = &worker{id: i, cfg: cfg, shard: shards[i], ep: ep, client: client, computeLock: computeLock}
+		workers[i] = &worker{id: i, cfg: cfg, shard: shards[i], ep: ep, client: client, computeLock: computeLock, resume: cfg.Resume}
 	}
+	workers[0].checkpoint = cfg.Checkpoint
 
 	errs := make([]error, len(workers))
 	var wg sync.WaitGroup
@@ -184,7 +232,9 @@ func TrainOn(net transport.Network, meter *transport.Meter, d *dataset.Dataset, 
 			if errs[i] != nil {
 				// release peers blocked at barriers so the cluster shuts
 				// down instead of deadlocking
-				abortMaster(wk.ep, errs[i].Error())
+				if aerr := abortMaster(wk.ep, errs[i].Error()); aerr != nil {
+					errs[i] = errors.Join(errs[i], fmt.Errorf("cluster: abort notification failed: %w", aerr))
+				}
 			}
 		}(i, wk)
 	}
@@ -213,6 +263,15 @@ func TrainOn(net transport.Network, meter *transport.Meter, d *dataset.Dataset, 
 		res.Stats.ModeledCommTime = time.Duration(secs * float64(time.Second))
 	}
 	return res, nil
+}
+
+// clientEndpoint applies the config's retry policy to a worker→server
+// endpoint. The worker's barrier calls keep using the raw endpoint.
+func clientEndpoint(ep transport.Endpoint, cfg Config) transport.Endpoint {
+	if cfg.Retry == nil {
+		return ep
+	}
+	return transport.NewRetryEndpoint(ep, *cfg.Retry)
 }
 
 func maxPhases(a, b core.PhaseTimes) core.PhaseTimes {

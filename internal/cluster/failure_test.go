@@ -1,81 +1,142 @@
 package cluster
 
 import (
-	"errors"
 	"strings"
 	"testing"
+	"time"
 
+	"dimboost/internal/dataset"
+	"dimboost/internal/faultinject"
+	"dimboost/internal/ps"
 	"dimboost/internal/transport"
 )
 
-// failingNetwork wraps a MemNetwork and injects an error into one endpoint's
-// handler after a number of successful calls.
-type failingNetwork struct {
-	*transport.MemNetwork
-	target    string
-	failAfter int
-}
-
-type failingEndpoint struct {
-	transport.Endpoint
-	net *failingNetwork
-}
-
-func (n *failingNetwork) Endpoint(name string) (transport.Endpoint, error) {
-	ep, err := n.MemNetwork.Endpoint(name)
-	if err != nil {
-		return nil, err
+// testRetry is a fast retry policy for fault tests: enough attempts to ride
+// out injected fault rates, millisecond backoff so tests stay quick.
+func testRetry() *transport.RetryPolicy {
+	return &transport.RetryPolicy{
+		MaxAttempts: 6,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    4 * time.Millisecond,
+		Jitter:      0.25,
+		Seed:        1,
 	}
-	if name == n.target {
-		return &failingEndpoint{Endpoint: ep, net: n}, nil
-	}
-	return ep, nil
 }
 
-func (e *failingEndpoint) Handle(h transport.Handler) {
-	calls := 0
-	e.Endpoint.Handle(func(from string, req transport.Message) (transport.Message, error) {
-		calls++
-		if calls > e.net.failAfter {
-			return transport.Message{}, errors.New("injected server failure")
-		}
-		return h(from, req)
-	})
+// faultTrain runs TrainOn over a MemNetwork wrapped in the given fault spec.
+func faultTrain(t *testing.T, d *dataset.Dataset, cfg Config, spec faultinject.Spec) (*Result, *faultinject.Network, error) {
+	t.Helper()
+	mem := transport.NewMemNetwork()
+	t.Cleanup(func() { mem.Close() })
+	fnet := faultinject.New(mem, spec)
+	res, err := TrainOn(fnet, mem.Meter(), d, cfg)
+	return res, fnet, err
 }
 
 // TestServerFailurePropagates: when a parameter server starts erroring
-// mid-run, training must fail cleanly with the server's error — not hang at
-// a barrier or panic.
+// mid-run and retries are disabled, training must fail cleanly with the
+// injected error — not hang at a barrier or panic.
 func TestServerFailurePropagates(t *testing.T) {
 	d := testData(t, 300, 73)
 	cfg := smallCfg(3, 2)
-	net := &failingNetwork{
-		MemNetwork: transport.NewMemNetwork(),
-		target:     ServerName(1),
-		failAfter:  10,
-	}
-	defer net.Close()
-	_, err := TrainOn(net, net.Meter(), d, cfg)
+	_, _, err := faultTrain(t, d, cfg, faultinject.Spec{Rules: []faultinject.Rule{
+		{Endpoint: ServerName(1), After: 10, ErrRate: 1},
+	}})
 	if err == nil {
 		t.Fatal("expected training to fail")
 	}
-	if !strings.Contains(err.Error(), "injected server failure") {
+	if !strings.Contains(err.Error(), "injected fault") {
 		t.Fatalf("error does not carry the cause: %v", err)
 	}
 }
 
-// TestImmediateServerFailure: a server that fails from the very first call.
+// TestImmediateServerFailure: a server that fails fatally from the very
+// first call.
 func TestImmediateServerFailure(t *testing.T) {
 	d := testData(t, 200, 75)
 	cfg := smallCfg(2, 2)
-	net := &failingNetwork{
-		MemNetwork: transport.NewMemNetwork(),
-		target:     ServerName(0),
-		failAfter:  0,
-	}
-	defer net.Close()
-	if _, err := TrainOn(net, net.Meter(), d, cfg); err == nil {
+	_, _, err := faultTrain(t, d, cfg, faultinject.Spec{Rules: []faultinject.Rule{
+		{Endpoint: ServerName(0), ErrRate: 1, Fatal: true},
+	}})
+	if err == nil {
 		t.Fatal("expected training to fail")
+	}
+}
+
+// TestTransientFaultsRecoveredByRetry is the PR's headline scenario: a run
+// whose worker→server RPCs randomly fail before delivery AND randomly lose
+// responses after the handler ran must complete via retries and produce the
+// exact model of a fault-free run. Lost responses make the server apply the
+// push twice unless the idempotency envelope deduplicates the retry, so
+// model equality here proves retried pushes never double-accumulate.
+func TestTransientFaultsRecoveredByRetry(t *testing.T) {
+	d := testData(t, 400, 81)
+	cfg := smallCfg(3, 2)
+	cfg.ExactWire = true
+	cfg.Retry = testRetry()
+
+	res, fnet, err := faultTrain(t, d, cfg, faultinject.Spec{
+		Seed: 3,
+		Rules: []faultinject.Rule{
+			{Endpoint: "server-*", ErrRate: 0.03},
+			{Endpoint: ServerName(1), RespLossRate: 0.05},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := fnet.Stats()
+	if st.Errors == 0 || st.RespLosses == 0 {
+		t.Fatalf("fault schedule injected nothing (stats %+v); the test is vacuous", st)
+	}
+
+	clean := cfg
+	clean.Retry = nil
+	ref, err := Train(d, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameStructure(t, ref.Model, res.Model) {
+		t.Fatalf("model diverged under %d injected errors and %d lost responses", st.Errors, st.RespLosses)
+	}
+}
+
+// TestFatalFaultNotRetried: a fatal injected error must propagate
+// immediately even with retries enabled. The rule faults exactly one call —
+// if the transport retried it, the retry would succeed and training would
+// complete, so a failed run proves no retry happened.
+func TestFatalFaultNotRetried(t *testing.T) {
+	d := testData(t, 200, 83)
+	cfg := smallCfg(2, 2)
+	cfg.Retry = testRetry()
+	_, _, err := faultTrain(t, d, cfg, faultinject.Spec{Rules: []faultinject.Rule{
+		{Endpoint: ServerName(0), Op: ps.OpPushHist, Count: 1, ErrRate: 1, Fatal: true},
+	}})
+	if err == nil {
+		t.Fatal("fatal fault was absorbed — it must not be retried")
+	}
+	if !strings.Contains(err.Error(), "injected fault") {
+		t.Fatalf("error does not carry the cause: %v", err)
+	}
+}
+
+// TestRetriedTransientSingleFault: the complementary case — the same
+// one-call fault, but retryable: training must succeed.
+func TestRetriedTransientSingleFault(t *testing.T) {
+	d := testData(t, 200, 83)
+	cfg := smallCfg(2, 2)
+	cfg.Retry = testRetry()
+	res, fnet, err := faultTrain(t, d, cfg, faultinject.Spec{Rules: []faultinject.Rule{
+		{Endpoint: ServerName(0), Op: ps.OpPushHist, Count: 1, ErrRate: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fnet.Stats().Errors; got != 1 {
+		t.Fatalf("expected exactly 1 injected error, got %d", got)
+	}
+	if len(res.Model.Trees) != cfg.NumTrees {
+		t.Fatalf("got %d trees, want %d", len(res.Model.Trees), cfg.NumTrees)
 	}
 }
 

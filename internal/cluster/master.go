@@ -110,10 +110,15 @@ func barrier(ep transport.Endpoint, phase string) error {
 }
 
 // abortMaster reports a fatal worker error so the master releases every
-// barrier waiter. Errors reaching the master are best-effort — the worker
-// is going down either way.
-func abortMaster(ep transport.Endpoint, reason string) {
+// barrier waiter. The abort is best-effort — the worker is going down either
+// way — but its failure is returned so callers can surface it alongside the
+// original error: an unreported abort means peers may be deadlocked at a
+// barrier, which is exactly the situation worth logging.
+func abortMaster(ep transport.Endpoint, reason string) error {
 	w := wire.NewWriter(len(reason) + 4)
 	w.String(reason)
-	ep.Call(MasterName, transport.Message{Op: OpAbort, Body: w.Bytes()}) //nolint:errcheck
+	if _, err := ep.Call(MasterName, transport.Message{Op: OpAbort, Body: w.Bytes()}); err != nil {
+		return err
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 
 	"dimboost/internal/core"
@@ -55,6 +56,11 @@ func RunWorker(ep transport.Endpoint, id int, shard *dataset.Dataset, numFeature
 	if shard.NumFeatures != numFeatures {
 		return nil, fmt.Errorf("cluster: shard has %d features, cluster agreed on %d", shard.NumFeatures, numFeatures)
 	}
+	if cfg.Resume != nil {
+		if err := validateResume(cfg.Resume, cfg); err != nil {
+			return nil, err
+		}
+	}
 	part, err := ps.NewPartition(numFeatures, cfg.NumServers, cfg.NumRanges)
 	if err != nil {
 		return nil, err
@@ -63,12 +69,17 @@ func RunWorker(ep transport.Endpoint, id int, shard *dataset.Dataset, numFeature
 	for i := range serverNames {
 		serverNames[i] = ServerName(i)
 	}
-	client := ps.NewClient(ep, part, serverNames, id)
+	client := ps.NewClient(clientEndpoint(ep, cfg), part, serverNames, id)
 	client.Bits = cfg.Bits
 	client.Exact = cfg.ExactWire
-	wk := &worker{id: id, cfg: cfg, shard: shard, ep: ep, client: client}
+	wk := &worker{id: id, cfg: cfg, shard: shard, ep: ep, client: client, resume: cfg.Resume}
+	if id == 0 {
+		wk.checkpoint = cfg.Checkpoint
+	}
 	if err := wk.run(); err != nil {
-		abortMaster(ep, err.Error())
+		if aerr := abortMaster(ep, err.Error()); aerr != nil {
+			err = errors.Join(err, fmt.Errorf("cluster: abort notification failed: %w", aerr))
+		}
 		return nil, err
 	}
 	return &WorkerResult{Model: wk.model, Events: wk.events, Times: wk.times}, nil

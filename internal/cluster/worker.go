@@ -43,6 +43,12 @@ type worker struct {
 	// computeLock, when non-nil, serializes compute sections across
 	// workers so phase timers stay truthful on over-subscribed machines.
 	computeLock *sync.Mutex
+
+	// checkpoint, when non-nil, receives the encoded model after every
+	// finished tree; the driver sets it on the leader only.
+	checkpoint CheckpointSink
+	// resume, when non-nil, restarts boosting after the checkpointed trees.
+	resume *Checkpoint
 }
 
 func (wk *worker) barrier(phase string) error { return barrier(wk.ep, phase) }
@@ -70,6 +76,12 @@ func (wk *worker) run() error {
 	wk.rng = rand.New(rand.NewSource(wk.cfg.Seed))
 	wk.start = time.Now()
 
+	startTree := 0
+	if wk.resume != nil {
+		startTree = wk.resume.TreesDone
+		wk.restoreFrom(wk.resume)
+	}
+
 	// Phase 1: CREATE_SKETCH — local sketches pushed to the PS.
 	var set *sketch.Set
 	wk.times.Sketch += wk.compute(func() {
@@ -93,14 +105,64 @@ func (wk *worker) run() error {
 		return err
 	}
 
-	for t := 0; t < wk.cfg.NumTrees; t++ {
+	for t := startTree; t < wk.cfg.NumTrees; t++ {
 		if err := wk.trainTree(t); err != nil {
 			return fmt.Errorf("cluster: worker %d tree %d: %w", wk.id, t, err)
+		}
+		if err := wk.saveCheckpoint(t + 1); err != nil {
+			return err
 		}
 	}
 	// FINISH: the leader would write the model out; here every worker holds
 	// the identical model and the driver collects worker 0's.
 	return wk.barrier("FINISH")
+}
+
+// restoreFrom adopts a checkpoint: the finished trees, shard predictions
+// recomputed from them, and the feature-sampling RNG replayed past the
+// consumed draws — after which boosting continues exactly as if the run had
+// never been interrupted. Recomputing predictions replays one leaf-weight
+// addition per row per tree in tree order, the same accumulation training
+// performed (which skips zero-weight leaves), so the restored predictions
+// are bit-identical to the originals.
+func (wk *worker) restoreFrom(ck *Checkpoint) {
+	wk.model.BaseScore = ck.Model.BaseScore
+	wk.model.Trees = append(wk.model.Trees, ck.Model.Trees...)
+	wk.events = append(wk.events, ck.Events...)
+	wk.compute(func() {
+		for i := 0; i < wk.shard.NumRows(); i++ {
+			row := wk.shard.Row(i)
+			for _, tn := range ck.Model.Trees {
+				if w := tn.Predict(row); w != 0 {
+					wk.preds[i] += w
+				}
+			}
+		}
+	})
+	// Every worker draws one feature sample per tree (the leader pushes it,
+	// the rest keep their RNGs in step), so fast-forward by replaying.
+	for t := 0; t < ck.TreesDone; t++ {
+		wk.sampleFeatures()
+	}
+}
+
+// saveCheckpoint encodes the model state once tree treesDone−1 is finished
+// and hands it to the sink. Only the leader carries a sink; a sink failure
+// is fatal so a run never silently outlives its checkpoint coverage.
+func (wk *worker) saveCheckpoint(treesDone int) error {
+	if wk.checkpoint == nil {
+		return nil
+	}
+	ck := &Checkpoint{
+		TreesDone:   treesDone,
+		Model:       wk.model,
+		Events:      wk.events,
+		Fingerprint: fingerprintOf(wk.cfg),
+	}
+	if err := wk.checkpoint.Save(treesDone, ck.Encode()); err != nil {
+		return fmt.Errorf("cluster: checkpoint after tree %d: %w", treesDone-1, err)
+	}
+	return nil
 }
 
 // sampleFeatures draws the leader's per-tree feature subset.

@@ -1,0 +1,360 @@
+// Package faultinject wraps a transport.Network with deterministic, seeded
+// fault injection: per-endpoint error, delay, response-loss, and partition
+// faults on a programmable schedule. The cluster's failure tests and the
+// dimboost-bench -fault-spec flag both use it to exercise the retry,
+// idempotency, and checkpoint machinery against the kinds of hiccups shared
+// clusters produce (§7 of the paper trains on busy Tencent machines; Angel's
+// PS layer absorbs the resulting faults — this package lets the reproduction
+// manufacture them on demand).
+//
+// Faults are decided on the caller side of Endpoint.Call, keyed by the
+// callee name, so a rule targeting "server-1" affects every caller of
+// server-1 regardless of which endpoint the caller obtained. Decisions use
+// one seeded RNG stream, making a single-goroutine call sequence exactly
+// reproducible; with concurrent callers the stream is still deterministic
+// but its interleaving follows the scheduler.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dimboost/internal/transport"
+)
+
+// ErrInjected is the root of every synthetic fault error.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Rule describes one fault source. A rule matches calls by callee endpoint
+// name and (optionally) message op, activates after `After` matching calls,
+// and stays active for `Count` further calls (0 = forever). While active it
+// injects, per matching call:
+//
+//   - with probability ErrRate: an error before delivery (the request is
+//     lost; the handler never runs);
+//   - with probability RespLossRate: delivery succeeds (the handler runs and
+//     its side effects persist) but the response is discarded and the caller
+//     gets an error — the scenario idempotent retry tagging exists for;
+//   - a fixed Delay before delivery.
+//
+// Injected errors are retryable (transport.IsRetryable) unless Fatal is set.
+type Rule struct {
+	// Endpoint selects the callee: an exact name, a "prefix*" glob, or
+	// ""/"*" for every endpoint.
+	Endpoint string
+	// Op restricts the rule to one message op; 0 matches all ops.
+	Op uint8
+	// After skips the first After matching calls before activating.
+	After int
+	// Count limits how many calls the active rule applies to; 0 = unlimited.
+	Count int
+	// ErrRate is the probability of failing a call before delivery.
+	ErrRate float64
+	// RespLossRate is the probability of running the handler but losing the
+	// response.
+	RespLossRate float64
+	// Delay is added before delivery.
+	Delay time.Duration
+	// Fatal makes injected errors non-retryable.
+	Fatal bool
+}
+
+// matches reports whether the rule applies to a call to `to` with op `op`.
+func (r *Rule) matches(to string, op uint8) bool {
+	if r.Op != 0 && r.Op != op {
+		return false
+	}
+	switch {
+	case r.Endpoint == "" || r.Endpoint == "*":
+		return true
+	case strings.HasSuffix(r.Endpoint, "*"):
+		return strings.HasPrefix(to, strings.TrimSuffix(r.Endpoint, "*"))
+	default:
+		return r.Endpoint == to
+	}
+}
+
+// Spec is a full fault schedule: a seed plus an ordered rule list. The first
+// rule that decides to inject wins for a given call.
+type Spec struct {
+	Seed  int64
+	Rules []Rule
+}
+
+// Stats counts injected faults, for assertions and bench reports.
+type Stats struct {
+	Errors     int64 // request-lost errors
+	RespLosses int64 // delivered-but-response-lost errors
+	Delays     int64
+	Partitions int64 // calls refused by an active partition
+}
+
+// Network wraps an inner transport.Network with the fault schedule.
+type Network struct {
+	inner transport.Network
+	spec  Spec
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	counts      []int // per-rule matched-call counters
+	partitioned map[[2]string]bool
+	stats       Stats
+}
+
+// New wraps a network with a fault spec. Seed 0 selects a fixed default so
+// unseeded specs are still reproducible.
+func New(inner transport.Network, spec Spec) *Network {
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Network{
+		inner:       inner,
+		spec:        spec,
+		rng:         rand.New(rand.NewSource(seed)),
+		counts:      make([]int, len(spec.Rules)),
+		partitioned: make(map[[2]string]bool),
+	}
+}
+
+// Endpoint implements transport.Network: the returned endpoint injects
+// faults on its outgoing calls per the spec.
+func (n *Network) Endpoint(name string) (transport.Endpoint, error) {
+	ep, err := n.inner.Endpoint(name)
+	if err != nil {
+		return nil, err
+	}
+	return &endpoint{Endpoint: ep, net: n}, nil
+}
+
+// Close implements transport.Network.
+func (n *Network) Close() error { return n.inner.Close() }
+
+// Inner returns the wrapped network (e.g. to reach a MemNetwork's meter).
+func (n *Network) Inner() transport.Network { return n.inner }
+
+// Stats returns a snapshot of the injected-fault counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Partition makes calls between a and b (both directions) fail with a
+// retryable error until Heal.
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitioned[pairKey(a, b)] = true
+}
+
+// Heal removes a partition installed by Partition.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitioned, pairKey(a, b))
+}
+
+// verdict is one call's fate, decided under the network lock.
+type verdict struct {
+	delay    time.Duration
+	err      error // non-nil: fail before delivery
+	loseResp bool  // deliver, then discard the response
+}
+
+// decide applies the partition set and rule schedule to one call.
+func (n *Network) decide(from, to string, op uint8) verdict {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.partitioned[pairKey(from, to)] {
+		n.stats.Partitions++
+		return verdict{err: transport.MarkRetryable(fmt.Errorf("%w: partition between %q and %q", ErrInjected, from, to))}
+	}
+	var v verdict
+	for i := range n.spec.Rules {
+		r := &n.spec.Rules[i]
+		if !r.matches(to, op) {
+			continue
+		}
+		n.counts[i]++
+		seq := n.counts[i] // 1-based position among this rule's matches
+		if seq <= r.After {
+			continue
+		}
+		if r.Count > 0 && seq > r.After+r.Count {
+			continue
+		}
+		if r.Delay > 0 && r.Delay > v.delay {
+			v.delay = r.Delay
+			n.stats.Delays++
+		}
+		if v.err != nil || v.loseResp {
+			continue // an earlier rule already decided the outcome
+		}
+		if r.ErrRate > 0 && n.rng.Float64() < r.ErrRate {
+			err := fmt.Errorf("%w: call %s→%s op %d", ErrInjected, from, to, op)
+			if !r.Fatal {
+				err = transport.MarkRetryable(err)
+			}
+			n.stats.Errors++
+			v.err = err
+			continue
+		}
+		if r.RespLossRate > 0 && n.rng.Float64() < r.RespLossRate {
+			n.stats.RespLosses++
+			v.loseResp = true
+		}
+	}
+	return v
+}
+
+// endpoint wraps one node's endpoint with the network's fault schedule.
+type endpoint struct {
+	transport.Endpoint
+	net *Network
+}
+
+// Call implements transport.Endpoint with fault injection.
+func (e *endpoint) Call(to string, req transport.Message) (transport.Message, error) {
+	v := e.net.decide(e.Name(), to, req.Op)
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if v.err != nil {
+		return transport.Message{}, v.err
+	}
+	resp, err := e.Endpoint.Call(to, req)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	if v.loseResp {
+		return transport.Message{}, transport.MarkRetryable(
+			fmt.Errorf("%w: response from %q lost", ErrInjected, to))
+	}
+	return resp, nil
+}
+
+// CallTimeout forwards per-call deadlines to the inner endpoint when it
+// supports them, applying the same fault schedule.
+func (e *endpoint) CallTimeout(to string, req transport.Message, timeout time.Duration) (transport.Message, error) {
+	ct, ok := e.Endpoint.(transport.CallerWithTimeout)
+	if !ok {
+		return e.Call(to, req)
+	}
+	v := e.net.decide(e.Name(), to, req.Op)
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if v.err != nil {
+		return transport.Message{}, v.err
+	}
+	resp, err := ct.CallTimeout(to, req, timeout)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	if v.loseResp {
+		return transport.Message{}, transport.MarkRetryable(
+			fmt.Errorf("%w: response from %q lost", ErrInjected, to))
+	}
+	return resp, nil
+}
+
+// ParseSpec parses the -fault-spec mini-language: semicolon-separated
+// segments, each either `seed=N` or `<endpoint>:key=value,key=value,...`.
+//
+// Keys: err (error rate 0..1), resploss (response-loss rate 0..1), delay
+// (Go duration), after (int), count (int), op (int), fatal (flag).
+//
+// Example:
+//
+//	seed=7;server-*:err=0.05,count=100;server-1:resploss=0.2,after=10,delay=2ms
+func ParseSpec(s string) (Spec, error) {
+	var spec Spec
+	for _, seg := range strings.Split(s, ";") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(seg, "seed="); ok {
+			seed, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faultinject: bad seed %q: %v", v, err)
+			}
+			spec.Seed = seed
+			continue
+		}
+		ep, opts, ok := strings.Cut(seg, ":")
+		if !ok {
+			return Spec{}, fmt.Errorf("faultinject: segment %q wants <endpoint>:<options>", seg)
+		}
+		rule := Rule{Endpoint: strings.TrimSpace(ep)}
+		for _, kv := range strings.Split(opts, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			key, val, _ := strings.Cut(kv, "=")
+			var err error
+			switch key {
+			case "err":
+				rule.ErrRate, err = parseRate(val)
+			case "resploss":
+				rule.RespLossRate, err = parseRate(val)
+			case "delay":
+				rule.Delay, err = time.ParseDuration(val)
+			case "after":
+				rule.After, err = strconv.Atoi(val)
+			case "count":
+				rule.Count, err = strconv.Atoi(val)
+			case "op":
+				var op int
+				op, err = strconv.Atoi(val)
+				if err == nil && (op < 0 || op > 255) {
+					err = fmt.Errorf("op out of range")
+				}
+				rule.Op = uint8(op)
+			case "fatal":
+				if val == "" || val == "true" {
+					rule.Fatal = true
+				} else if val == "false" {
+					rule.Fatal = false
+				} else {
+					err = fmt.Errorf("want fatal or fatal=true|false")
+				}
+			default:
+				err = fmt.Errorf("unknown key")
+			}
+			if err != nil {
+				return Spec{}, fmt.Errorf("faultinject: option %q in segment %q: %v", kv, seg, err)
+			}
+		}
+		if rule.ErrRate == 0 && rule.RespLossRate == 0 && rule.Delay == 0 {
+			return Spec{}, fmt.Errorf("faultinject: segment %q injects nothing (set err, resploss, or delay)", seg)
+		}
+		spec.Rules = append(spec.Rules, rule)
+	}
+	return spec, nil
+}
+
+func parseRate(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 || f > 1 {
+		return 0, fmt.Errorf("rate %v out of [0,1]", f)
+	}
+	return f, nil
+}

@@ -1,0 +1,212 @@
+package faultinject
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dimboost/internal/transport"
+)
+
+// newPair builds a fault network over a MemNetwork with a counting echo
+// server and returns the caller endpoint plus the handled-call counter.
+func newPair(t *testing.T, spec Spec) (*Network, transport.Endpoint, *atomic.Int64) {
+	t.Helper()
+	n := New(transport.NewMemNetwork(), spec)
+	t.Cleanup(func() { n.Close() })
+	srv, err := n.Endpoint("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handled atomic.Int64
+	srv.Handle(func(from string, req transport.Message) (transport.Message, error) {
+		handled.Add(1)
+		return transport.Message{Op: req.Op, Body: req.Body}, nil
+	})
+	cl, err := n.Endpoint("cl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, cl, &handled
+}
+
+func TestScheduleAfterAndCount(t *testing.T) {
+	// fail calls 3 and 4 (after=2, count=2) deterministically
+	spec := Spec{Rules: []Rule{{Endpoint: "srv", After: 2, Count: 2, ErrRate: 1}}}
+	n, cl, handled := newPair(t, spec)
+	for i := 1; i <= 6; i++ {
+		_, err := cl.Call("srv", transport.Message{Op: 1})
+		wantErr := i == 3 || i == 4
+		if (err != nil) != wantErr {
+			t.Fatalf("call %d: err = %v, want error %v", i, err, wantErr)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("call %d: error does not wrap ErrInjected: %v", i, err)
+			}
+			if !transport.IsRetryable(err) {
+				t.Fatalf("call %d: injected error should be retryable", i)
+			}
+		}
+	}
+	if handled.Load() != 4 {
+		t.Fatalf("handler ran %d times, want 4", handled.Load())
+	}
+	if st := n.Stats(); st.Errors != 2 {
+		t.Fatalf("stats = %+v, want 2 errors", st)
+	}
+}
+
+func TestFatalErrorsAreNotRetryable(t *testing.T) {
+	spec := Spec{Rules: []Rule{{Endpoint: "srv", ErrRate: 1, Fatal: true}}}
+	_, cl, _ := newPair(t, spec)
+	_, err := cl.Call("srv", transport.Message{Op: 1})
+	if err == nil || transport.IsRetryable(err) {
+		t.Fatalf("want non-retryable injected error, got %v", err)
+	}
+}
+
+func TestResponseLossRunsHandler(t *testing.T) {
+	spec := Spec{Rules: []Rule{{Endpoint: "srv", RespLossRate: 1, Count: 1}}}
+	n, cl, handled := newPair(t, spec)
+	if _, err := cl.Call("srv", transport.Message{Op: 1}); err == nil || !transport.IsRetryable(err) {
+		t.Fatalf("want retryable response-loss error, got %v", err)
+	}
+	// the side effect happened even though the caller saw an error
+	if handled.Load() != 1 {
+		t.Fatalf("handler ran %d times, want 1", handled.Load())
+	}
+	if _, err := cl.Call("srv", transport.Message{Op: 1}); err != nil {
+		t.Fatalf("rule expired, call should succeed: %v", err)
+	}
+	if st := n.Stats(); st.RespLosses != 1 {
+		t.Fatalf("stats = %+v, want 1 response loss", st)
+	}
+}
+
+func TestOpFilter(t *testing.T) {
+	spec := Spec{Rules: []Rule{{Endpoint: "srv", Op: 7, ErrRate: 1}}}
+	_, cl, _ := newPair(t, spec)
+	if _, err := cl.Call("srv", transport.Message{Op: 1}); err != nil {
+		t.Fatalf("op 1 should pass: %v", err)
+	}
+	if _, err := cl.Call("srv", transport.Message{Op: 7}); err == nil {
+		t.Fatal("op 7 should fail")
+	}
+}
+
+func TestGlobMatch(t *testing.T) {
+	spec := Spec{Rules: []Rule{{Endpoint: "server-*", ErrRate: 1}}}
+	n := New(transport.NewMemNetwork(), spec)
+	defer n.Close()
+	for _, name := range []string{"server-0", "server-1", "worker-0"} {
+		ep, err := n.Endpoint(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep.Handle(func(string, transport.Message) (transport.Message, error) {
+			return transport.Message{}, nil
+		})
+	}
+	cl, _ := n.Endpoint("cl")
+	if _, err := cl.Call("worker-0", transport.Message{}); err != nil {
+		t.Fatalf("worker-0 should pass: %v", err)
+	}
+	if _, err := cl.Call("server-1", transport.Message{}); err == nil {
+		t.Fatal("server-1 should fail")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n, cl, _ := newPair(t, Spec{})
+	n.Partition("cl", "srv")
+	if _, err := cl.Call("srv", transport.Message{}); err == nil || !transport.IsRetryable(err) {
+		t.Fatalf("partitioned call: got %v", err)
+	}
+	n.Heal("cl", "srv")
+	if _, err := cl.Call("srv", transport.Message{}); err != nil {
+		t.Fatalf("healed call: %v", err)
+	}
+	if st := n.Stats(); st.Partitions != 1 {
+		t.Fatalf("stats = %+v, want 1 partition refusal", st)
+	}
+}
+
+func TestDelayInjection(t *testing.T) {
+	spec := Spec{Rules: []Rule{{Endpoint: "srv", Delay: 30 * time.Millisecond, Count: 1}}}
+	_, cl, _ := newPair(t, spec)
+	start := time.Now()
+	if _, err := cl.Call("srv", transport.Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("first call took %v, want >= 30ms delay", d)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func() []bool {
+		spec := Spec{Seed: 42, Rules: []Rule{{Endpoint: "srv", ErrRate: 0.5}}}
+		_, cl, _ := newPair(t, spec)
+		var outcomes []bool
+		for i := 0; i < 40; i++ {
+			_, err := cl.Call("srv", transport.Message{})
+			outcomes = append(outcomes, err != nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: outcomes diverge despite identical seed", i)
+		}
+	}
+}
+
+func TestRetryEndpointRecoversInjectedFaults(t *testing.T) {
+	// two transient failures, then success — a retrying caller never sees
+	// an error
+	spec := Spec{Rules: []Rule{{Endpoint: "srv", ErrRate: 1, Count: 2}}}
+	_, cl, handled := newPair(t, spec)
+	rep := transport.NewRetryEndpoint(cl, transport.RetryPolicy{
+		MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: time.Millisecond,
+	})
+	if _, err := rep.Call("srv", transport.Message{Op: 1}); err != nil {
+		t.Fatalf("retries should absorb 2 transient faults: %v", err)
+	}
+	if handled.Load() != 1 {
+		t.Fatalf("handler ran %d times, want 1", handled.Load())
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("seed=7;server-*:err=0.05,count=100;server-1:resploss=0.2,after=10,delay=2ms,op=6;master:err=1,fatal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 7 || len(spec.Rules) != 3 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	r := spec.Rules[1]
+	if r.Endpoint != "server-1" || r.RespLossRate != 0.2 || r.After != 10 || r.Delay != 2*time.Millisecond || r.Op != 6 {
+		t.Fatalf("rule = %+v", r)
+	}
+	if !spec.Rules[2].Fatal {
+		t.Fatal("fatal flag lost")
+	}
+	for _, bad := range []string{
+		"server-0",                // no options
+		"server-0:err=2",          // rate out of range
+		"server-0:bogus=1",        // unknown key
+		"server-0:after=3",        // injects nothing
+		"seed=x",                  // bad seed
+		"server-0:delay=notadur",  // bad duration
+		"server-0:err=1,op=9999",  // op out of range
+		"server-0:err=1,fatal=no", // bad fatal value
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q should fail to parse", bad)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package ps
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"dimboost/internal/compress"
 	"dimboost/internal/core"
@@ -30,6 +31,10 @@ type Client struct {
 	Exact bool
 
 	enc *compress.Encoder
+	// seq numbers every outgoing request (see the envelope notes in
+	// proto.go); a transport-level retry resends the same seq, which is
+	// what lets servers drop duplicates of mutating ops.
+	seq atomic.Uint64
 }
 
 // NewClient binds a worker endpoint to the server fleet. serverNames is
@@ -42,6 +47,14 @@ func NewClient(ep transport.Endpoint, part *Partition, serverNames []string, wor
 		worker:  int32(workerID),
 		enc:     compress.NewEncoder(int64(workerID) + 1),
 	}
+}
+
+// call sends one enveloped request to server sv. The envelope (and its seq)
+// is built once per logical request; retries inside the endpoint resend the
+// identical bytes.
+func (c *Client) call(sv int, op uint8, body []byte) (transport.Message, error) {
+	seq := c.seq.Add(1)
+	return c.ep.Call(c.servers[sv], transport.Message{Op: op, Body: writeEnvelope(c.worker, seq, body)})
 }
 
 // fanOut calls every server concurrently and collects responses in server
@@ -58,7 +71,7 @@ func (c *Client) fanOut(op uint8, body func(server int) []byte) ([]transport.Mes
 			if b == nil {
 				return
 			}
-			resps[sv], errs[sv] = c.ep.Call(c.servers[sv], transport.Message{Op: op, Body: b})
+			resps[sv], errs[sv] = c.call(sv, op, b)
 		}(sv)
 	}
 	wg.Wait()
@@ -75,7 +88,6 @@ func (c *Client) fanOut(op uint8, body func(server int) []byte) ([]transport.Mes
 func (c *Client) PushSketches(set *sketch.Set) error {
 	_, err := c.fanOut(OpPushSketch, func(sv int) []byte {
 		w := wire.NewWriter(1024)
-		w.Int32(c.worker)
 		count := 0
 		lenPos := w.Len()
 		w.Uint32(0) // patched below
@@ -150,7 +162,7 @@ func (c *Client) PushSampled(features []int32) error {
 
 // PullSampled fetches the sampled feature list from server 0.
 func (c *Client) PullSampled() ([]int32, error) {
-	resp, err := c.ep.Call(c.servers[0], transport.Message{Op: OpPullSampled})
+	resp, err := c.call(0, OpPullSampled, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -193,7 +205,6 @@ func (c *Client) PushHistogram(node int, hist *histogram.Histogram) error {
 		g, h := c.shardArrays(sv, hist)
 		w := wire.NewWriter(16 + 8*len(g))
 		w.Int32(int32(node))
-		w.Int32(c.worker)
 		if c.Exact {
 			w.Uint8(FormatFloat64)
 			w.Float64s(g)
@@ -317,7 +328,7 @@ func (c *Client) PushSplitResult(node int, res SplitResult) error {
 	w.Int32(int32(node))
 	writeSplitRecord(w, splitRecord{Split: res.Split, HasTotals: res.HasTotals, NodeG: res.NodeG, NodeH: res.NodeH})
 	owner := c.part.NodeOwner(node)
-	_, err := c.ep.Call(c.servers[owner], transport.Message{Op: OpPushSplitResult, Body: w.Bytes()})
+	_, err := c.call(owner, OpPushSplitResult, w.Bytes())
 	return err
 }
 

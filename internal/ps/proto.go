@@ -39,6 +39,39 @@ const (
 	OpPullSplitResults
 )
 
+// Request envelope. Every client→server request body starts with
+// (worker int32, seq uint64): the sending worker's id and a per-worker
+// strictly increasing sequence number. The transport retries transient
+// failures by resending the identical message — same seq — and a server
+// deduplicates mutating ops by remembering the highest seq it has applied
+// per worker. A retried PUSH whose first attempt did reach the server (the
+// response was lost) is therefore acknowledged without re-applying, so it
+// can never double-accumulate into a histogram or re-reset per-tree state.
+//
+// The client issues requests to any single server sequentially (fan-outs
+// send one message per server), so per (worker, server) the seq stream is
+// strictly increasing and "seq already seen" exactly identifies duplicates.
+
+// mutatingOp reports whether an op changes server state and therefore needs
+// duplicate suppression. Pull ops are naturally idempotent (their caches
+// are memoized) and skip the check.
+func mutatingOp(op uint8) bool {
+	switch op {
+	case OpPushSketch, OpPushSampled, OpNewTree, OpPushHist, OpPushSplitResult:
+		return true
+	}
+	return false
+}
+
+// writeEnvelope prepends the idempotency header to a request body.
+func writeEnvelope(worker int32, seq uint64, body []byte) []byte {
+	w := wire.NewWriter(12 + len(body))
+	w.Int32(worker)
+	w.Uint64(seq)
+	w.Raw(body)
+	return w.Bytes()
+}
+
 // Histogram wire formats.
 const (
 	// FormatFloat32 sends buckets as float32 — "full precision" in the

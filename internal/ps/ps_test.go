@@ -405,6 +405,86 @@ func TestServerRejectsBadTraffic(t *testing.T) {
 	}
 }
 
+// recordingEndpoint captures the last request per op so tests can replay
+// byte-identical duplicates — what a transport retry produces when the
+// original attempt landed but its response was lost.
+type recordingEndpoint struct {
+	transport.Endpoint
+	lastTo  map[uint8]string
+	lastReq map[uint8]transport.Message
+}
+
+func newRecordingEndpoint(ep transport.Endpoint) *recordingEndpoint {
+	return &recordingEndpoint{
+		Endpoint: ep,
+		lastTo:   make(map[uint8]string),
+		lastReq:  make(map[uint8]transport.Message),
+	}
+}
+
+func (e *recordingEndpoint) Call(to string, req transport.Message) (transport.Message, error) {
+	e.lastTo[req.Op] = to
+	e.lastReq[req.Op] = req
+	return e.Endpoint.Call(to, req)
+}
+
+func (e *recordingEndpoint) replay(op uint8) (transport.Message, error) {
+	return e.Endpoint.Call(e.lastTo[op], e.lastReq[op])
+}
+
+// TestDuplicatePushDoesNotDoubleCount: a replayed PUSH_HIST must not corrupt
+// the merged histogram. Without seq-based dedupe the duplicate re-creates
+// the node's pending set with only one worker's shard and invalidates the
+// merge, so a later pull would see a histogram missing every other worker.
+func TestDuplicatePushDoesNotDoubleCount(t *testing.T) {
+	const m, p, w = 40, 1, 2
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 300, NumFeatures: m, AvgNNZ: 8, Seed: 17, Zipf: 1.2})
+	fx := newFixture(t, m, p, w)
+	// route worker 0 through a recording endpoint
+	rec := newRecordingEndpoint(fx.clients[0].ep)
+	fx.clients[0].ep = rec
+
+	buildDistributedHistograms(t, fx, d, 0)
+	res1, err := fx.clients[0].PullSplit(0, 1.0, 0.0, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// replay worker 0's histogram push: must be acknowledged, not re-applied
+	if _, err := rec.replay(OpPushHist); err != nil {
+		t.Fatalf("duplicate push rejected: %v", err)
+	}
+	res2, err := fx.clients[0].PullSplit(0, 1.0, 0.0, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.NodeG != res1.NodeG || res2.NodeH != res1.NodeH {
+		t.Fatalf("duplicate push changed totals: (%v,%v) vs (%v,%v)",
+			res2.NodeG, res2.NodeH, res1.NodeG, res1.NodeH)
+	}
+	if res2.Split != res1.Split {
+		t.Fatalf("duplicate push changed the split: %+v vs %+v", res2.Split, res1.Split)
+	}
+}
+
+// TestDuplicateNewTreeDoesNotResetState: a replayed NEW_TREE must not wipe
+// histograms pushed after the original.
+func TestDuplicateNewTreeDoesNotResetState(t *testing.T) {
+	const m, p, w = 40, 1, 2
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 300, NumFeatures: m, AvgNNZ: 8, Seed: 19, Zipf: 1.2})
+	fx := newFixture(t, m, p, w)
+	rec := newRecordingEndpoint(fx.clients[0].ep)
+	fx.clients[0].ep = rec
+
+	buildDistributedHistograms(t, fx, d, 0) // client 0 issues NEW_TREE inside
+	if _, err := rec.replay(OpNewTree); err != nil {
+		t.Fatalf("duplicate NEW_TREE rejected: %v", err)
+	}
+	if _, err := fx.clients[0].PullSplit(0, 1.0, 0.0, 1e-4); err != nil {
+		t.Fatalf("pushed histograms were lost to a duplicate NEW_TREE: %v", err)
+	}
+}
+
 func TestNodeOwnerSpread(t *testing.T) {
 	part, _ := NewPartition(10, 4, 0)
 	owners := map[int]bool{}

@@ -40,6 +40,12 @@ type Server struct {
 	pending map[int32]map[int32]*wireShard
 	merged  map[int32]*shard
 	splits  map[int32]splitRecord
+	// applied is the highest request seq applied per worker (see the
+	// envelope notes in proto.go). A mutating request at or below it is a
+	// duplicate — a transport-level retry whose original did land — and is
+	// acknowledged without re-applying. Never reset by NEW_TREE: seqs span
+	// the whole training run.
+	applied map[int32]uint64
 }
 
 // shard is the G/H bucket arrays of one node restricted to this server's
@@ -66,18 +72,50 @@ func NewServer(id int, part *Partition, sketchEps float64) *Server {
 		pending:         make(map[int32]map[int32]*wireShard),
 		merged:          make(map[int32]*shard),
 		splits:          make(map[int32]splitRecord),
+		applied:         make(map[int32]uint64),
 	}
 }
 
-// Handler returns the transport handler serving the PS protocol.
+// isDuplicate reports whether a mutating request's seq was already applied
+// for the worker.
+func (s *Server) isDuplicate(worker int32, seq uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return seq <= s.applied[worker]
+}
+
+// recordApplied advances the worker's applied-seq watermark.
+func (s *Server) recordApplied(worker int32, seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq > s.applied[worker] {
+		s.applied[worker] = seq
+	}
+}
+
+// Handler returns the transport handler serving the PS protocol. Every
+// request starts with the (worker, seq) envelope; duplicate mutating
+// requests — retries whose original attempt did apply — are acknowledged
+// without re-applying.
 func (s *Server) Handler() transport.Handler {
 	return func(from string, req transport.Message) (transport.Message, error) {
 		r := wire.NewReader(req.Body)
+		worker := r.Int32()
+		seq := r.Uint64()
+		if err := r.Err(); err != nil {
+			return transport.Message{}, fmt.Errorf("ps: server %d: op %d: bad envelope: %w", s.id, req.Op, err)
+		}
+		mutating := mutatingOp(req.Op)
+		if mutating && s.isDuplicate(worker, seq) {
+			// Mutating ops answer with empty bodies, so the duplicate ack is
+			// byte-identical to the original response.
+			return transport.Message{Op: req.Op}, nil
+		}
 		var resp *wire.Writer
 		var err error
 		switch req.Op {
 		case OpPushSketch:
-			resp, err = s.pushSketch(r)
+			resp, err = s.pushSketch(worker, r)
 		case OpPullCandidates:
 			resp, err = s.pullCandidates(r)
 		case OpPushSampled:
@@ -87,7 +125,7 @@ func (s *Server) Handler() transport.Handler {
 		case OpNewTree:
 			resp, err = s.newTree(r)
 		case OpPushHist:
-			resp, err = s.pushHist(r)
+			resp, err = s.pushHist(worker, r)
 		case OpPullSplit:
 			resp, err = s.pullSplit(r)
 		case OpPullHistShard:
@@ -105,6 +143,9 @@ func (s *Server) Handler() transport.Handler {
 		if rerr := r.Err(); rerr != nil {
 			return transport.Message{}, fmt.Errorf("ps: server %d: op %d: %w", s.id, req.Op, rerr)
 		}
+		if mutating {
+			s.recordApplied(worker, seq)
+		}
 		if resp == nil {
 			resp = wire.NewWriter(0)
 		}
@@ -114,8 +155,7 @@ func (s *Server) Handler() transport.Handler {
 
 // pushSketch buffers a batch of per-feature sketch summaries from one
 // worker.
-func (s *Server) pushSketch(r *wire.Reader) (*wire.Writer, error) {
-	worker := r.Int32()
+func (s *Server) pushSketch(worker int32, r *wire.Reader) (*wire.Writer, error) {
 	n := int(r.Uint32())
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -248,9 +288,8 @@ func (s *Server) newTree(r *wire.Reader) (*wire.Writer, error) {
 // buffered in wire format and merged (decoded) in worker-id order at first
 // read, so the global histogram is independent of push arrival order and
 // server memory stays proportional to the compressed wire size.
-func (s *Server) pushHist(r *wire.Reader) (*wire.Writer, error) {
+func (s *Server) pushHist(worker int32, r *wire.Reader) (*wire.Writer, error) {
 	node := r.Int32()
-	worker := r.Int32()
 	format := r.Uint8()
 	body := make([]byte, len(r.Rest()))
 	copy(body, r.Rest())

@@ -1,0 +1,60 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed error classes. Cluster code distinguishes transient failures (worth
+// retrying against the same peer) from fatal ones (protocol violations,
+// application errors) — the distinction Angel's PS client makes when it
+// re-sends a request after a server hiccup.
+var (
+	// ErrTimeout marks a call that exceeded its deadline. Retryable: the
+	// request may or may not have been processed, so retried operations must
+	// be idempotent (the ps layer tags requests with sequence numbers for
+	// exactly this reason).
+	ErrTimeout = errors.New("transport: call timed out")
+	// ErrUnavailable marks a peer that could not be reached or whose
+	// connection broke mid-call. Retryable.
+	ErrUnavailable = errors.New("transport: peer unavailable")
+)
+
+// retryable wraps an error to mark it as transient.
+type retryable struct{ err error }
+
+func (e *retryable) Error() string   { return e.err.Error() }
+func (e *retryable) Unwrap() error   { return e.err }
+func (e *retryable) Retryable() bool { return true }
+
+// MarkRetryable marks an error as transient so IsRetryable reports true.
+// Marking nil returns nil.
+func MarkRetryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	if IsRetryable(err) {
+		return err
+	}
+	return &retryable{err: err}
+}
+
+// IsRetryable reports whether an error is transient: a timeout, an
+// unavailable peer, or anything marked via MarkRetryable (fault injectors
+// mark their synthetic errors the same way). Application/handler errors are
+// not retryable unless explicitly marked.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrTimeout) || errors.Is(err, ErrUnavailable) {
+		return true
+	}
+	var r interface{ Retryable() bool }
+	return errors.As(err, &r) && r.Retryable()
+}
+
+// timeoutError constructs a retryable deadline error for a call to a peer.
+func timeoutError(to string) error {
+	return fmt.Errorf("%w: call to %q", ErrTimeout, to)
+}

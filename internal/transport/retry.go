@@ -1,0 +1,173 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// CallerWithTimeout is implemented by endpoints that support per-call
+// deadlines. RetryEndpoint uses it when its policy sets a CallTimeout; both
+// the TCP and in-memory endpoints implement it.
+type CallerWithTimeout interface {
+	CallTimeout(to string, req Message, timeout time.Duration) (Message, error)
+}
+
+// RetryPolicy shapes RetryEndpoint's capped exponential backoff.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first; values
+	// below 1 select the default. 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff.
+	MaxDelay time.Duration
+	// Jitter randomizes each delay by ±Jitter fraction (0..1) so a fleet of
+	// retrying workers does not hammer a recovering server in lockstep.
+	Jitter float64
+	// CallTimeout, when positive, bounds each attempt via CallerWithTimeout.
+	// Endpoints without deadline support fall back to unbounded Call.
+	CallTimeout time.Duration
+	// Seed seeds the jitter RNG; 0 uses a fixed default, keeping retry
+	// timing reproducible in tests.
+	Seed int64
+}
+
+// DefaultRetryPolicy returns the policy the cluster runtime uses for
+// worker→server calls: 5 attempts, 10ms base delay doubling to a 2s cap,
+// 25% jitter, no per-attempt deadline.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Jitter:      0.25,
+	}
+}
+
+// withDefaults fills unset fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// RetryEndpoint wraps an Endpoint and retries retryable call failures (see
+// IsRetryable) with capped exponential backoff plus jitter. Fatal errors —
+// handler/application errors, protocol violations — propagate immediately.
+// Retried requests are resent byte-identical, so the receiver can deduplicate
+// them by whatever sequence tags the payload carries.
+type RetryEndpoint struct {
+	inner  Endpoint
+	policy RetryPolicy
+
+	// OnRetry, when set, observes each retry (for logs and tests).
+	OnRetry func(to string, attempt int, err error)
+	// sleep is swappable for tests.
+	sleep func(time.Duration)
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRetryEndpoint wraps an endpoint with the given policy; zero-valued
+// policy fields take defaults.
+func NewRetryEndpoint(inner Endpoint, policy RetryPolicy) *RetryEndpoint {
+	p := policy.withDefaults()
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &RetryEndpoint{
+		inner:  inner,
+		policy: p,
+		sleep:  time.Sleep,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Policy returns the effective (defaulted) policy.
+func (e *RetryEndpoint) Policy() RetryPolicy { return e.policy }
+
+// Name implements Endpoint.
+func (e *RetryEndpoint) Name() string { return e.inner.Name() }
+
+// Handle implements Endpoint.
+func (e *RetryEndpoint) Handle(h Handler) { e.inner.Handle(h) }
+
+// Close implements Endpoint.
+func (e *RetryEndpoint) Close() error { return e.inner.Close() }
+
+// Inner returns the wrapped endpoint.
+func (e *RetryEndpoint) Inner() Endpoint { return e.inner }
+
+// Call implements Endpoint: it attempts the call up to MaxAttempts times,
+// backing off between retryable failures.
+func (e *RetryEndpoint) Call(to string, req Message) (Message, error) {
+	var last error
+	for attempt := 1; ; attempt++ {
+		resp, err := e.callOnce(to, req)
+		if err == nil {
+			return resp, nil
+		}
+		if !IsRetryable(err) {
+			return Message{}, err
+		}
+		last = err
+		if attempt >= e.policy.MaxAttempts {
+			break
+		}
+		if e.OnRetry != nil {
+			e.OnRetry(to, attempt, err)
+		}
+		e.sleep(e.backoff(attempt))
+	}
+	return Message{}, fmt.Errorf("transport: %d attempts to %q failed: %w", e.policy.MaxAttempts, to, last)
+}
+
+func (e *RetryEndpoint) callOnce(to string, req Message) (Message, error) {
+	if e.policy.CallTimeout > 0 {
+		if ct, ok := e.inner.(CallerWithTimeout); ok {
+			return ct.CallTimeout(to, req, e.policy.CallTimeout)
+		}
+	}
+	return e.inner.Call(to, req)
+}
+
+// backoff returns the sleep before retry #attempt (1-based): base·2^(a−1)
+// capped at MaxDelay, jittered by ±Jitter.
+func (e *RetryEndpoint) backoff(attempt int) time.Duration {
+	d := e.policy.BaseDelay
+	for i := 1; i < attempt && d < e.policy.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > e.policy.MaxDelay {
+		d = e.policy.MaxDelay
+	}
+	if e.policy.Jitter > 0 {
+		e.mu.Lock()
+		f := 1 + e.policy.Jitter*(2*e.rng.Float64()-1)
+		e.mu.Unlock()
+		d = time.Duration(float64(d) * f)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}

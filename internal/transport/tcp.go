@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // frame kinds
@@ -14,6 +15,14 @@ const (
 	kindRequest  = 1
 	kindResponse = 2
 	kindError    = 3
+)
+
+// error-frame flag bytes: the first body byte of a kindError frame says
+// whether the remote error was retryable, so transient-vs-fatal
+// classification survives the wire.
+const (
+	errFlagFatal     = 0
+	errFlagRetryable = 1
 )
 
 // maxFrame caps a single frame at 1 GiB to reject corrupt length prefixes.
@@ -27,15 +36,31 @@ type TCPEndpoint struct {
 	listener net.Listener
 	handler  atomic.Value // Handler
 
+	// WriteTimeout, when positive, bounds each frame write; a peer that
+	// stops draining its socket fails the write instead of wedging the
+	// sender forever. Set before the first Call.
+	WriteTimeout time.Duration
+	// ReadTimeout, when positive, bounds reading the remainder of a frame
+	// once its length prefix has arrived. Idle connections are unaffected
+	// (blocking barrier RPCs keep connections legitimately quiet), but a
+	// peer dying mid-frame is detected instead of hanging the read loop.
+	ReadTimeout time.Duration
+
 	mu       sync.Mutex
 	peers    map[string]string // name -> address
 	conns    map[string]*tcpConn
 	allConns map[*tcpConn]struct{} // dialed and accepted, for Close
-	pending  map[uint64]chan Message
+	pending  map[uint64]chan callResult
 	nextID   uint64
 	closed   bool
 
 	wg sync.WaitGroup
+}
+
+// callResult is what the read loop hands back to a waiting Call.
+type callResult struct {
+	msg Message
+	err error
 }
 
 type tcpConn struct {
@@ -56,7 +81,7 @@ func NewTCPEndpoint(name, listenAddr string) (*TCPEndpoint, error) {
 		peers:    make(map[string]string),
 		conns:    make(map[string]*tcpConn),
 		allConns: make(map[*tcpConn]struct{}),
-		pending:  make(map[uint64]chan Message),
+		pending:  make(map[uint64]chan callResult),
 	}
 	e.wg.Add(1)
 	go e.acceptLoop()
@@ -103,7 +128,8 @@ func (e *TCPEndpoint) acceptLoop() {
 	}
 }
 
-// conn returns (dialing if necessary) the connection to a peer.
+// conn returns (dialing if necessary) the connection to a peer. Dial
+// failures are retryable: the peer may be restarting.
 func (e *TCPEndpoint) conn(to string) (*tcpConn, error) {
 	e.mu.Lock()
 	if e.closed {
@@ -121,7 +147,7 @@ func (e *TCPEndpoint) conn(to string) (*tcpConn, error) {
 	}
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s (%s): %w", to, addr, err)
+		return nil, fmt.Errorf("%w: dial %s (%s): %v", ErrUnavailable, to, addr, err)
 	}
 	tc := &tcpConn{c: c}
 	e.mu.Lock()
@@ -143,12 +169,20 @@ func (e *TCPEndpoint) conn(to string) (*tcpConn, error) {
 
 // Call implements Endpoint.
 func (e *TCPEndpoint) Call(to string, req Message) (Message, error) {
+	return e.CallTimeout(to, req, 0)
+}
+
+// CallTimeout implements CallerWithTimeout: like Call but failing with a
+// retryable ErrTimeout if no response arrives within the deadline. A
+// timeout only abandons the response — the request may still execute on
+// the peer, so retried operations must be idempotent.
+func (e *TCPEndpoint) CallTimeout(to string, req Message, timeout time.Duration) (Message, error) {
 	tc, err := e.conn(to)
 	if err != nil {
 		return Message{}, err
 	}
 	id := atomic.AddUint64(&e.nextID, 1)
-	ch := make(chan Message, 1)
+	ch := make(chan callResult, 1)
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -162,17 +196,24 @@ func (e *TCPEndpoint) Call(to string, req Message) (Message, error) {
 		e.mu.Unlock()
 	}()
 
-	if err := writeFrame(tc, id, kindRequest, req.Op, e.name, req.Body); err != nil {
-		return Message{}, err
+	if err := e.writeFrame(tc, id, kindRequest, req.Op, e.name, req.Body); err != nil {
+		return Message{}, fmt.Errorf("%w: write to %s: %v", ErrUnavailable, to, err)
 	}
-	resp, ok := <-ch
-	if !ok {
-		return Message{}, ErrClosed
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
 	}
-	if resp.Op == 0 && len(resp.Body) > 0 && resp.Body[0] == kindError {
-		return Message{}, fmt.Errorf("transport: remote error from %s: %s", to, resp.Body[1:])
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return Message{}, res.err
+		}
+		return res.msg, nil
+	case <-timer:
+		return Message{}, timeoutError(to)
 	}
-	return resp, nil
 }
 
 func (e *TCPEndpoint) readLoop(tc *tcpConn) {
@@ -183,7 +224,7 @@ func (e *TCPEndpoint) readLoop(tc *tcpConn) {
 		e.mu.Unlock()
 	}()
 	for {
-		id, kind, op, from, body, err := readFrame(tc.c)
+		id, kind, op, from, body, err := e.readFrame(tc.c)
 		if err != nil {
 			e.failPending()
 			return
@@ -194,38 +235,68 @@ func (e *TCPEndpoint) readLoop(tc *tcpConn) {
 		case kindResponse, kindError:
 			e.mu.Lock()
 			ch := e.pending[id]
+			delete(e.pending, id)
 			e.mu.Unlock()
 			if ch != nil {
 				if kind == kindError {
-					ch <- Message{Op: 0, Body: append([]byte{kindError}, body...)}
+					ch <- callResult{err: decodeRemoteError(from, body)}
 				} else {
-					ch <- Message{Op: op, Body: body}
+					ch <- callResult{msg: Message{Op: op, Body: body}}
 				}
 			}
 		}
 	}
 }
 
+// decodeRemoteError rebuilds a handler error from an error frame, restoring
+// its retryable classification.
+func decodeRemoteError(from string, body []byte) error {
+	flag, msg := byte(errFlagFatal), ""
+	if len(body) > 0 {
+		flag, msg = body[0], string(body[1:])
+	}
+	err := fmt.Errorf("transport: remote error from %s: %s", from, msg)
+	if flag == errFlagRetryable {
+		return MarkRetryable(err)
+	}
+	return err
+}
+
 func (e *TCPEndpoint) dispatch(tc *tcpConn, id uint64, op uint8, from string, body []byte) {
 	h, _ := e.handler.Load().(Handler)
 	if h == nil {
-		writeFrame(tc, id, kindError, 0, e.name, []byte("no handler"))
+		e.writeErrorFrame(tc, id, fmt.Errorf("no handler"))
 		return
 	}
 	resp, err := h(from, Message{Op: op, Body: body})
 	if err != nil {
-		writeFrame(tc, id, kindError, 0, e.name, []byte(err.Error()))
+		e.writeErrorFrame(tc, id, err)
 		return
 	}
-	writeFrame(tc, id, kindResponse, resp.Op, e.name, resp.Body)
+	e.writeFrame(tc, id, kindResponse, resp.Op, e.name, resp.Body)
 }
 
-// failPending unblocks all waiting Calls after a connection failure.
+// writeErrorFrame sends a handler error with its retryable flag.
+func (e *TCPEndpoint) writeErrorFrame(tc *tcpConn, id uint64, err error) {
+	flag := byte(errFlagFatal)
+	if IsRetryable(err) {
+		flag = errFlagRetryable
+	}
+	body := append([]byte{flag}, err.Error()...)
+	e.writeFrame(tc, id, kindError, 0, e.name, body)
+}
+
+// failPending unblocks all waiting Calls after a connection failure with a
+// retryable error — the peer may come back.
 func (e *TCPEndpoint) failPending() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	err := error(ErrClosed)
+	if !e.closed {
+		err = fmt.Errorf("%w: connection lost", ErrUnavailable)
+	}
 	for id, ch := range e.pending {
-		close(ch)
+		ch <- callResult{err: err}
 		delete(e.pending, id)
 	}
 }
@@ -254,7 +325,7 @@ func (e *TCPEndpoint) Close() error {
 	return nil
 }
 
-func writeFrame(tc *tcpConn, id uint64, kind, op uint8, from string, body []byte) error {
+func (e *TCPEndpoint) writeFrame(tc *tcpConn, id uint64, kind, op uint8, from string, body []byte) error {
 	n := 8 + 1 + 1 + 4 + len(from) + len(body)
 	buf := make([]byte, 4+n)
 	binary.LittleEndian.PutUint32(buf, uint32(n))
@@ -266,11 +337,15 @@ func writeFrame(tc *tcpConn, id uint64, kind, op uint8, from string, body []byte
 	copy(buf[18+len(from):], body)
 	tc.writeMu.Lock()
 	defer tc.writeMu.Unlock()
+	if e.WriteTimeout > 0 {
+		tc.c.SetWriteDeadline(time.Now().Add(e.WriteTimeout))
+		defer tc.c.SetWriteDeadline(time.Time{})
+	}
 	_, err := tc.c.Write(buf)
 	return err
 }
 
-func readFrame(c net.Conn) (id uint64, kind, op uint8, from string, body []byte, err error) {
+func (e *TCPEndpoint) readFrame(c net.Conn) (id uint64, kind, op uint8, from string, body []byte, err error) {
 	var hdr [4]byte
 	if _, err = io.ReadFull(c, hdr[:]); err != nil {
 		return
@@ -279,6 +354,12 @@ func readFrame(c net.Conn) (id uint64, kind, op uint8, from string, body []byte,
 	if n < 18-4 || n > maxFrame {
 		err = fmt.Errorf("transport: bad frame length %d", n)
 		return
+	}
+	// The frame has started arriving: the rest must land within the read
+	// timeout or the peer is considered dead mid-frame.
+	if e.ReadTimeout > 0 {
+		c.SetReadDeadline(time.Now().Add(e.ReadTimeout))
+		defer c.SetReadDeadline(time.Time{})
 	}
 	buf := make([]byte, n)
 	if _, err = io.ReadFull(c, buf); err != nil {

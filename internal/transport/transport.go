@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Message is one RPC payload: an operation code plus an opaque wire-encoded
@@ -198,12 +199,23 @@ func (n *MemNetwork) Endpoint(name string) (Endpoint, error) {
 	return ep, nil
 }
 
-// Close implements Network.
+// Close implements Network. Endpoints created earlier are closed too, so a
+// Call through a cached endpoint (or cached handler reference) fails with
+// ErrClosed instead of silently succeeding against a dead network.
 func (n *MemNetwork) Close() error {
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	eps := make([]*memEndpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
 	n.closed = true
 	n.endpoints = make(map[string]*memEndpoint)
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.mu.Lock()
+		ep.closed = true
+		ep.mu.Unlock()
+	}
 	return nil
 }
 
@@ -224,23 +236,9 @@ func (e *memEndpoint) Handle(h Handler) {
 }
 
 func (e *memEndpoint) Call(to string, req Message) (Message, error) {
-	e.mu.RLock()
-	closed := e.closed
-	e.mu.RUnlock()
-	if closed {
-		return Message{}, ErrClosed
-	}
-	e.net.mu.RLock()
-	target := e.net.endpoints[to]
-	e.net.mu.RUnlock()
-	if target == nil {
-		return Message{}, fmt.Errorf("%w: %q", ErrUnknownEndpoint, to)
-	}
-	target.mu.RLock()
-	h := target.handler
-	target.mu.RUnlock()
-	if h == nil {
-		return Message{}, fmt.Errorf("transport: endpoint %q has no handler", to)
+	h, err := e.target(to)
+	if err != nil {
+		return Message{}, err
 	}
 	resp, err := h(e.name, req)
 	if err != nil {
@@ -248,6 +246,70 @@ func (e *memEndpoint) Call(to string, req Message) (Message, error) {
 	}
 	e.net.meter.Record(e.name, to, req.Size(), resp.Size())
 	return resp, nil
+}
+
+// target resolves the peer's handler, checking endpoint and network
+// liveness.
+func (e *memEndpoint) target(to string) (Handler, error) {
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	e.net.mu.RLock()
+	netClosed := e.net.closed
+	target := e.net.endpoints[to]
+	e.net.mu.RUnlock()
+	if netClosed {
+		return nil, ErrClosed
+	}
+	if target == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownEndpoint, to)
+	}
+	target.mu.RLock()
+	h := target.handler
+	target.mu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("transport: endpoint %q has no handler", to)
+	}
+	return h, nil
+}
+
+// CallTimeout implements CallerWithTimeout. The handler runs on its own
+// goroutine; on deadline expiry the caller gets a retryable ErrTimeout while
+// the handler keeps running to completion — deliberately mirroring a real
+// network's "response lost, side effects applied" hazard, which is what the
+// ps layer's idempotent request tagging defends against.
+func (e *memEndpoint) CallTimeout(to string, req Message, timeout time.Duration) (Message, error) {
+	if timeout <= 0 {
+		return e.Call(to, req)
+	}
+	h, err := e.target(to)
+	if err != nil {
+		return Message{}, err
+	}
+	type result struct {
+		resp Message
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := h(e.name, req)
+		done <- result{resp, err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		if r.err != nil {
+			return Message{}, r.err
+		}
+		e.net.meter.Record(e.name, to, req.Size(), r.resp.Size())
+		return r.resp, nil
+	case <-timer.C:
+		return Message{}, timeoutError(to)
+	}
 }
 
 func (e *memEndpoint) Close() error {

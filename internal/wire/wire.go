@@ -77,6 +77,12 @@ func (w *Writer) Bytes32(b []byte) {
 	w.buf = append(w.buf, b...)
 }
 
+// Raw appends bytes verbatim, without a length prefix — for framing an
+// already-encoded payload behind a header.
+func (w *Writer) Raw(b []byte) {
+	w.buf = append(w.buf, b...)
+}
+
 // Int32s appends a length-prefixed []int32.
 func (w *Writer) Int32s(vs []int32) {
 	w.Uint32(uint32(len(vs)))
