@@ -130,12 +130,63 @@ func BenchmarkHistogramBuildSparse(b *testing.B) {
 		hess[i] = 0.3
 	}
 	h := histogram.New(layout)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Reset()
 		histogram.BuildSparse(h, d, rows, grad, hess)
 	}
 	b.ReportMetric(float64(d.NNZ()), "nnz/op")
+}
+
+// BenchmarkHistogramBuildBinned runs the same workload as
+// BenchmarkHistogramBuildSparse over the quantized mirror, so the two
+// numbers are directly comparable.
+func BenchmarkHistogramBuildBinned(b *testing.B) {
+	d := benchData(b, 5000, 20000, 100)
+	set := sketch.NewSet(d.NumFeatures, 0.04)
+	set.AddDataset(d)
+	layout, err := histogram.NewLayout(histogram.AllFeatures(d.NumFeatures), set.Candidates(12), d.NumFeatures)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grad := make([]float64, d.NumRows())
+	hess := make([]float64, d.NumRows())
+	rows := make([]int32, d.NumRows())
+	for i := range rows {
+		rows[i] = int32(i)
+		grad[i] = float64(i % 3)
+		hess[i] = 0.3
+	}
+	bn := histogram.NewBinned(d, layout, 4)
+	h := histogram.New(layout)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Reset()
+		histogram.BuildSparseBinned(h, bn, rows, grad, hess)
+	}
+	b.ReportMetric(float64(bn.NNZ()), "nnz/op")
+}
+
+// BenchmarkBinnedConstruction times the once-per-tree quantization pass
+// that the per-node build savings have to amortize.
+func BenchmarkBinnedConstruction(b *testing.B) {
+	d := benchData(b, 5000, 20000, 100)
+	set := sketch.NewSet(d.NumFeatures, 0.04)
+	set.AddDataset(d)
+	layout, err := histogram.NewLayout(histogram.AllFeatures(d.NumFeatures), set.Candidates(12), d.NumFeatures)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bn := histogram.NewBinned(d, layout, 4)
+		if bn.NNZ() == 0 {
+			b.Fatal("empty binned matrix")
+		}
+	}
 }
 
 func BenchmarkHistogramBuildDense(b *testing.B) {
@@ -155,6 +206,7 @@ func BenchmarkHistogramBuildDense(b *testing.B) {
 		hess[i] = 0.3
 	}
 	h := histogram.New(layout)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Reset()
@@ -191,6 +243,7 @@ func BenchmarkSingleMachineTrain(b *testing.B) {
 	cfg.NumTrees = 5
 	cfg.MaxDepth = 5
 	cfg.Parallelism = 1
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dimboost.Train(d, cfg); err != nil {
@@ -205,6 +258,7 @@ func BenchmarkDistributedTrain(b *testing.B) {
 	cfg.NumTrees = 5
 	cfg.MaxDepth = 5
 	cfg.Parallelism = 1
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dimboost.TrainDistributed(d, cfg); err != nil {

@@ -7,13 +7,17 @@
 //	dimboost-bench table1
 //	dimboost-bench fig12 -dataset gender
 //	dimboost-bench all -scale 0.5
+//	dimboost-bench all -scale 0.1 -json timings.json -cpuprofile cpu.pprof
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -23,10 +27,27 @@ import (
 	"dimboost/internal/transport"
 )
 
+// timing is one machine-readable per-experiment measurement (-json).
+type timing struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// report is the -json output document; Scale makes runs comparable
+// run-over-run only when taken at the same scale.
+type report struct {
+	Scale       float64  `json:"scale"`
+	GoVersion   string   `json:"go_version"`
+	Experiments []timing `json:"experiments"`
+}
+
 func main() {
 	scale := flag.Float64("scale", 1.0, "dataset row-count multiplier (smaller = quicker)")
 	ds := flag.String("dataset", "rcv1", "fig12 dataset: rcv1 | synthesis | gender")
 	faultSpec := flag.String("fault-spec", "", "fault-injection spec for distributed runs, e.g. 'seed=7;server-*:err=0.02'")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	jsonOut := flag.String("json", "", "write machine-readable per-experiment timings to this file")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -40,13 +61,56 @@ func main() {
 		scale2 := fs.Float64("scale", *scale, "dataset row-count multiplier")
 		ds2 := fs.String("dataset", *ds, "fig12 dataset")
 		fault2 := fs.String("fault-spec", *faultSpec, "fault-injection spec for distributed runs")
+		cpu2 := fs.String("cpuprofile", *cpuProfile, "write a CPU profile to this file")
+		mem2 := fs.String("memprofile", *memProfile, "write a heap profile to this file at exit")
+		json2 := fs.String("json", *jsonOut, "write per-experiment timings to this file")
 		if err := fs.Parse(flag.Args()[1:]); err != nil {
 			log.Fatal(err)
 		}
 		scale, ds, faultSpec = scale2, ds2, fault2
+		cpuProfile, memProfile, jsonOut = cpu2, mem2, json2
 	}
 	s := experiments.Scale(*scale)
 	out := os.Stdout
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize only live allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	rep := report{Scale: *scale, GoVersion: runtime.Version()}
+	if *jsonOut != "" {
+		defer func() {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	if *faultSpec != "" {
 		spec, err := faultinject.ParseSpec(*faultSpec)
@@ -92,7 +156,9 @@ func main() {
 		if err := f(); err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
-		fmt.Fprintf(out, "[%s completed in %s]\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		rep.Experiments = append(rep.Experiments, timing{Name: name, Seconds: elapsed.Seconds()})
+		fmt.Fprintf(out, "[%s completed in %s]\n", name, elapsed.Round(time.Millisecond))
 	}
 
 	dispatch := map[string]func(){
@@ -148,6 +214,9 @@ experiments:
   fig14    comparison on a low-dimensional dataset
   a1       unbiasedness of low-precision histograms
   all      everything, in paper order
+
+-cpuprofile/-memprofile write pprof profiles; -json writes per-experiment
+timings for run-over-run perf comparisons (see BENCH_baseline.json).
 
 flags:`)
 	flag.PrintDefaults()

@@ -218,6 +218,16 @@ func (wk *worker) trainTree(t int) error {
 		return err
 	}
 
+	// Quantize the shard once per tree: histogram construction and node
+	// splitting both run on bin ids (Config.NoBinning ablates back to the
+	// float path; models are bit-identical either way).
+	var binned *histogram.Binned
+	if !cfg.NoBinning {
+		wk.times.BuildHist += wk.compute(func() {
+			binned = histogram.NewBinned(wk.shard, layout, cfg.Parallelism)
+		})
+	}
+
 	tn := tree.New(cfg.MaxDepth)
 	maxNodes := tree.MaxNodes(cfg.MaxDepth)
 	idx := tree.NewIndex(n, maxNodes)
@@ -226,7 +236,12 @@ func (wk *worker) trainTree(t int) error {
 	hasState := func(node int) (nodeState, bool) { s, ok := states[node]; return s, ok }
 
 	active := []int{0}
-	buildOpts := histogram.BuildOptions{Parallelism: cfg.Parallelism, BatchSize: cfg.BatchSize, Dense: cfg.DenseBuild}
+	buildOpts := histogram.BuildOptions{
+		Parallelism: cfg.Parallelism,
+		BatchSize:   cfg.BatchSize,
+		Dense:       cfg.DenseBuild,
+		Pool:        histogram.NewPool(layout),
+	}
 	// One reusable histogram buffer per tree: PushHistogram is synchronous,
 	// so the buffer is free again once the push returns.
 	hist := histogram.New(layout)
@@ -250,7 +265,11 @@ func (wk *worker) trainTree(t int) error {
 		for _, node := range active {
 			wk.times.BuildHist += wk.compute(func() {
 				hist.Reset()
-				histogram.Build(hist, wk.shard, idx.Rows(node), wk.grad, wk.hess, buildOpts)
+				if binned != nil {
+					histogram.BuildBinned(hist, binned, idx.Rows(node), wk.grad, wk.hess, buildOpts)
+				} else {
+					histogram.Build(hist, wk.shard, idx.Rows(node), wk.grad, wk.hess, buildOpts)
+				}
 			})
 			if err := wk.client.PushHistogram(node, hist); err != nil {
 				return err
@@ -329,10 +348,9 @@ func (wk *worker) trainTree(t int) error {
 				}
 				sp := res.Split
 				tn.SetSplit(node, sp.Feature, sp.Value, sp.Gain)
-				f, v := int(sp.Feature), sp.Value
-				idx.Split(node, func(r int32) bool {
-					return float64(wk.shard.Row(int(r)).Feature(f)) <= v
-				})
+				// Split values travel the wire as float64, so the bin
+				// recovery inside SplitPredicate stays exact.
+				idx.Split(node, core.SplitPredicate(wk.shard, binned, layout, sp))
 				states[tree.Left(node)] = nodeState{sp.LeftG, sp.LeftH}
 				states[tree.Right(node)] = nodeState{sp.RightG, sp.RightH}
 				next = append(next, tree.Left(node), tree.Right(node))

@@ -67,6 +67,11 @@ type Config struct {
 	// NoNodeIndex disables the node-to-instance index: each node's builder
 	// filters a full dataset scan instead (ablation, Table 3).
 	NoNodeIndex bool
+	// NoBinning disables the per-tree quantized (binned) dataset: histogram
+	// construction and node splitting fall back to the float path, paying a
+	// binary search per nonzero per layer (ablation; results are
+	// bit-identical either way).
+	NoBinning bool
 }
 
 // DefaultConfig mirrors the paper's protocol: T=20, d=7, K=20, σ=1, η=0.1.

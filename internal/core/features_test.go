@@ -28,6 +28,68 @@ func TestHistSubtractionMatchesNormal(t *testing.T) {
 	}
 }
 
+// TestBinnedMatchesNoBinning is the tentpole invariant of the quantized
+// pipeline: training over bin ids is bit-identical to training over float
+// values, across the feature interactions that touch the split path.
+func TestBinnedMatchesNoBinning(t *testing.T) {
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 600, NumFeatures: 90, AvgNNZ: 12, Seed: 131, Zipf: 1.2})
+	variants := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"default", func(c *Config) {}},
+		{"histsub", func(c *Config) { c.HistSubtraction = true }},
+		{"sampling", func(c *Config) { c.FeatureSampleRatio = 0.4; c.InstanceSampleRatio = 0.6 }},
+		{"dense", func(c *Config) { c.DenseBuild = true }},
+		{"no-index", func(c *Config) { c.NoNodeIndex = true }},
+		{"weighted", func(c *Config) { c.WeightedCandidates = true }},
+		{"parallel", func(c *Config) { c.Parallelism = 4; c.BatchSize = 64 }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			cfg := smallConfig()
+			cfg.NumTrees = 4
+			cfg.MaxDepth = 5
+			v.mut(&cfg)
+			binned, err := Train(d, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.NoBinning = true
+			float, err := Train(d, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameStructure(t, float, binned) {
+				t.Fatal("binned training diverged from the float path")
+			}
+		})
+	}
+}
+
+// TestHistSubtractionMatchesNormalNoBinning re-runs the subtraction
+// equality on the float (ablation) path, so both sides of the NoBinning
+// switch keep the §5 invariants.
+func TestHistSubtractionMatchesNormalNoBinning(t *testing.T) {
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 500, NumFeatures: 80, AvgNNZ: 12, Seed: 101, Zipf: 1.2})
+	cfg := smallConfig()
+	cfg.NumTrees = 5
+	cfg.MaxDepth = 5
+	cfg.NoBinning = true
+	ref, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.HistSubtraction = true
+	sub, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameStructure(t, ref, sub) {
+		t.Fatal("histogram subtraction changed the model on the float path")
+	}
+}
+
 func TestHistSubtractionIsFaster(t *testing.T) {
 	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 6000, NumFeatures: 500, AvgNNZ: 40, Seed: 103, Zipf: 1.3})
 	cfg := smallConfig()

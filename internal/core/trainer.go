@@ -310,11 +310,23 @@ func (tr *Trainer) growTree(layout *histogram.Layout, grad, hess, preds []float6
 	}
 	states[0] = nodeState{rootG, rootH}
 
+	// Quantize the dataset once per tree: every nonzero's bin id under this
+	// tree's candidates, reused by every node of every layer for both
+	// histogram construction and splitting (Config.NoBinning ablates).
+	var binned *histogram.Binned
+	if !cfg.NoBinning {
+		bs := time.Now()
+		binned = histogram.NewBinned(tr.data, layout, cfg.Parallelism)
+		tr.Times.BuildHist += time.Since(bs)
+	}
+
 	active := []int{0}
+	pool := histogram.NewPool(layout)
 	buildOpts := histogram.BuildOptions{
 		Parallelism: cfg.Parallelism,
 		BatchSize:   cfg.BatchSize,
 		Dense:       cfg.DenseBuild,
+		Pool:        pool,
 	}
 
 	// Histogram subtraction (Config.HistSubtraction): keep split nodes'
@@ -337,7 +349,7 @@ func (tr *Trainer) growTree(layout *histogram.Layout, grad, hess, preds []float6
 				continue
 			}
 			bs := time.Now()
-			h := histogram.New(layout)
+			h := pool.Get()
 			derived := false
 			// Deriving costs O(TotalBuckets); only cheaper than a direct
 			// build when the node holds enough nonzeros.
@@ -352,7 +364,11 @@ func (tr *Trainer) growTree(layout *histogram.Layout, grad, hess, preds []float6
 				}
 			}
 			if !derived {
-				histogram.Build(h, tr.data, rowsFor(node), grad, hess, buildOpts)
+				if binned != nil {
+					histogram.BuildBinned(h, binned, rowsFor(node), grad, hess, buildOpts)
+				} else {
+					histogram.Build(h, tr.data, rowsFor(node), grad, hess, buildOpts)
+				}
 			}
 			if cfg.HistSubtraction {
 				curHists[node] = h
@@ -362,6 +378,9 @@ func (tr *Trainer) growTree(layout *histogram.Layout, grad, hess, preds []float6
 			fs := time.Now()
 			split := FindSplit(h, st.g, st.h, cfg.Lambda, cfg.Gamma, cfg.MinChildHessian)
 			tr.Times.FindSplit += time.Since(fs)
+			if !cfg.HistSubtraction {
+				pool.Put(h) // h is dead past FindSplit; recycle immediately
+			}
 
 			if !split.Found {
 				tn.SetLeaf(node, cfg.LearningRate*LeafWeight(st.g, st.h, cfg.Lambda))
@@ -370,15 +389,13 @@ func (tr *Trainer) growTree(layout *histogram.Layout, grad, hess, preds []float6
 
 			ss := time.Now()
 			tn.SetSplit(node, split.Feature, split.Value, split.Gain)
-			f, v := int(split.Feature), split.Value
-			idx.Split(node, func(r int32) bool {
-				return float64(tr.data.Row(int(r)).Feature(f)) <= v
-			})
+			goLeft := SplitPredicate(tr.data, binned, layout, split)
+			idx.Split(node, goLeft)
 			if cfg.NoNodeIndex {
 				l, r := int32(tree.Left(node)), int32(tree.Right(node))
 				for i := 0; i < n; i++ {
 					if nodeOf[i] == int32(node) {
-						if float64(tr.data.Row(i).Feature(f)) <= v {
+						if goLeft(int32(i)) {
 							nodeOf[i] = l
 						} else {
 							nodeOf[i] = r
@@ -394,14 +411,24 @@ func (tr *Trainer) growTree(layout *histogram.Layout, grad, hess, preds []float6
 		}
 		if cfg.HistSubtraction {
 			// keep only the histograms of nodes that actually split — the
-			// next layer subtracts against them
-			prevHists = map[int]*histogram.Histogram{}
+			// next layer subtracts against them; everything evicted goes
+			// back to the pool
+			for _, h := range prevHists {
+				pool.Put(h)
+			}
+			kept := map[int]*histogram.Histogram{}
 			for _, child := range next {
 				p := tree.Parent(child)
 				if h := curHists[p]; h != nil {
-					prevHists[p] = h
+					kept[p] = h
 				}
 			}
+			for node, h := range curHists {
+				if kept[node] != h {
+					pool.Put(h)
+				}
+			}
+			prevHists = kept
 			curHists = map[int]*histogram.Histogram{}
 		}
 		active = next
@@ -426,6 +453,27 @@ func (tr *Trainer) growTree(layout *histogram.Layout, grad, hess, preds []float6
 		}
 	}
 	return tn, nil
+}
+
+// SplitPredicate returns the goLeft test of a split. With a binned matrix
+// the float comparison v <= SplitValue(k) becomes bin(v) <= k: the split
+// value is always a cut, Candidates.Bucket recovers its bucket index k
+// exactly, and by the bucket semantics (bucket k holds values <= Cuts[k],
+// values above every cut land in the last, never-proposed bucket) the two
+// predicates partition rows identically — so binned and float training
+// produce bit-identical models.
+func SplitPredicate(d *dataset.Dataset, binned *histogram.Binned, layout *histogram.Layout, split Split) func(r int32) bool {
+	f, v := int(split.Feature), split.Value
+	if binned == nil {
+		return func(r int32) bool {
+			return float64(d.Row(int(r)).Feature(f)) <= v
+		}
+	}
+	p := layout.Pos(split.Feature)
+	k := layout.Cands[p].Bucket(v)
+	return func(r int32) bool {
+		return binned.Bin(int(r), p) <= k
+	}
 }
 
 // idxCount returns the instance count of a node under either row-tracking

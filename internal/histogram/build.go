@@ -10,13 +10,22 @@ import (
 // baseline: for every instance it enumerates every sampled feature,
 // including zeros (O(N·M), §5.1). rows selects the instances (global row
 // ids into d); grad/hess are per-row gradients indexed by global row id.
+// Row indices and Layout.Features are both sorted, so one merge-walk per
+// row replaces a per-feature binary search.
 func BuildDense(h *Histogram, d *dataset.Dataset, rows []int32, grad, hess []float64) {
 	l := h.Layout
 	for _, r := range rows {
 		in := d.Row(int(r))
 		g, hs := grad[r], hess[r]
+		j := 0
 		for p, f := range l.Features {
-			v := float64(in.Feature(int(f)))
+			for j < len(in.Indices) && in.Indices[j] < f {
+				j++
+			}
+			v := 0.0
+			if j < len(in.Indices) && in.Indices[j] == f {
+				v = float64(in.Values[j])
+			}
 			k := l.Cands[p].Bucket(v)
 			idx := int(l.Offsets[p]) + k
 			h.G[idx] += g
@@ -58,6 +67,74 @@ func BuildSparse(h *Histogram, d *dataset.Dataset, rows []int32, grad, hess []fl
 	}
 }
 
+// BuildSparseBinned is BuildSparse over pre-quantized bin ids: the same
+// accumulation in the same order (so results are bit-identical), but the
+// inner loop is pure index arithmetic — no Pos lookup, no float compare,
+// no binary search.
+func BuildSparseBinned(h *Histogram, b *Binned, rows []int32, grad, hess []float64) {
+	if b.Bins16 != nil {
+		buildSparseBins(h, b, b.Bins16, rows, grad, hess)
+	} else {
+		buildSparseBins(h, b, b.Bins8, rows, grad, hess)
+	}
+}
+
+func buildSparseBins[T uint8 | uint16](h *Histogram, b *Binned, bins []T, rows []int32, grad, hess []float64) {
+	l := h.Layout
+	offs, zeros := l.Offsets, l.zeroIdx
+	pos := b.Pos
+	var sumG, sumH float64
+	for _, r := range rows {
+		g, hs := grad[r], hess[r]
+		sumG += g
+		sumH += hs
+		lo, hi := b.RowPtr[r], b.RowPtr[r+1]
+		for j := lo; j < hi; j++ {
+			p := pos[j]
+			idx := int(offs[p]) + int(bins[j])
+			h.G[idx] += g
+			h.H[idx] += hs
+			z := zeros[p]
+			h.G[z] -= g
+			h.H[z] -= hs
+		}
+	}
+	for _, z := range zeros {
+		h.G[z] += sumG
+		h.H[z] += sumH
+	}
+}
+
+// BuildDenseBinned is BuildDense over pre-quantized bin ids: one merge-walk
+// over the row's sampled entries supplies stored bins, every other sampled
+// position contributes its zero bucket. Bit-identical to BuildDense.
+func BuildDenseBinned(h *Histogram, b *Binned, rows []int32, grad, hess []float64) {
+	if b.Bins16 != nil {
+		buildDenseBins(h, b, b.Bins16, rows, grad, hess)
+	} else {
+		buildDenseBins(h, b, b.Bins8, rows, grad, hess)
+	}
+}
+
+func buildDenseBins[T uint8 | uint16](h *Histogram, b *Binned, bins []T, rows []int32, grad, hess []float64) {
+	l := h.Layout
+	offs, zeros := l.Offsets, l.zeroIdx
+	m := len(l.Features)
+	for _, r := range rows {
+		g, hs := grad[r], hess[r]
+		j, hi := b.RowPtr[r], b.RowPtr[r+1]
+		for p := 0; p < m; p++ {
+			idx := int(zeros[p])
+			if j < hi && int(b.Pos[j]) == p {
+				idx = int(offs[p]) + int(bins[j])
+				j++
+			}
+			h.G[idx] += g
+			h.H[idx] += hs
+		}
+	}
+}
+
 // BuildOptions control the parallel batch construction of §5.2.
 type BuildOptions struct {
 	// Parallelism is the number of builder goroutines (the paper's q
@@ -68,6 +145,11 @@ type BuildOptions struct {
 	BatchSize int
 	// Dense switches to the traditional O(N·M) build, for ablation.
 	Dense bool
+	// Pool, when non-nil, supplies the per-goroutine partial histograms
+	// instead of allocating fresh ones per Build call. The trainer shares
+	// one pool across a whole tree, making steady-state builds
+	// allocation-free.
+	Pool *Pool
 }
 
 func (o BuildOptions) normalized() BuildOptions {
@@ -82,18 +164,41 @@ func (o BuildOptions) normalized() BuildOptions {
 
 // Build constructs the histogram of one tree node over the given rows using
 // the parallel batch method: the row range is cut into batches of
-// opts.BatchSize, a pool of opts.Parallelism goroutines builds per-goroutine
-// partial histograms, and the partials are merged in goroutine order. With
-// Parallelism == 1 the result is bit-identical to BuildSparse/BuildDense.
+// opts.BatchSize, worker w builds batches w, w+workers, … into a partial
+// histogram, and the partials are merged in worker order. The static batch
+// assignment makes the accumulation order — and therefore the result —
+// deterministic for a given (rows, opts); with Parallelism == 1 it is
+// bit-identical to BuildSparse/BuildDense.
 func Build(h *Histogram, d *dataset.Dataset, rows []int32, grad, hess []float64, opts BuildOptions) {
-	opts = opts.normalized()
 	build := BuildSparse
 	if opts.Dense {
 		build = BuildDense
 	}
+	buildParallel(h, rows, opts, func(part *Histogram, batch []int32) {
+		build(part, d, batch, grad, hess)
+	})
+}
+
+// BuildBinned is Build over the quantized matrix: same batching, same
+// deterministic merge order, but each batch accumulates straight from bin
+// ids.
+func BuildBinned(h *Histogram, b *Binned, rows []int32, grad, hess []float64, opts BuildOptions) {
+	build := BuildSparseBinned
+	if opts.Dense {
+		build = BuildDenseBinned
+	}
+	buildParallel(h, rows, opts, func(part *Histogram, batch []int32) {
+		build(part, b, batch, grad, hess)
+	})
+}
+
+// buildParallel runs the shared batching/merging machinery over any
+// per-batch builder. Partial histograms come from opts.Pool when set.
+func buildParallel(h *Histogram, rows []int32, opts BuildOptions, build func(part *Histogram, batch []int32)) {
+	opts = opts.normalized()
 	nBatches := (len(rows) + opts.BatchSize - 1) / opts.BatchSize
 	if opts.Parallelism == 1 || nBatches <= 1 {
-		build(h, d, rows, grad, hess)
+		build(h, rows)
 		return
 	}
 	workers := opts.Parallelism
@@ -101,24 +206,24 @@ func Build(h *Histogram, d *dataset.Dataset, rows []int32, grad, hess []float64,
 		workers = nBatches
 	}
 	partials := make([]*Histogram, workers)
-	batches := make(chan []int32, nBatches)
-	for b := 0; b < nBatches; b++ {
-		lo := b * opts.BatchSize
-		hi := lo + opts.BatchSize
-		if hi > len(rows) {
-			hi = len(rows)
-		}
-		batches <- rows[lo:hi]
-	}
-	close(batches)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			part := New(h.Layout)
-			for batch := range batches {
-				build(part, d, batch, grad, hess)
+			var part *Histogram
+			if opts.Pool != nil {
+				part = opts.Pool.Get()
+			} else {
+				part = New(h.Layout)
+			}
+			for bi := w; bi < nBatches; bi += workers {
+				lo := bi * opts.BatchSize
+				hi := lo + opts.BatchSize
+				if hi > len(rows) {
+					hi = len(rows)
+				}
+				build(part, rows[lo:hi])
 			}
 			partials[w] = part
 		}(w)
@@ -126,5 +231,8 @@ func Build(h *Histogram, d *dataset.Dataset, rows []int32, grad, hess []float64,
 	wg.Wait()
 	for _, part := range partials {
 		h.Add(part)
+		if opts.Pool != nil {
+			opts.Pool.Put(part)
+		}
 	}
 }

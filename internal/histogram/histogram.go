@@ -30,6 +30,10 @@ type Layout struct {
 
 	// posOf maps a global feature id to its position in Features, or -1.
 	posOf []int32
+	// zeroIdx[p] is the flat bucket index of sampled position p's zero
+	// bucket, precomputed so the binned build paths need no Candidates
+	// lookups in their inner loops.
+	zeroIdx []int32
 }
 
 // NewLayout builds a layout for the given sampled features. cands must be
@@ -41,6 +45,7 @@ func NewLayout(features []int32, cands []sketch.Candidates, numFeatures int) (*L
 		Cands:    make([]sketch.Candidates, len(features)),
 		Offsets:  make([]int32, len(features)+1),
 		posOf:    make([]int32, numFeatures),
+		zeroIdx:  make([]int32, len(features)),
 	}
 	for i := range l.posOf {
 		l.posOf[i] = -1
@@ -55,6 +60,7 @@ func NewLayout(features []int32, cands []sketch.Candidates, numFeatures int) (*L
 		l.Cands[p] = cands[f]
 		l.Offsets[p] = off
 		l.posOf[f] = int32(p)
+		l.zeroIdx[p] = off + int32(cands[f].ZeroBucket)
 		off += int32(cands[f].NumBuckets())
 	}
 	l.Offsets[len(features)] = off

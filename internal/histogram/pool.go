@@ -1,0 +1,54 @@
+package histogram
+
+import "sync"
+
+// Pool recycles Histograms of one layout. A tree's histogram traffic — one
+// per active node per layer plus one partial per builder goroutine per
+// Build call — would otherwise allocate a fresh 2×TotalBuckets float64
+// pair every time; the pool caps the working set at the peak number of
+// simultaneously live histograms per tree. It is safe for concurrent use.
+type Pool struct {
+	layout *Layout
+	mu     sync.Mutex
+	free   []*Histogram
+}
+
+// NewPool creates an empty pool for the layout.
+func NewPool(l *Layout) *Pool { return &Pool{layout: l} }
+
+// Get returns a zeroed histogram, recycling a previously Put one when
+// available.
+func (p *Pool) Get() *Histogram {
+	p.mu.Lock()
+	var h *Histogram
+	if n := len(p.free); n > 0 {
+		h = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	}
+	p.mu.Unlock()
+	if h == nil {
+		return New(p.layout)
+	}
+	h.Reset()
+	return h
+}
+
+// Put returns a histogram to the pool for reuse. The caller must not touch
+// h afterwards. nil histograms and histograms of a different layout are
+// ignored, so subtraction caches can evict unconditionally.
+func (p *Pool) Put(h *Histogram) {
+	if h == nil || h.Layout != p.layout {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, h)
+	p.mu.Unlock()
+}
+
+// Idle returns the number of histograms currently parked in the pool.
+func (p *Pool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
