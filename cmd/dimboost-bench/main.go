@@ -24,6 +24,7 @@ import (
 	"dimboost/internal/cluster"
 	"dimboost/internal/experiments"
 	"dimboost/internal/faultinject"
+	"dimboost/internal/obs"
 	"dimboost/internal/transport"
 )
 
@@ -34,11 +35,14 @@ type timing struct {
 }
 
 // report is the -json output document; Scale makes runs comparable
-// run-over-run only when taken at the same scale.
+// run-over-run only when taken at the same scale. Metrics is the full
+// observability snapshot at exit — counters, gauges, and phase histograms
+// accumulated across every experiment of the run.
 type report struct {
-	Scale       float64  `json:"scale"`
-	GoVersion   string   `json:"go_version"`
-	Experiments []timing `json:"experiments"`
+	Scale       float64        `json:"scale"`
+	GoVersion   string         `json:"go_version"`
+	Experiments []timing       `json:"experiments"`
+	Metrics     []obs.Snapshot `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -102,6 +106,7 @@ func main() {
 	rep := report{Scale: *scale, GoVersion: runtime.Version()}
 	if *jsonOut != "" {
 		defer func() {
+			rep.Metrics = obs.Default().Snapshot()
 			data, err := json.MarshalIndent(rep, "", "  ")
 			if err != nil {
 				log.Fatal(err)

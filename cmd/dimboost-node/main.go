@@ -25,6 +25,7 @@ import (
 
 	"dimboost/internal/cluster"
 	"dimboost/internal/dataset"
+	"dimboost/internal/obs"
 	"dimboost/internal/transport"
 )
 
@@ -42,8 +43,17 @@ func main() {
 		trees    = flag.Int("trees", 20, "number of trees")
 		depth    = flag.Int("depth", 7, "maximal tree depth")
 		bits     = flag.Uint("bits", 8, "compressed histogram bits (0 = float32)")
+		metrics  = flag.String("metrics-listen", "", "address for GET /metrics and /debug/obs (empty = disabled)")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		addr, err := obs.Default().Serve(*metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics on http://%s/metrics\n", addr)
+	}
 
 	cfg := cluster.DefaultConfig(*workers, *servers)
 	cfg.NumTrees = *trees

@@ -3,10 +3,16 @@
 //
 // Usage:
 //
-//	dimboost-serve -model model.bin -listen :8080
+//	dimboost-serve -model model.bin -listen :8080 [-reload] [-drain-timeout 10s]
 //
-// Endpoints: GET /healthz, GET /model, GET /importance?top=N,
-// POST /predict (application/json or text/libsvm).
+// Endpoints: GET /healthz (503 while draining), GET /model,
+// GET /importance?top=N, POST /predict (application/json or text/libsvm),
+// GET /metrics (Prometheus text), GET /debug/obs (JSON timeline).
+// With -reload, POST /model/reload or SIGHUP re-reads the model file and
+// swaps it in atomically.
+//
+// SIGINT/SIGTERM drain gracefully: /healthz flips to 503, in-flight
+// requests finish (bounded by -drain-timeout), then the process exits.
 //
 // Example request:
 //
@@ -14,20 +20,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dimboost"
+	"dimboost/internal/core"
 	"dimboost/internal/serve"
 )
 
 func main() {
 	var (
-		modelPath = flag.String("model", "model.bin", "trained model file")
-		listen    = flag.String("listen", "127.0.0.1:8080", "listen address")
+		modelPath    = flag.String("model", "model.bin", "trained model file")
+		listen       = flag.String("listen", "127.0.0.1:8080", "listen address")
+		reload       = flag.Bool("reload", false, "enable POST /model/reload and SIGHUP model reloading")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
 	)
 	flag.Parse()
 
@@ -39,11 +52,54 @@ func main() {
 	fmt.Printf("serving %s model: %d trees, %d internal nodes, %d leaves\n",
 		m.Loss, len(m.Trees), internal, leaves)
 
+	h := serve.New(m)
+	if *reload {
+		h.OnReload = func() (*core.Model, error) { return dimboost.LoadModelFile(*modelPath) }
+	}
+
 	srv := &http.Server{
 		Addr:              *listen,
-		Handler:           serve.New(m),
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for sig := range sigs {
+			if sig == syscall.SIGHUP {
+				if h.OnReload == nil {
+					log.Print("SIGHUP ignored: run with -reload to enable model reloading")
+					continue
+				}
+				nm, err := h.OnReload()
+				if err != nil {
+					log.Printf("SIGHUP reload failed: %v", err)
+					continue
+				}
+				h.Swap(nm)
+				log.Printf("SIGHUP reload: %d trees", len(nm.Trees))
+				continue
+			}
+			// SIGINT/SIGTERM: stop advertising health, drain, exit.
+			log.Printf("%s: draining (up to %s)", sig, *drainTimeout)
+			h.SetDraining(true)
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			if err := srv.Shutdown(ctx); err != nil {
+				log.Printf("shutdown: %v", err)
+			}
+			cancel()
+			return
+		}
+	}()
+
 	fmt.Printf("listening on http://%s\n", *listen)
-	log.Fatal(srv.ListenAndServe())
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-done
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"dimboost"
+	"dimboost/internal/obs"
 )
 
 // loadData reads LibSVM or binary data, picking the format by extension
@@ -48,10 +49,18 @@ func main() {
 		valFrac  = flag.Float64("validate", 0.1, "held-out fraction for the final report")
 		ckptDir  = flag.String("checkpoint-dir", "", "directory for per-tree checkpoints (distributed mode)")
 		resume   = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir")
+		metrics  = flag.String("metrics-listen", "", "address for GET /metrics and /debug/obs during training (empty = disabled)")
 	)
 	flag.Parse()
 	if *data == "" {
 		log.Fatal("-data is required")
+	}
+	if *metrics != "" {
+		addr, err := obs.Default().Serve(*metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics on http://%s/metrics\n", addr)
 	}
 	if *resume && *ckptDir == "" {
 		log.Fatal("-resume requires -checkpoint-dir")

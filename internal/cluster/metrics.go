@@ -1,0 +1,31 @@
+package cluster
+
+import (
+	"sync"
+
+	"dimboost/internal/obs"
+)
+
+// clusterObs groups the worker-loop instruments. Workers record into the
+// same "train" span log as the single-process trainer; the Worker field of
+// each span tells the runtimes apart (the local trainer records -1).
+type clusterObs struct {
+	spans *obs.SpanLog
+	trees *obs.Counter
+}
+
+var (
+	coOnce sync.Once
+	coInst *clusterObs
+)
+
+func clusterMetrics() *clusterObs {
+	coOnce.Do(func() {
+		r := obs.Default()
+		coInst = &clusterObs{
+			spans: r.SpanLog("train", 4096),
+			trees: r.Counter("dimboost_train_trees_total", "Trees finished by the boosting loop."),
+		}
+	})
+	return coInst
+}

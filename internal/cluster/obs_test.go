@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dimboost/internal/faultinject"
+	"dimboost/internal/obs"
+)
+
+// counterTotal sums every series of a counter family in a snapshot. The
+// process-wide registry accumulates across tests, so assertions below work
+// on before/after deltas, never absolute values.
+func counterTotal(snaps []obs.Snapshot, name string) int64 {
+	for _, s := range snaps {
+		if s.Name != name {
+			continue
+		}
+		var total int64
+		for _, series := range s.Series {
+			total += series.Value
+		}
+		return total
+	}
+	return 0
+}
+
+// TestDistributedObservability is the acceptance smoke run: a master plus
+// workers training under fault injection must leave non-zero transport
+// retries and per-phase tree timings on a live /metrics scrape, and the
+// scrape must be syntactically valid Prometheus text format.
+func TestDistributedObservability(t *testing.T) {
+	before := obs.Default().Snapshot()
+
+	d := testData(t, 400, 81)
+	cfg := smallCfg(3, 2)
+	cfg.Retry = testRetry()
+	res, fnet, err := faultTrain(t, d, cfg, faultinject.Spec{
+		Seed: 3,
+		Rules: []faultinject.Rule{
+			{Endpoint: "server-*", ErrRate: 0.03},
+			{Endpoint: ServerName(1), RespLossRate: 0.05},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Model.Trees) != cfg.NumTrees {
+		t.Fatalf("got %d trees, want %d", len(res.Model.Trees), cfg.NumTrees)
+	}
+	if st := fnet.Stats(); st.Errors == 0 {
+		t.Fatalf("fault schedule injected nothing (stats %+v); the test is vacuous", st)
+	}
+
+	after := obs.Default().Snapshot()
+	deltas := map[string]int64{}
+	for _, name := range []string{
+		"dimboost_transport_retries_total",
+		"dimboost_transport_calls_total",
+		"dimboost_ps_requests_total",
+		"dimboost_ps_client_requests_total",
+		"dimboost_train_trees_total",
+	} {
+		deltas[name] = counterTotal(after, name) - counterTotal(before, name)
+		if deltas[name] <= 0 {
+			t.Errorf("%s did not advance during the run (delta %d)", name, deltas[name])
+		}
+	}
+	if deltas["dimboost_train_trees_total"] != int64(cfg.NumTrees) {
+		t.Errorf("trees counter advanced by %d, want %d (leader-only counting)",
+			deltas["dimboost_train_trees_total"], cfg.NumTrees)
+	}
+
+	// Scrape a live /metrics handler and validate the exposition syntax.
+	srv := httptest.NewServer(obs.Default().Mux())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("exposition: %v", err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"dimboost_transport_retries_total",
+		`dimboost_train_phase_seconds_count{phase="build_hist"}`,
+		`dimboost_train_phase_seconds_count{phase="ps_round_trip"}`,
+		`dimboost_train_phase_seconds_count{phase="tree"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %s", want)
+		}
+	}
+
+	// The span timeline must carry per-tree, per-layer worker phases.
+	dbg := obs.Default().DebugSnapshot()
+	events := dbg.Spans["train"]
+	if len(events) == 0 {
+		t.Fatal("no train spans recorded")
+	}
+	var sawLayer, sawPS bool
+	for _, ev := range events {
+		if ev.Worker >= 0 && ev.Tree >= 0 && ev.Layer >= 0 && ev.Phase == "build_hist" {
+			sawLayer = true
+		}
+		if ev.Phase == "ps_round_trip" {
+			sawPS = true
+		}
+	}
+	if !sawLayer {
+		t.Error("no per-layer build_hist span from any worker")
+	}
+	if !sawPS {
+		t.Error("no ps_round_trip span recorded")
+	}
+}

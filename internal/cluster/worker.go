@@ -51,7 +51,12 @@ type worker struct {
 	resume *Checkpoint
 }
 
-func (wk *worker) barrier(phase string) error { return barrier(wk.ep, phase) }
+func (wk *worker) barrier(phase string) error {
+	start := time.Now()
+	err := barrier(wk.ep, phase)
+	clusterMetrics().spans.Record(wk.id, -1, -1, "barrier", start, time.Since(start))
+	return err
+}
 
 // compute runs f inside the optional serialization lock and returns its
 // duration.
@@ -84,10 +89,13 @@ func (wk *worker) run() error {
 
 	// Phase 1: CREATE_SKETCH — local sketches pushed to the PS.
 	var set *sketch.Set
-	wk.times.Sketch += wk.compute(func() {
+	ss := time.Now()
+	sd := wk.compute(func() {
 		set = sketch.NewSet(wk.shard.NumFeatures, wk.cfg.sketchEps())
 		set.AddDataset(wk.shard)
 	})
+	wk.times.Sketch += sd
+	clusterMetrics().spans.Record(wk.id, -1, -1, "sketch", ss, sd)
 	if err := wk.client.PushSketches(set); err != nil {
 		return err
 	}
@@ -189,13 +197,18 @@ func (wk *worker) sampleFeatures() []int32 {
 func (wk *worker) trainTree(t int) error {
 	cfg := wk.cfg
 	n := wk.shard.NumRows()
+	m := clusterMetrics()
+	treeStart := time.Now()
 
 	// Phase 3: NEW_TREE — gradients, leader samples features.
-	wk.times.Gradients += wk.compute(func() {
+	gs := time.Now()
+	gd := wk.compute(func() {
 		for i := 0; i < n; i++ {
 			wk.grad[i], wk.hess[i] = wk.lossFn.Gradients(float64(wk.shard.Labels[i]), wk.preds[i])
 		}
 	})
+	wk.times.Gradients += gd
+	m.spans.Record(wk.id, t, -1, "gradients", gs, gd)
 
 	if wk.id == 0 {
 		sampled := wk.sampleFeatures()
@@ -223,9 +236,12 @@ func (wk *worker) trainTree(t int) error {
 	// float path; models are bit-identical either way).
 	var binned *histogram.Binned
 	if !cfg.NoBinning {
-		wk.times.BuildHist += wk.compute(func() {
+		bs := time.Now()
+		bd := wk.compute(func() {
 			binned = histogram.NewBinned(wk.shard, layout, cfg.Parallelism)
 		})
+		wk.times.BuildHist += bd
+		m.spans.Record(wk.id, t, -1, "binning", bs, bd)
 	}
 
 	tn := tree.New(cfg.MaxDepth)
@@ -247,6 +263,8 @@ func (wk *worker) trainTree(t int) error {
 	hist := histogram.New(layout)
 
 	for depth := 0; depth < cfg.MaxDepth && len(active) > 0; depth++ {
+		layerStart := time.Now()
+		var buildD, psD time.Duration
 		atMax := depth == cfg.MaxDepth-1
 		if atMax {
 			// Last layer: no histograms needed; weights come from states.
@@ -263,7 +281,7 @@ func (wk *worker) trainTree(t int) error {
 		// Phase 4: BUILD_HISTOGRAM — local histograms for active nodes,
 		// pushed to the PS.
 		for _, node := range active {
-			wk.times.BuildHist += wk.compute(func() {
+			bd := wk.compute(func() {
 				hist.Reset()
 				if binned != nil {
 					histogram.BuildBinned(hist, binned, idx.Rows(node), wk.grad, wk.hess, buildOpts)
@@ -271,7 +289,12 @@ func (wk *worker) trainTree(t int) error {
 					histogram.Build(hist, wk.shard, idx.Rows(node), wk.grad, wk.hess, buildOpts)
 				}
 			})
-			if err := wk.client.PushHistogram(node, hist); err != nil {
+			wk.times.BuildHist += bd
+			buildD += bd
+			ps0 := time.Now()
+			err := wk.client.PushHistogram(node, hist)
+			psD += time.Since(ps0)
+			if err != nil {
 				return err
 			}
 		}
@@ -296,7 +319,9 @@ func (wk *worker) trainTree(t int) error {
 				// Pull the full histogram shards and run Algorithm 1
 				// locally (ablation; h/p bytes per server instead of one
 				// split record).
+				ps0 := time.Now()
 				hist, err := wk.client.PullHistogram(node, layout)
+				psD += time.Since(ps0)
 				if err != nil {
 					return err
 				}
@@ -308,30 +333,40 @@ func (wk *worker) trainTree(t int) error {
 					HasTotals: true,
 				}
 			} else {
-				var err error
-				res, err = wk.client.PullSplit(node, cfg.Lambda, cfg.Gamma, cfg.MinChildHessian)
+				ps0 := time.Now()
+				r, err := wk.client.PullSplit(node, cfg.Lambda, cfg.Gamma, cfg.MinChildHessian)
+				psD += time.Since(ps0)
 				if err != nil {
 					return err
 				}
+				res = r
 			}
-			if err := wk.client.PushSplitResult(node, res); err != nil {
+			ps0 := time.Now()
+			err := wk.client.PushSplitResult(node, res)
+			psD += time.Since(ps0)
+			if err != nil {
 				return err
 			}
 		}
-		wk.times.FindSplit += time.Since(fs)
+		fd := time.Since(fs)
+		wk.times.FindSplit += fd
+		m.spans.Record(wk.id, t, depth, "find_split", fs, fd)
 		if err := wk.barrier("FIND_SPLIT"); err != nil {
 			return err
 		}
 
 		// Phase 6: SPLIT_TREE — pull split results, split nodes, update the
 		// node-to-instance index.
+		ps0 := time.Now()
 		results, err := wk.client.PullSplitResults(active)
+		psD += time.Since(ps0)
 		if err != nil {
 			return err
 		}
 		var next []int
 		var splitErr error
-		wk.times.SplitTree += wk.compute(func() {
+		sps := time.Now()
+		spd := wk.compute(func() {
 			for _, node := range active {
 				res, ok := results[node]
 				if !ok {
@@ -356,6 +391,10 @@ func (wk *worker) trainTree(t int) error {
 				next = append(next, tree.Left(node), tree.Right(node))
 			}
 		})
+		wk.times.SplitTree += spd
+		m.spans.Record(wk.id, t, depth, "build_hist", layerStart, buildD)
+		m.spans.Record(wk.id, t, depth, "split_tree", sps, spd)
+		m.spans.Record(wk.id, t, depth, "ps_round_trip", layerStart, psD)
 		if splitErr != nil {
 			return splitErr
 		}
@@ -381,5 +420,11 @@ func (wk *worker) trainTree(t int) error {
 		TrainLoss: loss.MeanLoss(wk.lossFn, wk.shard.Labels, wk.preds),
 		Elapsed:   time.Since(wk.start),
 	})
+	m.spans.Record(wk.id, t, -1, "tree", treeStart, time.Since(treeStart))
+	if wk.id == 0 {
+		// The leader alone counts finished trees so the cluster-wide total
+		// is not multiplied by the worker count.
+		m.trees.Inc()
+	}
 	return nil
 }

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"sync"
+
+	"dimboost/internal/obs"
+)
+
+// trainObs groups the trainer's observability instruments: the shared
+// "train" span log (single-process trainer and cluster workers both record
+// into it; the Worker field tells them apart) plus counters the span
+// timeline cannot express.
+type trainObs struct {
+	spans       *obs.SpanLog
+	trees       *obs.Counter
+	subtraction *obs.Counter
+}
+
+var (
+	toOnce sync.Once
+	toInst *trainObs
+)
+
+func trainMetrics() *trainObs {
+	toOnce.Do(func() {
+		r := obs.Default()
+		toInst = &trainObs{
+			spans:       r.SpanLog("train", 4096),
+			trees:       r.Counter("dimboost_train_trees_total", "Trees finished by the boosting loop."),
+			subtraction: r.Counter("dimboost_train_hist_subtraction_total", "Histograms derived by parent-minus-sibling subtraction instead of a data pass."),
+		}
+	})
+	return toInst
+}

@@ -100,7 +100,9 @@ func (tr *Trainer) Candidates() []sketch.Candidates {
 		set := sketch.NewSet(tr.data.NumFeatures, tr.cfg.sketchEps())
 		set.AddDataset(tr.data)
 		tr.cands = set.Candidates(tr.cfg.NumCandidates)
-		tr.Times.Sketch += time.Since(start)
+		d := time.Since(start)
+		tr.Times.Sketch += d
+		trainMetrics().spans.Record(-1, -1, -1, "sketch", start, d)
 	}
 	return tr.cands
 }
@@ -169,29 +171,37 @@ func (tr *Trainer) Train() (*Model, error) {
 		}
 	}
 
+	m := trainMetrics()
 	for t := 0; t < tr.cfg.NumTrees; t++ {
+		treeStart := time.Now()
 		gs := time.Now()
 		for i := 0; i < n; i++ {
 			grad[i], hess[i] = lf.Gradients(float64(tr.data.Labels[i]), preds[i])
 		}
-		tr.Times.Gradients += time.Since(gs)
+		gd := time.Since(gs)
+		tr.Times.Gradients += gd
+		m.spans.Record(-1, t, -1, "gradients", gs, gd)
 
 		treeCands := cands
 		if tr.cfg.WeightedCandidates {
 			ws := time.Now()
 			treeCands = tr.weightedCandidates(hess)
-			tr.Times.Sketch += time.Since(ws)
+			wd := time.Since(ws)
+			tr.Times.Sketch += wd
+			m.spans.Record(-1, t, -1, "sketch", ws, wd)
 		}
 		features := tr.SampleFeatures()
 		layout, err := histogram.NewLayout(features, treeCands, tr.data.NumFeatures)
 		if err != nil {
 			return nil, err
 		}
-		tn, err := tr.growTree(layout, grad, hess, preds)
+		tn, err := tr.growTree(t, layout, grad, hess, preds)
 		if err != nil {
 			return nil, err
 		}
 		model.Trees = append(model.Trees, tn)
+		m.trees.Inc()
+		m.spans.Record(-1, t, -1, "tree", treeStart, time.Since(treeStart))
 
 		if tr.OnTree != nil {
 			tr.OnTree(TreeEvent{
@@ -257,7 +267,8 @@ type nodeState struct {
 
 // growTree builds one regression tree layer by layer (§4.4 BUILD_HISTOGRAM →
 // FIND_SPLIT → SPLIT_TREE) and updates preds with the new leaf weights.
-func (tr *Trainer) growTree(layout *histogram.Layout, grad, hess, preds []float64) (*tree.Tree, error) {
+func (tr *Trainer) growTree(treeIdx int, layout *histogram.Layout, grad, hess, preds []float64) (*tree.Tree, error) {
+	m := trainMetrics()
 	cfg := tr.cfg
 	n := tr.data.NumRows()
 	tn := tree.New(cfg.MaxDepth)
@@ -317,7 +328,9 @@ func (tr *Trainer) growTree(layout *histogram.Layout, grad, hess, preds []float6
 	if !cfg.NoBinning {
 		bs := time.Now()
 		binned = histogram.NewBinned(tr.data, layout, cfg.Parallelism)
-		tr.Times.BuildHist += time.Since(bs)
+		bd := time.Since(bs)
+		tr.Times.BuildHist += bd
+		m.spans.Record(-1, treeIdx, -1, "binning", bs, bd)
 	}
 
 	active := []int{0}
@@ -341,6 +354,8 @@ func (tr *Trainer) growTree(layout *histogram.Layout, grad, hess, preds []float6
 
 	for depth := 0; depth < cfg.MaxDepth && len(active) > 0; depth++ {
 		var next []int
+		layerStart := time.Now()
+		var buildD, findD, splitD time.Duration
 		atMax := depth == cfg.MaxDepth-1
 		for _, node := range active {
 			st := states[node]
@@ -361,6 +376,7 @@ func (tr *Trainer) growTree(layout *histogram.Layout, grad, hess, preds []float6
 					h.SetSub(parent, left)
 					derived = true
 					tr.DerivedHists++
+					m.subtraction.Inc()
 				}
 			}
 			if !derived {
@@ -373,11 +389,15 @@ func (tr *Trainer) growTree(layout *histogram.Layout, grad, hess, preds []float6
 			if cfg.HistSubtraction {
 				curHists[node] = h
 			}
-			tr.Times.BuildHist += time.Since(bs)
+			bd := time.Since(bs)
+			tr.Times.BuildHist += bd
+			buildD += bd
 
 			fs := time.Now()
 			split := FindSplit(h, st.g, st.h, cfg.Lambda, cfg.Gamma, cfg.MinChildHessian)
-			tr.Times.FindSplit += time.Since(fs)
+			fd := time.Since(fs)
+			tr.Times.FindSplit += fd
+			findD += fd
 			if !cfg.HistSubtraction {
 				pool.Put(h) // h is dead past FindSplit; recycle immediately
 			}
@@ -403,7 +423,9 @@ func (tr *Trainer) growTree(layout *histogram.Layout, grad, hess, preds []float6
 					}
 				}
 			}
-			tr.Times.SplitTree += time.Since(ss)
+			sd := time.Since(ss)
+			tr.Times.SplitTree += sd
+			splitD += sd
 
 			states[tree.Left(node)] = nodeState{split.LeftG, split.LeftH}
 			states[tree.Right(node)] = nodeState{split.RightG, split.RightH}
@@ -431,6 +453,11 @@ func (tr *Trainer) growTree(layout *histogram.Layout, grad, hess, preds []float6
 			prevHists = kept
 			curHists = map[int]*histogram.Histogram{}
 		}
+		// Per-layer aggregates: one span per phase per layer, summed over
+		// the layer's nodes, anchored at the layer's start.
+		m.spans.Record(-1, treeIdx, depth, "build_hist", layerStart, buildD)
+		m.spans.Record(-1, treeIdx, depth, "find_split", layerStart, findD)
+		m.spans.Record(-1, treeIdx, depth, "split_tree", layerStart, splitD)
 		active = next
 	}
 

@@ -1,6 +1,25 @@
 package histogram
 
-import "sync"
+import (
+	"sync"
+
+	"dimboost/internal/obs"
+)
+
+var (
+	poolOnce   sync.Once
+	poolHits   *obs.Counter
+	poolMisses *obs.Counter
+)
+
+func poolMetrics() (*obs.Counter, *obs.Counter) {
+	poolOnce.Do(func() {
+		r := obs.Default()
+		poolHits = r.Counter("dimboost_train_hist_pool_hits_total", "Histogram pool Gets satisfied from the free list.")
+		poolMisses = r.Counter("dimboost_train_hist_pool_misses_total", "Histogram pool Gets that had to allocate.")
+	})
+	return poolHits, poolMisses
+}
 
 // Pool recycles Histograms of one layout. A tree's histogram traffic — one
 // per active node per layer plus one partial per builder goroutine per
@@ -27,9 +46,12 @@ func (p *Pool) Get() *Histogram {
 		p.free = p.free[:n-1]
 	}
 	p.mu.Unlock()
+	hits, misses := poolMetrics()
 	if h == nil {
+		misses.Inc()
 		return New(p.layout)
 	}
+	hits.Inc()
 	h.Reset()
 	return h
 }

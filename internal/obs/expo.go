@@ -1,0 +1,315 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is the JSON form of one metric family.
+type Snapshot struct {
+	Name   string   `json:"name"`
+	Type   string   `json:"type"`
+	Help   string   `json:"help,omitempty"`
+	Series []Series `json:"series"`
+}
+
+// Series is one labeled instance inside a Snapshot.
+type Series struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value carries counter and gauge readings.
+	Value int64 `json:"value,omitempty"`
+	// Count/Sum/Buckets carry histogram readings.
+	Count   uint64   `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one cumulative histogram bucket. LE is a string because the
+// last bucket's bound is +Inf, which JSON numbers cannot represent.
+type Bucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot returns a point-in-time copy of every family, sorted by name.
+func (r *Registry) Snapshot() []Snapshot {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(a, b int) bool { return fams[a].name < fams[b].name })
+
+	out := make([]Snapshot, 0, len(fams))
+	for _, f := range fams {
+		snap := Snapshot{Name: f.name, Type: f.typ, Help: f.help}
+		for _, se := range sortedSeries(f) {
+			s := Series{}
+			if len(se.labels) > 0 {
+				s.Labels = make(map[string]string, len(se.labels))
+				for _, l := range se.labels {
+					s.Labels[l.Key] = l.Value
+				}
+			}
+			switch m := se.metric.(type) {
+			case *Counter:
+				s.Value = m.Value()
+			case *Gauge:
+				s.Value = m.Value()
+			case *Histogram:
+				s.Count = m.Count()
+				s.Sum = m.Sum()
+				cum := uint64(0)
+				for i, b := range m.bounds {
+					cum += m.counts[i].Load()
+					s.Buckets = append(s.Buckets, Bucket{LE: formatFloat(b), Count: cum})
+				}
+				cum += m.counts[len(m.bounds)].Load()
+				s.Buckets = append(s.Buckets, Bucket{LE: "+Inf", Count: cum})
+			}
+			snap.Series = append(snap.Series, s)
+		}
+		out = append(out, snap)
+	}
+	return out
+}
+
+// sortedSeries returns a family's series in deterministic label order. The
+// registry mutex is only needed for the map copy: series themselves are
+// append-only.
+func sortedSeries(f *family) []*series {
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*series, len(keys))
+	for i, k := range keys {
+		out[i] = f.series[k]
+	}
+	return out
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP and TYPE metadata followed by one sample per
+// series, histograms expanded into _bucket/_sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(a, b int) bool { return fams[a].name < fams[b].name })
+
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, se := range sortedSeries(f) {
+			switch m := se.metric.(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, labelString(se.labels, "", ""), m.Value())
+			case *Gauge:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, labelString(se.labels, "", ""), m.Value())
+			case *Histogram:
+				cum := uint64(0)
+				for i, b := range m.bounds {
+					cum += m.counts[i].Load()
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, labelString(se.labels, "le", formatFloat(b)), cum)
+				}
+				cum += m.counts[len(m.bounds)].Load()
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, labelString(se.labels, "le", "+Inf"), cum)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, labelString(se.labels, "", ""), formatFloat(m.Sum()))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, labelString(se.labels, "", ""), m.Count())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// labelString renders `{k="v",...}` with an optional extra label appended
+// (the histogram `le`); empty label sets render as nothing.
+func labelString(ls []Label, extraKey, extraValue string) string {
+	if len(ls) == 0 && extraKey == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(ls) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraKey)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(extraValue))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ValidateExposition checks that r holds well-formed Prometheus text-format
+// output: every non-comment line is `name[{labels}] value [timestamp]`,
+// names and label keys are legal, label values are properly quoted, values
+// parse as floats, TYPE lines name known types, and every sample belongs to
+// a family announced by a preceding TYPE line. CI scrapes a live /metrics
+// handler through this so exposition can't silently break.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	typed := make(map[string]string) // family -> type
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, typed); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := validateSample(line, typed); err != nil {
+			return fmt.Errorf("line %d: %q: %w", lineNo, line, err)
+		}
+	}
+	return sc.Err()
+}
+
+func validateComment(line string, typed map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validName(fields[2]) {
+			return fmt.Errorf("malformed HELP line")
+		}
+	case "TYPE":
+		if len(fields) < 4 || !validName(fields[2]) {
+			return fmt.Errorf("malformed TYPE line")
+		}
+		switch fields[3] {
+		case TypeCounter, TypeGauge, TypeHistogram, "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		typed[fields[2]] = fields[3]
+	}
+	return nil
+}
+
+func validateSample(line string, typed map[string]string) error {
+	name := line
+	rest := ""
+	if i := strings.IndexAny(line, "{ "); i >= 0 {
+		name, rest = line[:i], line[i:]
+	}
+	if !validName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end, err := scanLabels(rest)
+		if err != nil {
+			return err
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("want `value [timestamp]` after name, got %q", rest)
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return fmt.Errorf("bad sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	base := name
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		trimmed := strings.TrimSuffix(name, suffix)
+		if trimmed != name && typed[trimmed] == TypeHistogram {
+			base = trimmed
+			break
+		}
+	}
+	if _, ok := typed[base]; !ok {
+		return fmt.Errorf("sample for %q has no preceding TYPE line", base)
+	}
+	return nil
+}
+
+// scanLabels validates a `{k="v",...}` block and returns its length.
+func scanLabels(s string) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) || !validLabelKey(s[start:i]) {
+			return 0, fmt.Errorf("bad label key in %q", s)
+		}
+		i++ // past '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value in %q", s)
+		}
+		i++ // past closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}

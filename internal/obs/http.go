@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler serves the registry in Prometheus text exposition format — mount
+// it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck
+	})
+}
+
+// DebugState is the /debug/obs document: the full metric snapshot plus the
+// retained span timelines.
+type DebugState struct {
+	Metrics []Snapshot             `json:"metrics"`
+	Spans   map[string][]SpanEvent `json:"spans,omitempty"`
+}
+
+// DebugSnapshot assembles the /debug/obs document.
+func (r *Registry) DebugSnapshot() DebugState {
+	st := DebugState{Metrics: r.Snapshot()}
+	logs := r.spanLogs()
+	if len(logs) > 0 {
+		st.Spans = make(map[string][]SpanEvent, len(logs))
+		for name, l := range logs {
+			st.Spans[name] = l.Events()
+		}
+	}
+	return st
+}
+
+// DebugHandler serves the JSON snapshot — mount it at GET /debug/obs.
+func (r *Registry) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.DebugSnapshot()) //nolint:errcheck
+	})
+}
+
+// Mux returns a mux with the standard observability routes: GET /metrics
+// (Prometheus text format) and GET /debug/obs (JSON snapshot + span
+// timelines). The -metrics-listen flags of dimboost-train and
+// dimboost-node serve exactly this.
+func (r *Registry) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", r.Handler())
+	mux.Handle("GET /debug/obs", r.DebugHandler())
+	return mux
+}
+
+// Serve exposes Mux on addr from a background goroutine and returns the
+// bound address (addr may use port 0). The server lives for the rest of the
+// process — it exists so training binaries can flip on a metrics listener
+// with one flag.
+func (r *Registry) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: r.Mux(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,281 @@
+// Package obs is DimBoost's stdlib-only observability subsystem: a metrics
+// registry of atomic counters, gauges, and fixed-bucket histograms with
+// label support, plus lightweight training-phase span logs. Every runtime
+// layer (trainer, parameter server, transport, cluster, serving) records
+// into the process-wide Default registry; /metrics exposes it in Prometheus
+// text format and /debug/obs as a JSON snapshot including span timelines.
+//
+// The paper's evaluation (§7) is built on per-phase cost accounting —
+// sketch, histogram build, split find, aggregation bytes — and this package
+// makes the same accounting available from a live process instead of only
+// from the experiment harness.
+//
+// Hot-path cost: instruments are resolved once (a registry lookup under a
+// mutex) and then held as pointers; recording is one or two atomic adds, or
+// for histograms a binary search over ~16 bounds plus three atomic updates.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric dimension. Keep label values low-cardinality: op
+// names, phase names, endpoint paths, status codes — never per-call ids.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Metric type names, as exposed on the TYPE line.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// DefBuckets are the default latency buckets in seconds: 10µs up to 10s,
+// wide enough for both in-memory RPCs and multi-second training phases.
+var DefBuckets = []float64{
+	10e-6, 25e-6, 100e-6, 250e-6,
+	1e-3, 2.5e-3, 10e-3, 25e-3,
+	0.1, 0.25, 1, 2.5, 10,
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are a programming error and are ignored.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an integer metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds a (possibly negative) delta.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets (upper bounds,
+// ascending; an implicit +Inf bucket catches the rest) and tracks their sum
+// and count. Observations are lock-free; a concurrent scrape may see a sum
+// slightly ahead of the bucket counts, which Prometheus semantics allow.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, i.e. v <= le
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// series is one labeled instance of a metric family.
+type series struct {
+	labels []Label // sorted by key
+	metric any     // *Counter, *Gauge, or *Histogram
+}
+
+// family groups all label combinations of one metric name.
+type family struct {
+	name    string
+	help    string
+	typ     string
+	buckets []float64 // histograms only
+	series  map[string]*series
+}
+
+// Registry holds metric families and span logs. All methods are safe for
+// concurrent use. The zero value is not usable; call New.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	spans    map[string]*SpanLog
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		families: make(map[string]*family),
+		spans:    make(map[string]*SpanLog),
+	}
+}
+
+var defaultRegistry = New()
+
+// Default returns the process-wide registry every instrumented layer
+// records into.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns (creating on first use) the counter with the given name
+// and labels. Registering the same name with a different type panics: that
+// is a programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.metric(name, help, TypeCounter, nil, labels).(*Counter)
+}
+
+// Gauge returns (creating on first use) the gauge with the given name and
+// labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.metric(name, help, TypeGauge, nil, labels).(*Gauge)
+}
+
+// Histogram returns (creating on first use) the histogram with the given
+// name, bucket bounds, and labels. nil buckets selects DefBuckets; all
+// series of one family share the first registration's buckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	return r.metric(name, help, TypeHistogram, buckets, labels).(*Histogram)
+}
+
+func (r *Registry) metric(name, help, typ string, buckets []float64, labels []Label) any {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabelKey(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label key %q on metric %q", l.Key, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		b := buckets
+		if typ == TypeHistogram {
+			if len(b) == 0 {
+				b = DefBuckets
+			}
+			b = append([]float64(nil), b...)
+			if !sort.Float64sAreSorted(b) {
+				panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
+			}
+		}
+		f = &family{name: name, help: help, typ: typ, buckets: b, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	if f.help == "" {
+		f.help = help
+	}
+	ls := sortedLabels(labels)
+	key := labelKey(ls)
+	se := f.series[key]
+	if se == nil {
+		se = &series{labels: ls}
+		switch typ {
+		case TypeCounter:
+			se.metric = &Counter{}
+		case TypeGauge:
+			se.metric = &Gauge{}
+		case TypeHistogram:
+			se.metric = &Histogram{bounds: f.buckets, counts: make([]atomic.Uint64, len(f.buckets)+1)}
+		}
+		f.series[key] = se
+	}
+	return se.metric
+}
+
+// sortedLabels copies and key-sorts a label list so series identity is
+// independent of argument order.
+func sortedLabels(labels []Label) []Label {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(a, b int) bool { return ls[a].Key < ls[b].Key })
+	return ls
+}
+
+// labelKey serializes sorted labels into the series map key.
+func labelKey(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, l := range ls {
+		sb.WriteString(l.Key)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelKey(key string) bool {
+	if key == "" {
+		return false
+	}
+	for i, c := range key {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanEvent is one recorded phase segment of the training timeline. Layer
+// -1 marks tree-level phases (sketching, gradients); Tree -1 marks
+// run-level phases.
+type SpanEvent struct {
+	Worker int    `json:"worker"`
+	Tree   int    `json:"tree"`
+	Layer  int    `json:"layer"`
+	Phase  string `json:"phase"`
+	// StartMS is the offset from the span log's creation, DurMS the
+	// segment's duration, both in milliseconds.
+	StartMS float64 `json:"start_ms"`
+	DurMS   float64 `json:"dur_ms"`
+}
+
+// SpanLog is a bounded, concurrency-safe timeline of training-phase spans.
+// Every recorded span also lands in the owning registry as an observation
+// of dimboost_<name>_phase_seconds{phase=...}, so the same instrumentation
+// feeds both the aggregate histograms and the structured timeline dump on
+// /debug/obs. When the ring fills, the oldest events are dropped — the
+// histograms keep the full aggregate either way.
+type SpanLog struct {
+	name  string
+	reg   *Registry
+	start time.Time
+
+	mu    sync.Mutex
+	ring  []SpanEvent
+	next  int
+	full  bool
+	hists map[string]*Histogram
+}
+
+// SpanLog returns (creating on first use) the named span log with the given
+// ring capacity. The capacity of the first registration wins.
+func (r *Registry) SpanLog(name string, capacity int) *SpanLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l := r.spans[name]
+	if l == nil {
+		l = &SpanLog{
+			name:  name,
+			reg:   r,
+			start: time.Now(),
+			ring:  make([]SpanEvent, capacity),
+			hists: make(map[string]*Histogram),
+		}
+		r.spans[name] = l
+	}
+	return l
+}
+
+// spanLogs snapshots the registered span logs.
+func (r *Registry) spanLogs() map[string]*SpanLog {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*SpanLog, len(r.spans))
+	for k, v := range r.spans {
+		out[k] = v
+	}
+	return out
+}
+
+// Record adds one span and feeds its duration into the phase histogram.
+// start is the segment's wall-clock start; d its duration.
+func (l *SpanLog) Record(worker, tree, layer int, phase string, start time.Time, d time.Duration) {
+	l.hist(phase).Observe(d.Seconds())
+	ev := SpanEvent{
+		Worker:  worker,
+		Tree:    tree,
+		Layer:   layer,
+		Phase:   phase,
+		StartMS: float64(start.Sub(l.start)) / float64(time.Millisecond),
+		DurMS:   float64(d) / float64(time.Millisecond),
+	}
+	l.mu.Lock()
+	l.ring[l.next] = ev
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.full = true
+	}
+	l.mu.Unlock()
+}
+
+// hist returns the phase's aggregate histogram, caching the lookup.
+func (l *SpanLog) hist(phase string) *Histogram {
+	l.mu.Lock()
+	h := l.hists[phase]
+	l.mu.Unlock()
+	if h != nil {
+		return h
+	}
+	h = l.reg.Histogram("dimboost_"+l.name+"_phase_seconds",
+		"Wall time of one "+l.name+" phase segment.", nil, L("phase", phase))
+	l.mu.Lock()
+	l.hists[phase] = h
+	l.mu.Unlock()
+	return h
+}
+
+// Events returns the retained timeline in chronological order.
+func (l *SpanLog) Events() []SpanEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []SpanEvent
+	if l.full {
+		out = append(out, l.ring[l.next:]...)
+	}
+	return append(out, l.ring[:l.next]...)
+}

@@ -53,8 +53,16 @@ func NewClient(ep transport.Endpoint, part *Partition, serverNames []string, wor
 // is built once per logical request; retries inside the endpoint resend the
 // identical bytes.
 func (c *Client) call(sv int, op uint8, body []byte) (transport.Message, error) {
+	_, m := psMetrics()
 	seq := c.seq.Add(1)
-	return c.ep.Call(c.servers[sv], transport.Message{Op: op, Body: writeEnvelope(c.worker, seq, body)})
+	req := transport.Message{Op: op, Body: writeEnvelope(c.worker, seq, body)}
+	m.requests.Inc()
+	m.bytesOut.Add(req.Size())
+	resp, err := c.ep.Call(c.servers[sv], req)
+	if err == nil {
+		m.bytesIn.Add(resp.Size())
+	}
+	return resp, err
 }
 
 // fanOut calls every server concurrently and collects responses in server

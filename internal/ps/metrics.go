@@ -1,0 +1,78 @@
+package ps
+
+import (
+	"sync"
+
+	"dimboost/internal/obs"
+)
+
+// serverMetrics instrument the parameter-server handler: per-op request
+// counts and latency, byte totals both directions, and idempotency dedup
+// hits. Per-op instruments are materialized once for the whole protocol so
+// the handler path never takes the registry lock.
+type serverMetrics struct {
+	requests  map[uint8]*obs.Counter
+	errors    map[uint8]*obs.Counter
+	latency   map[uint8]*obs.Histogram
+	dedupHits *obs.Counter
+	bytesIn   *obs.Counter
+	bytesOut  *obs.Counter
+}
+
+// clientMetrics instrument the worker-side client.
+type clientMetrics struct {
+	requests *obs.Counter
+	bytesOut *obs.Counter
+	bytesIn  *obs.Counter
+}
+
+var (
+	pmOnce sync.Once
+	srvM   *serverMetrics
+	cliM   *clientMetrics
+)
+
+func psMetrics() (*serverMetrics, *clientMetrics) {
+	pmOnce.Do(func() {
+		r := obs.Default()
+		srvM = &serverMetrics{
+			requests:  make(map[uint8]*obs.Counter),
+			errors:    make(map[uint8]*obs.Counter),
+			latency:   make(map[uint8]*obs.Histogram),
+			dedupHits: r.Counter("dimboost_ps_dedup_hits_total", "Duplicate mutating requests acknowledged without re-applying (idempotency envelope)."),
+			bytesIn:   r.Counter("dimboost_ps_bytes_total", "Request/response payload bytes through the PS handler.", obs.L("direction", "in")),
+			bytesOut:  r.Counter("dimboost_ps_bytes_total", "", obs.L("direction", "out")),
+		}
+		for op := OpPushSketch; op <= OpPullSplitResults; op++ {
+			l := obs.L("op", OpName(op))
+			srvM.requests[op] = r.Counter("dimboost_ps_requests_total", "Requests served by the parameter server, by op.", l)
+			srvM.errors[op] = r.Counter("dimboost_ps_request_errors_total", "Requests the parameter server failed, by op.", l)
+			srvM.latency[op] = r.Histogram("dimboost_ps_request_seconds", "Server-side handler latency, by op.", nil, l)
+		}
+		cliM = &clientMetrics{
+			requests: r.Counter("dimboost_ps_client_requests_total", "Requests issued by worker clients."),
+			bytesOut: r.Counter("dimboost_ps_client_bytes_total", "Payload bytes through worker clients.", obs.L("direction", "out")),
+			bytesIn:  r.Counter("dimboost_ps_client_bytes_total", "", obs.L("direction", "in")),
+		}
+	})
+	return srvM, cliM
+}
+
+// observe records one handled request. Unknown ops have no per-op
+// instruments (the handler rejects them) and only count bytes in.
+func (m *serverMetrics) observe(op uint8, reqBytes, respBytes int64, secs float64, err error) {
+	m.bytesIn.Add(reqBytes)
+	if err != nil {
+		if c := m.errors[op]; c != nil {
+			c.Inc()
+		}
+		return
+	}
+	m.bytesOut.Add(respBytes)
+	if c := m.requests[op]; c != nil {
+		c.Inc()
+	}
+	if h := m.latency[op]; h != nil {
+		h.Observe(secs)
+	}
+}

@@ -52,6 +52,33 @@ const (
 // send one message per server), so per (worker, server) the seq stream is
 // strictly increasing and "seq already seen" exactly identifies duplicates.
 
+// OpName returns the human-readable op label used by the ps metrics.
+func OpName(op uint8) string {
+	switch op {
+	case OpPushSketch:
+		return "push_sketch"
+	case OpPullCandidates:
+		return "pull_candidates"
+	case OpPushSampled:
+		return "push_sampled"
+	case OpPullSampled:
+		return "pull_sampled"
+	case OpNewTree:
+		return "new_tree"
+	case OpPushHist:
+		return "push_hist"
+	case OpPullSplit:
+		return "pull_split"
+	case OpPullHistShard:
+		return "pull_hist_shard"
+	case OpPushSplitResult:
+		return "push_split_result"
+	case OpPullSplitResults:
+		return "pull_split_results"
+	}
+	return "unknown"
+}
+
 // mutatingOp reports whether an op changes server state and therefore needs
 // duplicate suppression. Pull ops are naturally idempotent (their caches
 // are memoized) and skip the check.

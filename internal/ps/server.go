@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"dimboost/internal/compress"
 	"dimboost/internal/core"
@@ -98,7 +99,8 @@ func (s *Server) recordApplied(worker int32, seq uint64) {
 // requests — retries whose original attempt did apply — are acknowledged
 // without re-applying.
 func (s *Server) Handler() transport.Handler {
-	return func(from string, req transport.Message) (transport.Message, error) {
+	m, _ := psMetrics()
+	inner := func(from string, req transport.Message) (transport.Message, error) {
 		r := wire.NewReader(req.Body)
 		worker := r.Int32()
 		seq := r.Uint64()
@@ -109,6 +111,7 @@ func (s *Server) Handler() transport.Handler {
 		if mutating && s.isDuplicate(worker, seq) {
 			// Mutating ops answer with empty bodies, so the duplicate ack is
 			// byte-identical to the original response.
+			m.dedupHits.Inc()
 			return transport.Message{Op: req.Op}, nil
 		}
 		var resp *wire.Writer
@@ -150,6 +153,12 @@ func (s *Server) Handler() transport.Handler {
 			resp = wire.NewWriter(0)
 		}
 		return transport.Message{Op: req.Op, Body: resp.Bytes()}, nil
+	}
+	return func(from string, req transport.Message) (transport.Message, error) {
+		start := time.Now()
+		resp, err := inner(from, req)
+		m.observe(req.Op, req.Size(), resp.Size(), time.Since(start).Seconds(), err)
+		return resp, err
 	}
 }
 

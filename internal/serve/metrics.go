@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"strconv"
+	"sync"
+
+	"dimboost/internal/obs"
+)
+
+// serveObs groups the scoring server's instruments. Per-path/per-code
+// request counters are resolved through the registry on demand — the set of
+// served paths is small and fixed (unknown paths collapse to "other"), so
+// cardinality stays bounded.
+type serveObs struct {
+	reg        *obs.Registry
+	inflight   *obs.Gauge
+	trees      *obs.Gauge
+	reloads    *obs.Counter
+	reloadErrs *obs.Counter
+}
+
+var (
+	soOnce sync.Once
+	soInst *serveObs
+)
+
+func serveMetrics() *serveObs {
+	soOnce.Do(func() {
+		r := obs.Default()
+		soInst = &serveObs{
+			reg:        r,
+			inflight:   r.Gauge("dimboost_http_inflight", "HTTP requests currently in flight."),
+			trees:      r.Gauge("dimboost_serve_model_trees", "Trees in the currently served model."),
+			reloads:    r.Counter("dimboost_serve_reloads_total", "Successful model reloads."),
+			reloadErrs: r.Counter("dimboost_serve_reload_errors_total", "Failed model reload attempts."),
+		}
+	})
+	return soInst
+}
+
+// request records one finished HTTP request.
+func (m *serveObs) request(path string, code int, secs float64) {
+	m.reg.Counter("dimboost_http_requests_total", "HTTP requests served, by path and status code.",
+		obs.L("path", path), obs.L("code", strconv.Itoa(code))).Inc()
+	m.reg.Histogram("dimboost_http_request_seconds", "HTTP request latency, by path.",
+		nil, obs.L("path", path)).Observe(secs)
+}
+
+// metricPath maps a request path onto the bounded label set.
+func metricPath(p string) string {
+	switch p {
+	case "/healthz", "/model", "/importance", "/predict", "/model/reload", "/metrics", "/debug/obs":
+		return p
+	}
+	return "other"
+}

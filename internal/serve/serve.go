@@ -2,10 +2,13 @@
 // counterpart of the training system, for deployments that serve the model
 // the paper's pipeline produces. Endpoints:
 //
-//	GET  /healthz            liveness probe
+//	GET  /healthz            liveness probe (503 while draining)
 //	GET  /model              model summary (loss, trees, node counts)
 //	GET  /importance?top=N   gain-based feature importance
 //	POST /predict            score instances (JSON or LibSVM lines)
+//	POST /model/reload       re-read the model via OnReload (when set)
+//	GET  /metrics            Prometheus text exposition
+//	GET  /debug/obs          metrics + span timeline as JSON
 //
 // The handler is safe for concurrent use and supports atomic hot model
 // swaps.
@@ -13,6 +16,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -20,10 +24,12 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"dimboost/internal/core"
 	"dimboost/internal/dataset"
 	"dimboost/internal/loss"
+	"dimboost/internal/obs"
 )
 
 // Handler serves a model over HTTP.
@@ -32,28 +38,85 @@ type Handler struct {
 	mux   *http.ServeMux
 	// MaxBodyBytes caps request bodies (default 32 MiB).
 	MaxBodyBytes int64
+	// OnReload, when set, enables POST /model/reload: it re-reads the model
+	// from wherever it came from and the handler swaps the result in.
+	OnReload func() (*core.Model, error)
+
+	draining atomic.Bool
 }
 
 // New returns a handler serving the given model.
 func New(m *core.Model) *Handler {
 	h := &Handler{mux: http.NewServeMux(), MaxBodyBytes: 32 << 20}
 	h.model.Store(m)
+	serveMetrics().trees.Set(int64(len(m.Trees)))
 	h.mux.HandleFunc("GET /healthz", h.healthz)
 	h.mux.HandleFunc("GET /model", h.modelInfo)
 	h.mux.HandleFunc("GET /importance", h.importance)
 	h.mux.HandleFunc("POST /predict", h.predict)
+	h.mux.HandleFunc("POST /model/reload", h.reload)
+	h.mux.Handle("GET /metrics", obs.Default().Handler())
+	h.mux.Handle("GET /debug/obs", obs.Default().DebugHandler())
 	return h
 }
 
+// statusWriter captures the response status for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
 // ServeHTTP implements http.Handler.
-func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	m := serveMetrics()
+	m.inflight.Inc()
+	defer m.inflight.Dec()
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	h.mux.ServeHTTP(sw, r)
+	m.request(metricPath(r.URL.Path), sw.code, time.Since(start).Seconds())
+}
 
 // Swap atomically replaces the served model (hot reload).
-func (h *Handler) Swap(m *core.Model) { h.model.Store(m) }
+func (h *Handler) Swap(m *core.Model) {
+	h.model.Store(m)
+	serveMetrics().trees.Set(int64(len(m.Trees)))
+}
+
+// SetDraining flips the health probe: while draining, /healthz answers 503
+// so load balancers stop routing here, while in-flight and follow-up
+// requests still succeed.
+func (h *Handler) SetDraining(v bool) { h.draining.Store(v) }
 
 func (h *Handler) healthz(w http.ResponseWriter, _ *http.Request) {
+	if h.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n") //nolint:errcheck
+		return
+	}
 	w.WriteHeader(http.StatusOK)
 	io.WriteString(w, "ok\n") //nolint:errcheck
+}
+
+func (h *Handler) reload(w http.ResponseWriter, _ *http.Request) {
+	if h.OnReload == nil {
+		httpError(w, http.StatusNotFound, "reload not enabled")
+		return
+	}
+	m, err := h.OnReload()
+	if err != nil {
+		serveMetrics().reloadErrs.Inc()
+		httpError(w, http.StatusInternalServerError, "reload: %v", err)
+		return
+	}
+	h.Swap(m)
+	serveMetrics().reloads.Inc()
+	writeJSON(w, http.StatusOK, map[string]int{"trees": len(m.Trees)})
 }
 
 type modelInfo struct {
@@ -130,7 +193,7 @@ func (h *Handler) predict(w http.ResponseWriter, r *http.Request) {
 	case strings.HasPrefix(ct, "application/json"), ct == "":
 		var req predictRequest
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+			httpError(w, bodyErrStatus(err), "bad JSON: %v", err)
 			return
 		}
 		for i, ji := range req.Instances {
@@ -144,7 +207,7 @@ func (h *Handler) predict(w http.ResponseWriter, r *http.Request) {
 	case strings.HasPrefix(ct, "text/libsvm"):
 		d, err := dataset.ReadLibSVM(body, 0)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad LibSVM body: %v", err)
+			httpError(w, bodyErrStatus(err), "bad LibSVM body: %v", err)
 			return
 		}
 		for i := 0; i < d.NumRows(); i++ {
@@ -200,6 +263,16 @@ func jsonToInstance(ji jsonInstance) (dataset.Instance, error) {
 		vals = append(vals, p.v)
 	}
 	return dataset.Instance{Indices: idx, Values: vals}, nil
+}
+
+// bodyErrStatus distinguishes a body that tripped MaxBytesReader (413) from
+// one that merely failed to parse (400).
+func bodyErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

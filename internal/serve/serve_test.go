@@ -3,15 +3,19 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"dimboost/internal/core"
 	"dimboost/internal/dataset"
 	"dimboost/internal/loss"
+	"dimboost/internal/obs"
 )
 
 func trainedModel(t *testing.T) (*core.Model, *dataset.Dataset) {
@@ -214,8 +218,224 @@ func TestBodyLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized body: status %d", resp.StatusCode)
+	}
+	// the LibSVM path classifies the same way
+	var svm bytes.Buffer
+	for i := 0; i < 20; i++ {
+		svm.WriteString("1 1:0.5 2:0.25 3:0.125\n")
+	}
+	resp2, err := http.Post(srv.URL+"/predict", "text/libsvm", &svm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized LibSVM body: status %d", resp2.StatusCode)
+	}
+}
+
+// TestConcurrentSwap hammers /predict while hot-swapping the model; run
+// under -race this proves the swap path is data-race free, and every
+// response must score with one coherent model.
+func TestConcurrentSwap(t *testing.T) {
+	m1, d := trainedModel(t)
+	m2 := &core.Model{Loss: m1.Loss, BaseScore: m1.BaseScore, Trees: m1.Trees[:1]}
+	h := New(m1)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	in := d.Row(0)
+	want1, want2 := m1.Predict(in), m2.Predict(in)
+	body, _ := json.Marshal(predictRequest{Instances: []jsonInstance{{Indices: in.Indices, Values: in.Values}}})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			if i%2 == 0 {
+				h.Swap(m2)
+			} else {
+				h.Swap(m1)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				resp, err := http.Post(srv.URL+"/predict", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var out predictResponse
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				got := out.Scores[0]
+				if math.Abs(got-want1) > 1e-12 && math.Abs(got-want2) > 1e-12 {
+					errs <- fmt.Errorf("score %v matches neither model (%v / %v)", got, want1, want2)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	m, _ := trainedModel(t)
+	srv := httptest.NewServer(New(m))
+	defer srv.Close()
+
+	// generate some traffic first so the scrape carries request series
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("exposition: %v\n%s", err, raw)
+	}
+	for _, want := range []string{"dimboost_http_requests_total", "dimboost_serve_model_trees"} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("scrape missing %s", want)
+		}
+	}
+
+	var dbg struct {
+		Metrics []json.RawMessage `json:"metrics"`
+	}
+	resp, err = http.Get(srv.URL + "/debug/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&dbg); err != nil {
+		t.Fatal(err)
+	}
+	if len(dbg.Metrics) == 0 {
+		t.Fatal("debug snapshot has no metrics")
+	}
+}
+
+func TestReload(t *testing.T) {
+	m1, _ := trainedModel(t)
+	h := New(m1)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// not enabled
+	resp, err := http.Post(srv.URL+"/model/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("reload without hook: status %d", resp.StatusCode)
+	}
+
+	m2 := &core.Model{Loss: m1.Loss, Trees: m1.Trees[:1]}
+	h.OnReload = func() (*core.Model, error) { return m2, nil }
+	resp, err = http.Post(srv.URL+"/model/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]int
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || out["trees"] != 1 {
+		t.Fatalf("reload: status %d, body %v", resp.StatusCode, out)
+	}
+
+	h.OnReload = func() (*core.Model, error) { return nil, fmt.Errorf("corrupt file") }
+	resp, err = http.Post(srv.URL+"/model/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failed reload: status %d", resp.StatusCode)
+	}
+	// the failed reload must not disturb the served model
+	infoResp, err := http.Get(srv.URL + "/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		Trees int `json:"trees"`
+	}
+	err = json.NewDecoder(infoResp.Body).Decode(&info)
+	infoResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Trees != 1 {
+		t.Fatalf("after failed reload: %d trees, want 1", info.Trees)
+	}
+}
+
+func TestDrainingHealthz(t *testing.T) {
+	m, _ := trainedModel(t)
+	h := New(m)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	h.SetDraining(true)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: status %d", resp.StatusCode)
+	}
+	// other endpoints keep working while draining
+	resp, err = http.Get(srv.URL + "/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining /model: status %d", resp.StatusCode)
+	}
+	h.SetDraining(false)
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("undrained healthz: status %d", resp.StatusCode)
 	}
 }
 

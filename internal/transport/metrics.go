@@ -1,0 +1,63 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"dimboost/internal/obs"
+)
+
+// transportMetrics are the RPC-substrate instruments, shared by the
+// in-memory and TCP endpoints. They live in the process-wide obs registry;
+// instruments are resolved once and recording is an atomic add, so the
+// per-call overhead is negligible next to even an in-memory handler run.
+type transportMetrics struct {
+	calls    *obs.Counter
+	errors   *obs.Counter
+	retries  *obs.Counter
+	timeouts *obs.Counter
+	inflight *obs.Gauge
+	latency  *obs.Histogram
+}
+
+var (
+	tmOnce sync.Once
+	tm     *transportMetrics
+)
+
+func metrics() *transportMetrics {
+	tmOnce.Do(func() {
+		r := obs.Default()
+		tm = &transportMetrics{
+			calls:    r.Counter("dimboost_transport_calls_total", "Completed RPC calls."),
+			errors:   r.Counter("dimboost_transport_call_errors_total", "RPC calls that returned an error."),
+			retries:  r.Counter("dimboost_transport_retries_total", "Retry attempts issued by RetryEndpoint after a retryable failure."),
+			timeouts: r.Counter("dimboost_transport_timeouts_total", "RPC calls that exceeded their per-call deadline."),
+			inflight: r.Gauge("dimboost_transport_inflight", "RPC calls currently awaiting a response."),
+			latency:  r.Histogram("dimboost_transport_rpc_seconds", "RPC round-trip latency.", nil),
+		}
+	})
+	return tm
+}
+
+// beginCall marks an outgoing RPC; finishCall closes it out. Instrumented
+// at the concrete endpoints (mem, TCP), never at wrappers, so a retried
+// call counts once per attempt and exactly once per attempt.
+func beginCall() time.Time {
+	metrics().inflight.Inc()
+	return time.Now()
+}
+
+func finishCall(start time.Time, err error) {
+	m := metrics()
+	m.inflight.Dec()
+	m.latency.ObserveSince(start)
+	m.calls.Inc()
+	if err != nil {
+		m.errors.Inc()
+		if errors.Is(err, ErrTimeout) {
+			m.timeouts.Inc()
+		}
+	}
+}

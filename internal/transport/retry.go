@@ -133,6 +133,7 @@ func (e *RetryEndpoint) Call(to string, req Message) (Message, error) {
 		if attempt >= e.policy.MaxAttempts {
 			break
 		}
+		metrics().retries.Inc()
 		if e.OnRetry != nil {
 			e.OnRetry(to, attempt, err)
 		}

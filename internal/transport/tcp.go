@@ -177,6 +177,13 @@ func (e *TCPEndpoint) Call(to string, req Message) (Message, error) {
 // timeout only abandons the response — the request may still execute on
 // the peer, so retried operations must be idempotent.
 func (e *TCPEndpoint) CallTimeout(to string, req Message, timeout time.Duration) (Message, error) {
+	start := beginCall()
+	resp, err := e.callTimeout(to, req, timeout)
+	finishCall(start, err)
+	return resp, err
+}
+
+func (e *TCPEndpoint) callTimeout(to string, req Message, timeout time.Duration) (Message, error) {
 	tc, err := e.conn(to)
 	if err != nil {
 		return Message{}, err

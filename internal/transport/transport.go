@@ -236,6 +236,13 @@ func (e *memEndpoint) Handle(h Handler) {
 }
 
 func (e *memEndpoint) Call(to string, req Message) (Message, error) {
+	start := beginCall()
+	resp, err := e.call(to, req)
+	finishCall(start, err)
+	return resp, err
+}
+
+func (e *memEndpoint) call(to string, req Message) (Message, error) {
 	h, err := e.target(to)
 	if err != nil {
 		return Message{}, err
@@ -285,6 +292,13 @@ func (e *memEndpoint) CallTimeout(to string, req Message, timeout time.Duration)
 	if timeout <= 0 {
 		return e.Call(to, req)
 	}
+	start := beginCall()
+	resp, err := e.callTimeout(to, req, timeout)
+	finishCall(start, err)
+	return resp, err
+}
+
+func (e *memEndpoint) callTimeout(to string, req Message, timeout time.Duration) (Message, error) {
 	h, err := e.target(to)
 	if err != nil {
 		return Message{}, err
