@@ -176,15 +176,16 @@ func main() {
 				return err
 			})
 		},
-		"table4": func() { run("table4", func() error { _, err := experiments.Table4(out, s); return err }) },
-		"table5": func() { run("table5", func() error { _, err := experiments.Table5(out, s); return err }) },
-		"table6": func() { run("table6", func() error { _, err := experiments.Table6(out, s); return err }) },
-		"fig13":  func() { run("fig13", func() error { _, err := experiments.Fig13(out, s); return err }) },
-		"fig14":  func() { run("fig14", func() error { _, err := experiments.Fig14(out, s); return err }) },
-		"a1":     func() { run("a1", func() error { experiments.A1(out); return nil }) },
+		"table4":  func() { run("table4", func() error { _, err := experiments.Table4(out, s); return err }) },
+		"table5":  func() { run("table5", func() error { _, err := experiments.Table5(out, s); return err }) },
+		"table6":  func() { run("table6", func() error { _, err := experiments.Table6(out, s); return err }) },
+		"fig13":   func() { run("fig13", func() error { _, err := experiments.Fig13(out, s); return err }) },
+		"fig14":   func() { run("fig14", func() error { _, err := experiments.Fig14(out, s); return err }) },
+		"a1":      func() { run("a1", func() error { experiments.A1(out); return nil }) },
+		"predict": func() { run("predict", func() error { _, err := experiments.Predict(out, s); return err }) },
 	}
 	if cmd == "all" {
-		for _, name := range []string{"fig1", "table1", "table3", "fig12", "table4", "table5", "table6", "fig13", "fig14", "a1"} {
+		for _, name := range []string{"fig1", "table1", "table3", "fig12", "table4", "table5", "table6", "fig13", "fig14", "a1", "predict"} {
 			if name == "fig12" {
 				for _, d := range []string{"rcv1", "synthesis", "gender"} {
 					*ds = d
@@ -218,6 +219,7 @@ experiments:
   fig13    scalability with time breakdown (load/compute/comm)
   fig14    comparison on a low-dimensional dataset
   a1       unbiasedness of low-precision histograms
+  predict  serving path: interpreted vs compiled inference engine
   all      everything, in paper order
 
 -cpuprofile/-memprofile write pprof profiles; -json writes per-experiment

@@ -12,17 +12,19 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"dimboost"
 )
 
 func main() {
 	var (
-		modelPath = flag.String("model", "model.bin", "trained model file")
-		data      = flag.String("data", "", "data in LibSVM format (required)")
-		features  = flag.Int("features", 0, "feature count (0 infers from data)")
-		out       = flag.String("out", "", "write one prediction per line to this file")
-		prob      = flag.Bool("prob", false, "output probabilities instead of raw scores (logistic models)")
+		modelPath   = flag.String("model", "model.bin", "trained model file")
+		data        = flag.String("data", "", "data in LibSVM format (required)")
+		features    = flag.Int("features", 0, "feature count (0 infers from data)")
+		out         = flag.String("out", "", "write one prediction per line to this file")
+		prob        = flag.Bool("prob", false, "output probabilities instead of raw scores (logistic models)")
+		interpreted = flag.Bool("interpreted", false, "score with the interpreted tree walk instead of the compiled engine")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -38,7 +40,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	preds := m.PredictBatch(d)
+	scoreStart := time.Now()
+	var preds []float64
+	if *interpreted {
+		preds = m.PredictBatchInterpreted(d)
+	} else {
+		preds = m.PredictBatch(d)
+	}
+	scoreElapsed := time.Since(scoreStart)
+	path := "compiled"
+	if *interpreted {
+		path = "interpreted"
+	}
+	fmt.Printf("scored %d rows in %s (%s, %.0f rows/s)\n", d.NumRows(),
+		scoreElapsed.Round(time.Microsecond), path,
+		float64(d.NumRows())/scoreElapsed.Seconds())
 	if m.Loss == dimboost.Logistic {
 		auc, aucErr := dimboost.AUC(d.Labels, preds)
 		fmt.Printf("%d rows: error %.4f  logloss %.4f", d.NumRows(),

@@ -28,6 +28,7 @@ import (
 	"dimboost/internal/dataset"
 	"dimboost/internal/loss"
 	"dimboost/internal/pca"
+	"dimboost/internal/predict"
 	"dimboost/internal/serve"
 	"dimboost/internal/transport"
 	"dimboost/internal/tune"
@@ -43,6 +44,13 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 
 // Model is a trained GBDT ensemble.
 type Model = core.Model
+
+// Engine is the compiled inference engine backing Model.PredictBatch: the
+// ensemble flattened into structure-of-arrays node slices over a compact
+// feature space, scoring rows with a single scatter instead of per-node
+// binary searches. Obtain one with Model.Compiled for allocation-free
+// serving loops; it is bit-identical to the interpreted tree walk.
+type Engine = predict.Engine
 
 // Trainer runs single-process training with progress callbacks and phase
 // timing.

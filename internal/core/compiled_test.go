@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dimboost/internal/dataset"
+	"dimboost/internal/loss"
+	"dimboost/internal/tree"
+)
+
+func leafTree(depth int, w float64) *tree.Tree {
+	t := tree.New(depth)
+	t.SetLeaf(0, w)
+	return t
+}
+
+// TestCompiledCache verifies that Model.Compiled caches the engine across
+// calls and rebuilds it when the ensemble changes — trees appended (boosting
+// continues), truncated (early stopping), or swapped in place.
+func TestCompiledCache(t *testing.T) {
+	m := &Model{Loss: loss.Squared, BaseScore: 1}
+	m.Trees = append(m.Trees, leafTree(2, 10), leafTree(2, 20))
+
+	e1, err := m.Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := m.Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Fatal("unchanged ensemble recompiled")
+	}
+
+	m.Trees = append(m.Trees, leafTree(2, 40))
+	e3, err := m.Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3 == e1 {
+		t.Fatal("appended tree did not invalidate the cache")
+	}
+	if got := e3.Predict(dataset.Instance{}); got != 71 {
+		t.Fatalf("after append: got %v, want 71", got)
+	}
+
+	m.Trees = m.Trees[:1] // early-stopping truncation
+	e4, err := m.Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e4.Predict(dataset.Instance{}); got != 11 {
+		t.Fatalf("after truncation: got %v, want 11", got)
+	}
+
+	m.Trees[0] = leafTree(2, 100) // boundary tree replaced in place
+	e5, err := m.Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e5.Predict(dataset.Instance{}); got != 101 {
+		t.Fatalf("after swap: got %v, want 101", got)
+	}
+}
+
+// TestPredictBatchUsesEngine: the default batch path and the interpreted
+// reference agree bit-for-bit on a trained model.
+func TestPredictBatchUsesEngine(t *testing.T) {
+	d := dataset.Generate(dataset.SyntheticConfig{
+		NumRows: 400, NumFeatures: 800, AvgNNZ: 25, Seed: 12,
+	})
+	cfg := DefaultConfig()
+	cfg.NumTrees = 5
+	cfg.MaxDepth = 4
+	m, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := m.PredictBatch(d)
+	slow := m.PredictBatchInterpreted(d)
+	for i := range fast {
+		if math.Float64bits(fast[i]) != math.Float64bits(slow[i]) {
+			t.Fatalf("row %d: engine %v != interpreted %v", i, fast[i], slow[i])
+		}
+	}
+}

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"dimboost/internal/dataset"
 	"dimboost/internal/loss"
+	"dimboost/internal/predict"
 	"dimboost/internal/tree"
 )
 
@@ -17,6 +19,44 @@ type Model struct {
 	Loss      loss.Kind
 	BaseScore float64
 	Trees     []*tree.Tree
+
+	// compiled caches the inference engine built from Trees, keyed on the
+	// ensemble snapshot it was compiled from.
+	compiled atomic.Pointer[compiledEngine]
+}
+
+// compiledEngine pairs an engine with the Trees slice it was built from, so
+// the cache invalidates when training code appends or truncates trees.
+type compiledEngine struct {
+	engine *predict.Engine
+	trees  []*tree.Tree
+}
+
+// matches reports whether the cached engine still describes the ensemble.
+// Trees are never mutated once appended (the trainer grows a tree fully
+// before adding it), so slice length plus boundary identity suffices.
+func (c *compiledEngine) matches(trees []*tree.Tree) bool {
+	if len(c.trees) != len(trees) {
+		return false
+	}
+	return len(trees) == 0 ||
+		(c.trees[0] == trees[0] && c.trees[len(trees)-1] == trees[len(trees)-1])
+}
+
+// Compiled returns the model's compiled inference engine, building it on
+// first use and rebuilding if the ensemble changed since.
+func (m *Model) Compiled() (*predict.Engine, error) {
+	if c := m.compiled.Load(); c != nil && c.matches(m.Trees) {
+		return c.engine, nil
+	}
+	eng, err := predict.Compile(m.Trees, m.BaseScore)
+	if err != nil {
+		return nil, err
+	}
+	// Snapshot by copy: aliasing m.Trees' backing array would let in-place
+	// tree replacement mutate the snapshot and defeat the staleness check.
+	m.compiled.Store(&compiledEngine{engine: eng, trees: append([]*tree.Tree(nil), m.Trees...)})
+	return eng, nil
 }
 
 // Predict returns the raw model output for one instance (a logit for
@@ -34,8 +74,24 @@ func (m *Model) PredictProb(in dataset.Instance) float64 {
 	return loss.Sigmoid(m.Predict(in))
 }
 
-// PredictBatch scores every row of a dataset.
+// PredictBatch scores every row of a dataset through the compiled inference
+// engine (bit-identical to the interpreted walk, but without per-node binary
+// searches and parallel over rows). The engine is compiled on first use and
+// cached on the model.
 func (m *Model) PredictBatch(d *dataset.Dataset) []float64 {
+	eng, err := m.Compiled()
+	if err != nil {
+		// A model that fails tree validation cannot come from Train or Load;
+		// fall back to the interpreted walk rather than fail scoring.
+		return m.PredictBatchInterpreted(d)
+	}
+	return eng.PredictBatch(d)
+}
+
+// PredictBatchInterpreted scores every row with the interpreted per-node
+// tree walk — the reference semantics the compiled engine is differentially
+// tested against, and the baseline of the serving benchmarks.
+func (m *Model) PredictBatchInterpreted(d *dataset.Dataset) []float64 {
 	out := make([]float64, d.NumRows())
 	for i := range out {
 		out[i] = m.Predict(d.Row(i))

@@ -1,0 +1,59 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLibSVMParse asserts the parser's crash-safety contract: arbitrary
+// input — malformed pairs, huge or negative indices, non-finite numbers,
+// binary garbage — must either parse into a dataset that passes Validate or
+// return an error. It must never panic, and a successful parse must
+// round-trip through WriteLibSVM.
+func FuzzLibSVMParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"1 1:0.5 3:1.25\n0 2:-1\n",
+		"# comment\n\n-1 1:1e-3\n",
+		"0.5 7:0.25 7:0.25\n",           // duplicate index → error
+		"1 3:1 2:1\n",                   // decreasing indices → error
+		"1 0:1\n",                       // 0 is below the 1-based minimum
+		"1 -5:1\n",                      // negative index
+		"1 99999999999999999999:1\n",    // index overflows int
+		"1 4294967296:1\n",              // index-1 overflows int32
+		"1 1:nan 2:inf\n",               // non-finite values
+		"nan 1:1\n",                     // non-finite label
+		"1e400 1:1\n",                   // label out of float range
+		"1 1:1e400\n",                   // value out of float32 range
+		"1 1\n",                         // pair without colon
+		"abc 1:1\n",                     // unparsable label
+		"1 :5\n1 3:\n",                  // empty index / empty value
+		"1 " + strings.Repeat("x", 300), // long garbage token
+		"0 2147483647:1\n",              // max feature id that still fits
+		"\x00\xff\xfe 1:1\n",            // binary noise
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadLibSVM(strings.NewReader(string(data)), 0)
+		if err != nil {
+			return
+		}
+		if verr := d.Validate(); verr != nil {
+			t.Fatalf("parse accepted input but Validate failed: %v\ninput: %q", verr, data)
+		}
+		var sb strings.Builder
+		if werr := WriteLibSVM(&sb, d); werr != nil {
+			t.Fatalf("WriteLibSVM on parsed dataset: %v", werr)
+		}
+		d2, rerr := ReadLibSVM(strings.NewReader(sb.String()), d.NumFeatures)
+		if rerr != nil {
+			t.Fatalf("re-parse of written output failed: %v\noutput: %q", rerr, sb.String())
+		}
+		if d2.NumRows() != d.NumRows() || d2.NNZ() != d.NNZ() {
+			t.Fatalf("round trip changed shape: %dx%d -> %dx%d",
+				d.NumRows(), d.NNZ(), d2.NumRows(), d2.NNZ())
+		}
+	})
+}

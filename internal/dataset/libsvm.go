@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -34,6 +35,9 @@ func ReadLibSVM(r io.Reader, numFeatures int) (*Dataset, error) {
 		if err != nil {
 			return nil, fmt.Errorf("libsvm: line %d: bad label %q: %v", lineNo, fields[0], err)
 		}
+		if math.IsNaN(label) || math.IsInf(label, 0) {
+			return nil, fmt.Errorf("libsvm: line %d: non-finite label %q", lineNo, fields[0])
+		}
 		indices = indices[:0]
 		values = values[:0]
 		for _, f := range fields[1:] {
@@ -42,12 +46,20 @@ func ReadLibSVM(r io.Reader, numFeatures int) (*Dataset, error) {
 				return nil, fmt.Errorf("libsvm: line %d: malformed pair %q", lineNo, f)
 			}
 			idx, err := strconv.Atoi(f[:colon])
-			if err != nil || idx < 1 {
+			// 1-based on the wire; idx-1 must fit int32 or it would silently
+			// wrap into a bogus (possibly still-increasing) feature id.
+			if err != nil || idx < 1 || idx-1 > math.MaxInt32 {
 				return nil, fmt.Errorf("libsvm: line %d: bad index %q", lineNo, f[:colon])
 			}
 			v, err := strconv.ParseFloat(f[colon+1:], 32)
 			if err != nil {
 				return nil, fmt.Errorf("libsvm: line %d: bad value %q: %v", lineNo, f[colon+1:], err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				// Dataset.Validate requires finite storage, and training
+				// gradients would poison on NaN; out-of-range magnitudes are
+				// already rejected by ParseFloat's bitSize 32.
+				return nil, fmt.Errorf("libsvm: line %d: non-finite value %q", lineNo, f[colon+1:])
 			}
 			indices = append(indices, int32(idx-1))
 			values = append(values, float32(v))

@@ -1,0 +1,128 @@
+package predict_test
+
+import (
+	"sync"
+	"testing"
+
+	"dimboost/internal/core"
+	"dimboost/internal/dataset"
+	"dimboost/internal/predict"
+)
+
+// benchFixture is a trained ensemble plus a scoring set, built once and
+// shared across benchmarks: an RCV1-shaped high-dimensional sparse workload.
+type benchFixture struct {
+	model *core.Model
+	data  *dataset.Dataset
+}
+
+var (
+	bfOnce sync.Once
+	bf     benchFixture
+)
+
+func fixture(b *testing.B) benchFixture {
+	bfOnce.Do(func() {
+		d := dataset.Generate(dataset.SyntheticConfig{
+			NumRows: 6000, NumFeatures: 47_000, AvgNNZ: 76, Zipf: 0.9, Seed: 7,
+		})
+		train, test := d.Split(0.75)
+		cfg := core.DefaultConfig()
+		cfg.NumTrees = 30
+		cfg.MaxDepth = 6
+		m, err := core.Train(train, cfg)
+		if err != nil {
+			panic(err)
+		}
+		bf = benchFixture{model: m, data: test}
+	})
+	if bf.model == nil {
+		b.Fatal("fixture failed to build")
+	}
+	return bf
+}
+
+// BenchmarkPredictBatch compares the interpreted tree walk against the
+// compiled engine on the same ensemble and rows. The compiled sub-benchmark
+// runs single-worker with a reused output buffer — the steady-state serving
+// loop — and must report 0 allocs/op; compiled-parallel adds the worker
+// pool (its allocations are the per-call goroutine closures).
+func BenchmarkPredictBatch(b *testing.B) {
+	f := fixture(b)
+	rows := int64(f.data.NumRows())
+
+	b.Run("interpreted", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(0)
+		for i := 0; i < b.N; i++ {
+			f.model.PredictBatchInterpreted(f.data)
+		}
+		b.ReportMetric(float64(b.N)*float64(rows)/b.Elapsed().Seconds(), "rows/s")
+	})
+
+	b.Run("compiled", func(b *testing.B) {
+		eng, err := predict.Compile(f.model.Trees, f.model.BaseScore)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Workers = 1
+		out := make([]float64, f.data.NumRows())
+		eng.PredictBatchInto(f.data, out) // warm the scratch pool
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.PredictBatchInto(f.data, out)
+		}
+		b.ReportMetric(float64(b.N)*float64(rows)/b.Elapsed().Seconds(), "rows/s")
+	})
+
+	b.Run("compiled-parallel", func(b *testing.B) {
+		eng, err := predict.Compile(f.model.Trees, f.model.BaseScore)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := make([]float64, f.data.NumRows())
+		eng.PredictBatchInto(f.data, out)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.PredictBatchInto(f.data, out)
+		}
+		b.ReportMetric(float64(b.N)*float64(rows)/b.Elapsed().Seconds(), "rows/s")
+	})
+}
+
+// BenchmarkPredictSingle measures one-row latency on the serving path.
+func BenchmarkPredictSingle(b *testing.B) {
+	f := fixture(b)
+	b.Run("interpreted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.model.Predict(f.data.Row(i % f.data.NumRows()))
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		eng, err := predict.Compile(f.model.Trees, f.model.BaseScore)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Predict(f.data.Row(0))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Predict(f.data.Row(i % f.data.NumRows()))
+		}
+	})
+}
+
+// BenchmarkEngineCompile measures ensemble-to-engine compile latency — the
+// cost a model reload pays before the first request is served.
+func BenchmarkEngineCompile(b *testing.B) {
+	f := fixture(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := predict.Compile(f.model.Trees, f.model.BaseScore); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

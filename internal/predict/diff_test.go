@@ -1,0 +1,214 @@
+package predict_test
+
+// Differential property tests: the compiled engine must be bit-identical to
+// the interpreted tree walk on every input — randomized ensembles (varying
+// depth, unused slots, duplicate thresholds, features no row carries) ×
+// randomized rows (sparse, dense, empty, explicit zeros, indices past the
+// ensemble's feature space). PredictBatch runs with its parallel worker
+// pool enabled, so `go test -race` exercises the scatter-buffer pooling.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dimboost/internal/core"
+	"dimboost/internal/dataset"
+	"dimboost/internal/loss"
+	"dimboost/internal/predict"
+	"dimboost/internal/tree"
+)
+
+// thresholdPalette deliberately repeats values so trees carry duplicate
+// thresholds, and includes 0 so the missing-feature-reads-as-0 boundary is
+// hit on both sides.
+var thresholdPalette = []float64{-2.5, -1, 0, 0, 0.25, 0.25, 0.5, 1, 3}
+
+// randTree grows a random tree: each leaf splits with decaying probability,
+// so shallow trees, full trees, and trees with many unused slots all occur.
+func randTree(rng *rand.Rand, maxDepth, numFeatures int) *tree.Tree {
+	t := tree.New(maxDepth)
+	var grow func(node, depth int)
+	grow = func(node, depth int) {
+		if depth >= maxDepth || rng.Float64() > 0.7 {
+			t.SetLeaf(node, math.Round(rng.NormFloat64()*1000)/1000)
+			return
+		}
+		f := int32(rng.Intn(numFeatures))
+		v := thresholdPalette[rng.Intn(len(thresholdPalette))]
+		if rng.Float64() < 0.3 {
+			v = math.Round(rng.NormFloat64()*100) / 100
+		}
+		t.SetSplit(node, f, v, rng.Float64())
+		grow(tree.Left(node), depth+1)
+		grow(tree.Right(node), depth+1)
+	}
+	grow(0, 1)
+	return t
+}
+
+// randInstance draws one row from a mix of shapes. rowFeatures bounds the
+// indices rows actually carry — it may be smaller than the ensemble's
+// feature space (features absent from every row) or larger (row features
+// the ensemble never references).
+func randInstance(rng *rand.Rand, rowFeatures int) dataset.Instance {
+	switch rng.Intn(5) {
+	case 0: // empty row
+		return dataset.Instance{}
+	case 1: // dense row over a prefix of the feature space
+		n := 1 + rng.Intn(min(rowFeatures, 64))
+		idx := make([]int32, n)
+		vals := make([]float32, n)
+		for i := range idx {
+			idx[i] = int32(i)
+			vals[i] = float32(math.Round(rng.NormFloat64()*100) / 100)
+		}
+		return dataset.Instance{Indices: idx, Values: vals}
+	case 2: // all explicit zeros (distinct storage, identical semantics)
+		n := 1 + rng.Intn(min(rowFeatures, 16))
+		idx := make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		return dataset.Instance{Indices: idx, Values: make([]float32, n)}
+	default: // sparse row: sorted unique random indices
+		n := rng.Intn(min(rowFeatures, 40)) + 1
+		seen := map[int32]bool{}
+		var idx []int32
+		for len(idx) < n {
+			f := int32(rng.Intn(rowFeatures))
+			if !seen[f] {
+				seen[f] = true
+				idx = append(idx, f)
+			}
+		}
+		sortInt32s(idx)
+		vals := make([]float32, n)
+		for i := range vals {
+			// Values land on the threshold palette often enough to probe the
+			// x <= v boundary exactly.
+			if rng.Float64() < 0.5 {
+				vals[i] = float32(thresholdPalette[rng.Intn(len(thresholdPalette))])
+			} else {
+				vals[i] = float32(math.Round(rng.NormFloat64()*100) / 100)
+			}
+		}
+		return dataset.Instance{Indices: idx, Values: vals}
+	}
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func sortInt32s(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func randModel(rng *rand.Rand, numFeatures int) *core.Model {
+	m := &core.Model{Loss: loss.Squared, BaseScore: math.Round(rng.NormFloat64()*1000) / 1000}
+	for i, n := 0, 1+rng.Intn(8); i < n; i++ {
+		m.Trees = append(m.Trees, randTree(rng, 1+rng.Intn(6), numFeatures))
+	}
+	return m
+}
+
+// TestDifferentialPredictBatch is the headline property: across ≥ 1000
+// randomized ensemble×row cases, Engine.PredictBatch (parallel pool
+// enabled) is bit-exact against the interpreted Model.Predict.
+func TestDifferentialPredictBatch(t *testing.T) {
+	featureSpaces := []int{1, 3, 17, 500, 33_000}
+	cases := 0
+	for trial := 0; trial < 48; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)*7919 + 1))
+		nf := featureSpaces[trial%len(featureSpaces)]
+		// Rows cover half, exactly, or double the ensemble's feature space.
+		rowFeatures := []int{(nf + 1) / 2, nf, 2 * nf}[trial%3]
+		m := randModel(rng, nf)
+
+		eng, err := predict.Compile(m.Trees, m.BaseScore)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v", trial, err)
+		}
+
+		b := dataset.NewBuilder(0)
+		const rows = 30
+		for r := 0; r < rows; r++ {
+			in := randInstance(rng, rowFeatures)
+			if err := b.Add(in.Indices, in.Values, 0); err != nil {
+				t.Fatalf("trial %d row %d: %v", trial, r, err)
+			}
+		}
+		ds := b.Build()
+
+		got := eng.PredictBatch(ds)
+		for i := 0; i < ds.NumRows(); i++ {
+			want := m.Predict(ds.Row(i))
+			if math.Float64bits(got[i]) != math.Float64bits(want) {
+				t.Fatalf("trial %d row %d: compiled %v (bits %x) != interpreted %v (bits %x)",
+					trial, i, got[i], math.Float64bits(got[i]), want, math.Float64bits(want))
+			}
+		}
+		cases += ds.NumRows()
+	}
+	if cases < 1000 {
+		t.Fatalf("only %d differential cases, want >= 1000", cases)
+	}
+}
+
+// TestDifferentialPredictInstances covers the serving entry point with
+// explicit-zero storage (the Builder drops zeros, instances keep them) and
+// the single-row Predict path.
+func TestDifferentialPredictInstances(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)*104729 + 17))
+		nf := []int{2, 40, 1000}[trial%3]
+		m := randModel(rng, nf)
+		eng, err := predict.Compile(m.Trees, m.BaseScore)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v", trial, err)
+		}
+		ins := make([]dataset.Instance, 25)
+		for i := range ins {
+			ins[i] = randInstance(rng, 2*nf)
+		}
+		got := eng.PredictInstances(ins)
+		for i, in := range ins {
+			want := m.Predict(in)
+			if math.Float64bits(got[i]) != math.Float64bits(want) {
+				t.Fatalf("trial %d instance %d: compiled %v != interpreted %v", trial, i, got[i], want)
+			}
+			if one := eng.Predict(in); math.Float64bits(one) != math.Float64bits(want) {
+				t.Fatalf("trial %d instance %d: Predict %v != interpreted %v", trial, i, one, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialTrainedModel runs the property on a genuinely trained
+// ensemble (not just synthetic random trees) over its own training data.
+func TestDifferentialTrainedModel(t *testing.T) {
+	d := dataset.Generate(dataset.SyntheticConfig{
+		NumRows: 600, NumFeatures: 5000, AvgNNZ: 40, Zipf: 0.8, Seed: 99,
+	})
+	cfg := core.DefaultConfig()
+	cfg.NumTrees = 8
+	cfg.MaxDepth = 5
+	m, err := core.Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := m.Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := eng.PredictBatch(d)
+	for i := 0; i < d.NumRows(); i++ {
+		want := m.Predict(d.Row(i))
+		if math.Float64bits(got[i]) != math.Float64bits(want) {
+			t.Fatalf("row %d: compiled %v != interpreted %v", i, got[i], want)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+// Package predict is DimBoost's compiled inference engine: it flattens a
+// trained ensemble into a structure-of-arrays layout and scores rows against
+// it without the per-node binary searches of the interpreted tree walk.
+//
+// The interpreted path (tree.Predict over dataset.Instance) answers "what is
+// x[f]?" at every node visit with an O(log nnz) sort.Search over the sparse
+// row — the same access pattern §5 of the paper eliminates from histogram
+// construction with precomputed indices. The compiled engine applies the
+// identical idea to serving, the way XGBoost's and LightGBM's predictors
+// flatten trees into contiguous node arrays:
+//
+//   - Compile walks every tree once and emits its used nodes, breadth-first,
+//     into four ensemble-wide parallel slices (feature, threshold, left
+//     child, leaf weight). Sibling nodes are adjacent (right = left+1), so a
+//     node visit is a couple of contiguous loads and one branch — no Node
+//     struct, no Used bookkeeping, no pointer chasing.
+//   - The global feature space (330K-wide for the paper's Gender dataset) is
+//     remapped to the compact set of features the ensemble actually splits
+//     on, which for depth-8 ensembles of a few hundred trees is a few
+//     thousand at most.
+//   - A row is scored by scattering its sparse entries once into a pooled
+//     dense buffer over the compact feature space, walking every tree with
+//     O(1) feature loads, then zeroing only the touched slots. Buffers are
+//     recycled through a sync.Pool, so steady-state scoring allocates
+//     nothing.
+//
+// Exactness: the engine is bit-identical to the interpreted walk, and the
+// differential tests in this package prove it. Missing features read as 0
+// (the scatter buffer's resting state), the split comparison is the same
+// float64(float32 value) <= threshold, and trees accumulate in the same
+// order with the same float64 additions, so every rounding step matches.
+package predict
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dimboost/internal/dataset"
+	"dimboost/internal/tree"
+)
+
+// Engine scores rows against a compiled ensemble. It is safe for concurrent
+// use; all fields are read-only after Compile.
+type Engine struct {
+	// Workers bounds the goroutines a batch call may use; 0 means
+	// runtime.GOMAXPROCS(0). Set it before the first batch call.
+	Workers int
+
+	base float64
+
+	// Structure-of-arrays node storage, ensemble-wide. Node i is a leaf iff
+	// left[i] < 0; leaves read weight[i], internal nodes read feature[i]
+	// (a compact feature id), threshold[i], and children left[i], left[i]+1.
+	feature   []int32
+	threshold []float64
+	left      []int32
+	weight    []float64
+	// roots[t] is the slot of tree t's root.
+	roots []int32
+
+	// remap translates global feature ids to compact ids ([0, numCompact));
+	// -1 marks features the ensemble never splits on. Global ids past
+	// len(remap) are likewise unused.
+	remap      []int32
+	numCompact int
+
+	pool sync.Pool // *scratch
+}
+
+// scratch is one worker's scoring state: a dense buffer over the compact
+// feature space plus the list of slots the current row dirtied.
+type scratch struct {
+	dense   []float32
+	touched []int32
+}
+
+// Compile flattens a trained ensemble (trees plus base score) into an
+// Engine. Each tree must satisfy tree.Validate; the trees are not retained
+// and may be mutated afterwards without affecting the engine.
+func Compile(trees []*tree.Tree, baseScore float64) (*Engine, error) {
+	start := time.Now()
+
+	// Pass 1: collect the features the ensemble references.
+	maxFeat := int32(-1)
+	used := map[int32]struct{}{}
+	nodes := 0
+	for ti, t := range trees {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("predict: tree %d: %w", ti, err)
+		}
+		for i := range t.Nodes {
+			n := &t.Nodes[i]
+			if !n.Used {
+				continue
+			}
+			nodes++
+			if n.Leaf {
+				continue
+			}
+			if n.Feature < 0 {
+				return nil, fmt.Errorf("predict: tree %d node %d: negative feature %d", ti, i, n.Feature)
+			}
+			used[n.Feature] = struct{}{}
+			if n.Feature > maxFeat {
+				maxFeat = n.Feature
+			}
+		}
+	}
+	e := &Engine{
+		base:       baseScore,
+		feature:    make([]int32, 0, nodes),
+		threshold:  make([]float64, 0, nodes),
+		left:       make([]int32, 0, nodes),
+		weight:     make([]float64, 0, nodes),
+		roots:      make([]int32, 0, len(trees)),
+		numCompact: len(used),
+	}
+
+	// Compact ids follow global feature order so the layout is deterministic.
+	feats := make([]int32, 0, len(used))
+	for f := range used {
+		feats = append(feats, f)
+	}
+	sort.Slice(feats, func(a, b int) bool { return feats[a] < feats[b] })
+	e.remap = make([]int32, maxFeat+1)
+	for i := range e.remap {
+		e.remap[i] = -1
+	}
+	for c, f := range feats {
+		e.remap[f] = int32(c)
+	}
+
+	// Pass 2: emit each tree's used nodes breadth-first. Visiting a split
+	// appends both children consecutively, so right = left+1 ensemble-wide.
+	type pending struct{ implicit, slot int32 }
+	var queue []pending
+	for _, t := range trees {
+		root := e.newNode()
+		e.roots = append(e.roots, root)
+		queue = append(queue[:0], pending{0, root})
+		for head := 0; head < len(queue); head++ {
+			p := queue[head]
+			n := &t.Nodes[p.implicit]
+			if n.Leaf {
+				e.left[p.slot] = -1
+				e.weight[p.slot] = n.Weight
+				continue
+			}
+			l := e.newNode()
+			e.newNode() // right child, slot l+1
+			e.feature[p.slot] = e.remap[n.Feature]
+			e.threshold[p.slot] = n.Value
+			e.left[p.slot] = l
+			queue = append(queue,
+				pending{int32(tree.Left(int(p.implicit))), l},
+				pending{int32(tree.Right(int(p.implicit))), l + 1})
+		}
+	}
+
+	e.pool.New = func() any {
+		return &scratch{dense: make([]float32, e.numCompact)}
+	}
+	pm := predictMetrics()
+	pm.compiles.Inc()
+	pm.compileSeconds.ObserveSince(start)
+	pm.engineNodes.Set(int64(len(e.left)))
+	pm.engineFeatures.Set(int64(e.numCompact))
+	return e, nil
+}
+
+// newNode appends one zeroed node slot and returns its index.
+func (e *Engine) newNode() int32 {
+	i := int32(len(e.left))
+	e.feature = append(e.feature, 0)
+	e.threshold = append(e.threshold, 0)
+	e.left = append(e.left, 0)
+	e.weight = append(e.weight, 0)
+	return i
+}
+
+// NumNodes returns the compiled node count (used nodes across all trees).
+func (e *Engine) NumNodes() int { return len(e.left) }
+
+// NumTrees returns the number of trees in the compiled ensemble.
+func (e *Engine) NumTrees() int { return len(e.roots) }
+
+// NumFeatures returns the size of the compact feature space — the distinct
+// features the ensemble splits on.
+func (e *Engine) NumFeatures() int { return e.numCompact }
+
+// SizeBytes estimates the engine's in-memory footprint.
+func (e *Engine) SizeBytes() int64 {
+	return int64(len(e.left))*(4+8+4+8) + int64(len(e.roots))*4 + int64(len(e.remap))*4
+}
+
+// predictRow scatters one sparse row into the scratch buffer, walks every
+// tree, and restores the buffer to all-zero. It allocates only when the
+// row's nonzero count exceeds every earlier row's (growing touched).
+func (e *Engine) predictRow(s *scratch, indices []int32, values []float32) float64 {
+	remap := e.remap
+	for j, idx := range indices {
+		if int(idx) >= len(remap) {
+			// Indices are sorted ascending; everything after is unused too.
+			break
+		}
+		if c := remap[idx]; c >= 0 {
+			s.dense[c] = values[j]
+			s.touched = append(s.touched, c)
+		}
+	}
+	sum := e.base
+	for _, i := range e.roots {
+		for e.left[i] >= 0 {
+			if float64(s.dense[e.feature[i]]) <= e.threshold[i] {
+				i = e.left[i]
+			} else {
+				i = e.left[i] + 1
+			}
+		}
+		sum += e.weight[i]
+	}
+	for _, c := range s.touched {
+		s.dense[c] = 0
+	}
+	s.touched = s.touched[:0]
+	return sum
+}
+
+// Predict scores a single instance.
+func (e *Engine) Predict(in dataset.Instance) float64 {
+	s := e.pool.Get().(*scratch)
+	v := e.predictRow(s, in.Indices, in.Values)
+	e.pool.Put(s)
+	return v
+}
+
+// PredictBatch scores every row of a dataset in parallel and returns the raw
+// model outputs.
+func (e *Engine) PredictBatch(d *dataset.Dataset) []float64 {
+	return e.PredictBatchInto(d, make([]float64, d.NumRows()))
+}
+
+// PredictBatchInto is PredictBatch writing into a caller-provided slice of
+// length d.NumRows(), for allocation-free steady-state scoring.
+func (e *Engine) PredictBatchInto(d *dataset.Dataset, out []float64) []float64 {
+	if len(out) != d.NumRows() {
+		panic(fmt.Sprintf("predict: out length %d for %d rows", len(out), d.NumRows()))
+	}
+	e.predictAll(d.NumRows(), batch{d: d}, out)
+	return out
+}
+
+// PredictInstances scores a slice of instances in parallel — the serving
+// path, where requests arrive as instances rather than a Dataset.
+func (e *Engine) PredictInstances(ins []dataset.Instance) []float64 {
+	out := make([]float64, len(ins))
+	e.predictAll(len(ins), batch{ins: ins}, out)
+	return out
+}
+
+// batch lets Dataset and []Instance scoring share predictAll without a
+// heap-allocated row-accessor closure (a plain value struct keeps the
+// single-worker path at zero allocations).
+type batch struct {
+	d   *dataset.Dataset
+	ins []dataset.Instance
+}
+
+func (bt batch) row(i int) ([]int32, []float32) {
+	if bt.d != nil {
+		lo, hi := bt.d.RowPtr[i], bt.d.RowPtr[i+1]
+		return bt.d.Indices[lo:hi], bt.d.Values[lo:hi]
+	}
+	return bt.ins[i].Indices, bt.ins[i].Values
+}
+
+// chunkRows is the unit of work a batch worker claims at a time: large
+// enough to amortize the claim, small enough to balance skewed rows.
+const chunkRows = 256
+
+// predictAll scores rows [0, n) through the worker pool.
+func (e *Engine) predictAll(n int, bt batch, out []float64) {
+	if n == 0 {
+		return
+	}
+	start := time.Now()
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunks := (n + chunkRows - 1) / chunkRows
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers == 1 {
+		// Inline on the caller's goroutine: the steady-state path allocates
+		// nothing (the scratch comes from the pool, out from the caller).
+		s := e.pool.Get().(*scratch)
+		for i := 0; i < n; i++ {
+			idx, vals := bt.row(i)
+			out[i] = e.predictRow(s, idx, vals)
+		}
+		e.pool.Put(s)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				s := e.pool.Get().(*scratch)
+				defer e.pool.Put(s)
+				for {
+					c := int(next.Add(1)) - 1
+					if c >= chunks {
+						return
+					}
+					lo, hi := c*chunkRows, min((c+1)*chunkRows, n)
+					for i := lo; i < hi; i++ {
+						idx, vals := bt.row(i)
+						out[i] = e.predictRow(s, idx, vals)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	pm := predictMetrics()
+	pm.rows.Add(int64(n))
+	pm.batchSeconds.ObserveSince(start)
+}

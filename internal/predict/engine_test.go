@@ -1,0 +1,162 @@
+package predict_test
+
+import (
+	"math"
+	"testing"
+
+	"dimboost/internal/dataset"
+	"dimboost/internal/predict"
+	"dimboost/internal/tree"
+)
+
+func inst(kv map[int]float32) dataset.Instance {
+	var idx []int32
+	for f := range kv {
+		idx = append(idx, int32(f))
+	}
+	sortInt32s(idx)
+	vals := make([]float32, len(idx))
+	for i, f := range idx {
+		vals[i] = kv[int(f)]
+	}
+	return dataset.Instance{Indices: idx, Values: vals}
+}
+
+// TestEngineBoundarySemantics pins the exact-comparison contract: missing
+// features read as 0, and x <= threshold goes left (including x == threshold
+// and threshold 0 with the feature absent).
+func TestEngineBoundarySemantics(t *testing.T) {
+	tr := tree.New(3)
+	tr.SetSplit(0, 7, 0, 1)       // x[7] <= 0 ?
+	tr.SetSplit(1, 2, 0.25, 1)    // left:  x[2] <= 0.25 ?
+	tr.SetLeaf(tree.Left(1), 10)  // x[7]<=0, x[2]<=0.25
+	tr.SetLeaf(tree.Right(1), 20) // x[7]<=0, x[2]>0.25
+	tr.SetLeaf(2, 30)             // x[7]>0
+
+	eng, err := predict.Compile([]*tree.Tree{tr}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		in   dataset.Instance
+		want float64
+	}{
+		{inst(nil), 10.5},                      // all missing: 0<=0 left, 0<=0.25 left
+		{inst(map[int]float32{7: 0}), 10.5},    // explicit zero == missing
+		{inst(map[int]float32{2: 0.25}), 10.5}, // exactly on the threshold goes left
+		{inst(map[int]float32{2: 0.2500001}), 20.5},
+		{inst(map[int]float32{7: -3, 2: 1}), 20.5},
+		{inst(map[int]float32{7: 1e-9}), 30.5},
+		{inst(map[int]float32{7: 5, 2: 5, 999: 1}), 30.5}, // index past the remap table
+	}
+	for i, c := range cases {
+		if got := eng.Predict(c.in); got != c.want {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+		if got := tr.Predict(c.in) + 0.5; got != c.want {
+			t.Errorf("case %d: interpreted reference drifted: %v != %v", i, got, c.want)
+		}
+	}
+}
+
+// TestEngineLeafOnlyEnsemble compiles trees with no splits at all: the
+// compact feature space is empty and every row scores base + Σ weights.
+func TestEngineLeafOnlyEnsemble(t *testing.T) {
+	t1, t2 := tree.New(2), tree.New(4)
+	t1.SetLeaf(0, 1.25)
+	t2.SetLeaf(0, -0.5)
+	eng, err := predict.Compile([]*tree.Tree{t1, t2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.NumFeatures() != 0 {
+		t.Fatalf("compact features = %d, want 0", eng.NumFeatures())
+	}
+	if eng.NumNodes() != 2 || eng.NumTrees() != 2 {
+		t.Fatalf("nodes=%d trees=%d, want 2/2", eng.NumNodes(), eng.NumTrees())
+	}
+	if got := eng.Predict(inst(map[int]float32{3: 9})); got != 2.75 {
+		t.Fatalf("got %v, want 2.75", got)
+	}
+}
+
+// TestEngineEmptyEnsemble: zero trees score the base everywhere.
+func TestEngineEmptyEnsemble(t *testing.T) {
+	eng, err := predict.Compile(nil, -1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := dataset.NewBuilder(4)
+	_ = b.Add([]int32{1}, []float32{2}, 0)
+	_ = b.Add(nil, nil, 0)
+	out := eng.PredictBatch(b.Build())
+	for i, v := range out {
+		if v != -1.5 {
+			t.Fatalf("row %d: got %v, want -1.5", i, v)
+		}
+	}
+}
+
+// TestCompileRejectsInvalidTree: structurally broken trees fail Compile
+// rather than producing an engine with undefined behavior.
+func TestCompileRejectsInvalidTree(t *testing.T) {
+	bad := &tree.Tree{MaxDepth: 2, Nodes: make([]tree.Node, tree.MaxNodes(2))}
+	// Root marked internal with no children created.
+	bad.Nodes[0] = tree.Node{Used: true, Feature: 0}
+	if _, err := predict.Compile([]*tree.Tree{bad}, 0); err == nil {
+		t.Fatal("compile accepted an invalid tree")
+	}
+}
+
+// TestPredictBatchIntoReuse: repeated Into calls over the same buffer give
+// stable results — the scatter buffers fully reset between rows.
+func TestPredictBatchIntoReuse(t *testing.T) {
+	tr := tree.New(2)
+	tr.SetSplit(0, 0, 0.5, 1)
+	tr.SetLeaf(1, 1)
+	tr.SetLeaf(2, 2)
+	eng, err := predict.Compile([]*tree.Tree{tr}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Workers = 1
+	b := dataset.NewBuilder(1)
+	_ = b.Add([]int32{0}, []float32{1}, 0) // > 0.5 → 2
+	_ = b.Add(nil, nil, 0)                 // missing → 1
+	ds := b.Build()
+	out := make([]float64, ds.NumRows())
+	for pass := 0; pass < 3; pass++ {
+		eng.PredictBatchInto(ds, out)
+		if out[0] != 2 || out[1] != 1 {
+			t.Fatalf("pass %d: got %v, want [2 1]", pass, out)
+		}
+	}
+}
+
+// TestEngineParallelMatchesSerial: the worker pool partitions rows without
+// changing a single bit relative to the inline path.
+func TestEngineParallelMatchesSerial(t *testing.T) {
+	rngModel := randModel(newRand(5), 2000)
+	eng, err := predict.Compile(rngModel.Trees, rngModel.BaseScore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := dataset.NewBuilder(0)
+	rng := newRand(6)
+	for r := 0; r < 2000; r++ { // several chunks' worth of rows
+		in := randInstance(rng, 2000)
+		if err := b.Add(in.Indices, in.Values, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := b.Build()
+	eng.Workers = 1
+	serial := eng.PredictBatch(ds)
+	eng.Workers = 0
+	parallel := eng.PredictBatch(ds)
+	for i := range serial {
+		if math.Float64bits(serial[i]) != math.Float64bits(parallel[i]) {
+			t.Fatalf("row %d: serial %v != parallel %v", i, serial[i], parallel[i])
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package predict
+
+import (
+	"sync"
+
+	"dimboost/internal/obs"
+)
+
+// predictObs groups the inference engine's instruments: compile counts and
+// latency, scored-row throughput, and gauges describing the live engine.
+type predictObs struct {
+	compiles       *obs.Counter
+	compileSeconds *obs.Histogram
+	rows           *obs.Counter
+	batchSeconds   *obs.Histogram
+	engineNodes    *obs.Gauge
+	engineFeatures *obs.Gauge
+}
+
+var (
+	poOnce sync.Once
+	poInst *predictObs
+)
+
+func predictMetrics() *predictObs {
+	poOnce.Do(func() {
+		r := obs.Default()
+		poInst = &predictObs{
+			compiles:       r.Counter("dimboost_predict_compiles_total", "Inference engines compiled from ensembles."),
+			compileSeconds: r.Histogram("dimboost_predict_compile_seconds", "Ensemble-to-engine compile latency.", nil),
+			rows:           r.Counter("dimboost_predict_rows_total", "Rows scored through the compiled engine."),
+			batchSeconds:   r.Histogram("dimboost_predict_batch_seconds", "Batch scoring latency (one observation per batch).", nil),
+			engineNodes:    r.Gauge("dimboost_predict_engine_nodes", "Compiled nodes in the most recently built engine."),
+			engineFeatures: r.Gauge("dimboost_predict_engine_features", "Compact feature-space size of the most recently built engine."),
+		}
+	})
+	return poInst
+}

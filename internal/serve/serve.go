@@ -45,10 +45,13 @@ type Handler struct {
 	draining atomic.Bool
 }
 
-// New returns a handler serving the given model.
+// New returns a handler serving the given model. The model's inference
+// engine is compiled eagerly so the first /predict request doesn't pay the
+// compile latency.
 func New(m *core.Model) *Handler {
 	h := &Handler{mux: http.NewServeMux(), MaxBodyBytes: 32 << 20}
 	h.model.Store(m)
+	m.Compiled() //nolint:errcheck // invalid models fall back to the interpreted walk
 	serveMetrics().trees.Set(int64(len(m.Trees)))
 	h.mux.HandleFunc("GET /healthz", h.healthz)
 	h.mux.HandleFunc("GET /model", h.modelInfo)
@@ -82,8 +85,11 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	m.request(metricPath(r.URL.Path), sw.code, time.Since(start).Seconds())
 }
 
-// Swap atomically replaces the served model (hot reload).
+// Swap atomically replaces the served model (hot reload). The incoming
+// model's engine is compiled before the swap, so requests never observe a
+// model whose compiled path is cold.
 func (h *Handler) Swap(m *core.Model) {
+	m.Compiled() //nolint:errcheck // invalid models fall back to the interpreted walk
 	h.model.Store(m)
 	serveMetrics().trees.Set(int64(len(m.Trees)))
 }
@@ -223,9 +229,14 @@ func (h *Handler) predict(w http.ResponseWriter, r *http.Request) {
 	}
 
 	m := h.model.Load()
-	resp := predictResponse{Scores: make([]float64, len(instances))}
-	for i, in := range instances {
-		resp.Scores[i] = m.Predict(in)
+	var resp predictResponse
+	if eng, err := m.Compiled(); err == nil {
+		resp.Scores = eng.PredictInstances(instances)
+	} else {
+		resp.Scores = make([]float64, len(instances))
+		for i, in := range instances {
+			resp.Scores[i] = m.Predict(in)
+		}
 	}
 	if m.Loss == loss.Logistic {
 		resp.Probabilities = make([]float64, len(instances))

@@ -10,7 +10,7 @@ package tree
 
 import (
 	"fmt"
-	"math"
+	"math/bits"
 
 	"dimboost/internal/dataset"
 )
@@ -23,9 +23,11 @@ func MaxNodes(maxDepth int) int { return (1 << maxDepth) - 1 }
 // layer 0).
 func LayerRange(l int) (lo, hi int) { return (1 << l) - 1, (1 << (l + 1)) - 1 }
 
-// Depth returns the layer of node id i.
+// Depth returns the layer of node id i: ⌊log2(i+1)⌋ in pure integer math.
+// (float64 Log2 loses exactness once i+1 has more significant bits than the
+// mantissa holds — Depth(2^53) style ids would round to the wrong layer.)
 func Depth(i int) int {
-	return int(math.Floor(math.Log2(float64(i + 1))))
+	return bits.Len(uint(i)+1) - 1
 }
 
 // Left and Right return the child ids of node i.

@@ -31,6 +31,51 @@ func TestLayoutHelpers(t *testing.T) {
 	}
 }
 
+// TestDepthExhaustive checks Depth against its two defining invariants —
+// every id of layer l as enumerated by LayerRange maps back to l, and layer
+// boundaries (2^l−1 and 2^l−2) fall on the right side — exhaustively over
+// the first layers, then at large ids where the old float64 Log2 formulation
+// ran out of mantissa.
+func TestDepthExhaustive(t *testing.T) {
+	// Every node of the first 16 layers (65535 ids), via LayerRange.
+	for l := 0; l < 16; l++ {
+		lo, hi := LayerRange(l)
+		for i := lo; i < hi; i++ {
+			if got := Depth(i); got != l {
+				t.Fatalf("Depth(%d) = %d, want layer %d", i, got, l)
+			}
+		}
+	}
+	// Layer boundaries across the full int range a node id can take: the
+	// first id of layer l is 2^l−1, the last id of layer l−1 is 2^l−2.
+	for l := 1; l < 62; l++ {
+		first := (1 << l) - 1
+		if got := Depth(first); got != l {
+			t.Errorf("Depth(2^%d-1) = %d, want %d", l, got, l)
+		}
+		if got := Depth(first - 1); got != l-1 {
+			t.Errorf("Depth(2^%d-2) = %d, want %d", l, got, l-1)
+		}
+	}
+	// Interior ids past float64's 53-bit mantissa, where a Log2-based
+	// formulation can round to the wrong layer.
+	for _, c := range []struct{ node, depth int }{
+		{1<<53 + 12345, 53},
+		{1<<60 + 9e17, 60},
+		{1<<62 - 2, 61},
+	} {
+		if got := Depth(c.node); got != c.depth {
+			t.Errorf("Depth(%d) = %d, want %d", c.node, got, c.depth)
+		}
+	}
+	// Depth agrees with the parent recurrence: Depth(child) = Depth(i)+1.
+	for i := 0; i < 1000; i++ {
+		if Depth(Left(i)) != Depth(i)+1 || Depth(Right(i)) != Depth(i)+1 {
+			t.Fatalf("child depth recurrence broken at %d", i)
+		}
+	}
+}
+
 func inst(pairs map[int]float32) dataset.Instance {
 	var idx []int32
 	var val []float32
