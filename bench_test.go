@@ -7,6 +7,7 @@ package dimboost_test
 // experiments build on.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -249,6 +250,29 @@ func BenchmarkSingleMachineTrain(b *testing.B) {
 		if _, err := dimboost.Train(d, cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTrainParallel sweeps the shared pool size over the
+// BenchmarkSingleMachineTrain workload. The trained model is bit-identical
+// at every level (see TestModelIndependentOfParallelism); on a multi-core
+// host the sub-benchmarks separate, on a single core they time alike.
+func BenchmarkTrainParallel(b *testing.B) {
+	d := benchData(b, 2000, 10000, 50)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			cfg := dimboost.DefaultConfig()
+			cfg.NumTrees = 5
+			cfg.MaxDepth = 5
+			cfg.Parallelism = p
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dimboost.Train(d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

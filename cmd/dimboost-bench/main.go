@@ -29,9 +29,13 @@ import (
 )
 
 // timing is one machine-readable per-experiment measurement (-json).
+// Parallelism and Phases are set only by the train-parallel scenario,
+// which emits one entry per pool size with its phase breakdown.
 type timing struct {
-	Name    string  `json:"name"`
-	Seconds float64 `json:"seconds"`
+	Name        string             `json:"name"`
+	Seconds     float64            `json:"seconds"`
+	Parallelism int                `json:"parallelism,omitempty"`
+	Phases      map[string]float64 `json:"phases,omitempty"`
 }
 
 // report is the -json output document; Scale makes runs comparable
@@ -47,6 +51,7 @@ type report struct {
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "dataset row-count multiplier (smaller = quicker)")
+	par := flag.Int("parallelism", 0, "training pool workers for every experiment (0 = per-experiment default); models stay bit-identical")
 	ds := flag.String("dataset", "rcv1", "fig12 dataset: rcv1 | synthesis | gender")
 	faultSpec := flag.String("fault-spec", "", "fault-injection spec for distributed runs, e.g. 'seed=7;server-*:err=0.02'")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -63,6 +68,7 @@ func main() {
 	if flag.NArg() > 1 {
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		scale2 := fs.Float64("scale", *scale, "dataset row-count multiplier")
+		par2 := fs.Int("parallelism", *par, "training pool workers for every experiment")
 		ds2 := fs.String("dataset", *ds, "fig12 dataset")
 		fault2 := fs.String("fault-spec", *faultSpec, "fault-injection spec for distributed runs")
 		cpu2 := fs.String("cpuprofile", *cpuProfile, "write a CPU profile to this file")
@@ -71,10 +77,11 @@ func main() {
 		if err := fs.Parse(flag.Args()[1:]); err != nil {
 			log.Fatal(err)
 		}
-		scale, ds, faultSpec = scale2, ds2, fault2
+		scale, par, ds, faultSpec = scale2, par2, ds2, fault2
 		cpuProfile, memProfile, jsonOut = cpu2, mem2, json2
 	}
 	s := experiments.Scale(*scale)
+	experiments.Parallelism = *par
 	out := os.Stdout
 
 	if *cpuProfile != "" {
@@ -183,9 +190,31 @@ func main() {
 		"fig14":   func() { run("fig14", func() error { _, err := experiments.Fig14(out, s); return err }) },
 		"a1":      func() { run("a1", func() error { experiments.A1(out); return nil }) },
 		"predict": func() { run("predict", func() error { _, err := experiments.Predict(out, s); return err }) },
+		"train-parallel": func() {
+			start := time.Now()
+			res, err := experiments.TrainParallel(out, s)
+			if err != nil {
+				log.Fatalf("train-parallel: %v", err)
+			}
+			for _, l := range res.Levels {
+				rep.Experiments = append(rep.Experiments, timing{
+					Name:        fmt.Sprintf("train-parallel-p%d", l.Parallelism),
+					Seconds:     l.Total.Seconds(),
+					Parallelism: l.Parallelism,
+					Phases: map[string]float64{
+						"gradients":  l.Phases.Gradients.Seconds(),
+						"sketch":     l.Phases.Sketch.Seconds(),
+						"build_hist": l.Phases.BuildHist.Seconds(),
+						"find_split": l.Phases.FindSplit.Seconds(),
+						"split_tree": l.Phases.SplitTree.Seconds(),
+					},
+				})
+			}
+			fmt.Fprintf(out, "[train-parallel completed in %s]\n", time.Since(start).Round(time.Millisecond))
+		},
 	}
 	if cmd == "all" {
-		for _, name := range []string{"fig1", "table1", "table3", "fig12", "table4", "table5", "table6", "fig13", "fig14", "a1", "predict"} {
+		for _, name := range []string{"fig1", "table1", "table3", "fig12", "table4", "table5", "table6", "fig13", "fig14", "a1", "predict", "train-parallel"} {
 			if name == "fig12" {
 				for _, d := range []string{"rcv1", "synthesis", "gender"} {
 					*ds = d
@@ -220,6 +249,7 @@ experiments:
   fig14    comparison on a low-dimensional dataset
   a1       unbiasedness of low-precision histograms
   predict  serving path: interpreted vs compiled inference engine
+  train-parallel  training pool at parallelism 1/2/4/8, per-phase times, bit-identity check
   all      everything, in paper order
 
 -cpuprofile/-memprofile write pprof profiles; -json writes per-experiment

@@ -40,7 +40,8 @@ func main() {
 		gamma    = flag.Float64("gamma", 0.0, "per-leaf penalty")
 		sample   = flag.Float64("feature-sample", 1.0, "feature sampling ratio (sigma)")
 		lossName = flag.String("loss", "logistic", "objective: logistic | squared")
-		threads  = flag.Int("threads", 4, "histogram builder threads (q)")
+		par      = flag.Int("parallelism", 0, "training pool workers; model is bit-identical at any value (0 = GOMAXPROCS)")
+		threads  = flag.Int("threads", 0, "deprecated alias for -parallelism")
 		batch    = flag.Int("batch", 10000, "parallel build batch size (b)")
 		seed     = flag.Int64("seed", 42, "random seed")
 		workers  = flag.Int("workers", 0, "distributed worker count (0 = single process)")
@@ -84,7 +85,10 @@ func main() {
 	cfg.Lambda = *lambda
 	cfg.Gamma = *gamma
 	cfg.FeatureSampleRatio = *sample
-	cfg.Parallelism = *threads
+	if *par == 0 {
+		*par = *threads
+	}
+	cfg.Parallelism = *par
 	cfg.BatchSize = *batch
 	cfg.Seed = *seed
 	switch *lossName {

@@ -11,6 +11,8 @@ import (
 	"dimboost/internal/dataset"
 	"dimboost/internal/histogram"
 	"dimboost/internal/loss"
+	"dimboost/internal/parallel"
+	"dimboost/internal/predict"
 	"dimboost/internal/ps"
 	"dimboost/internal/sketch"
 	"dimboost/internal/transport"
@@ -33,6 +35,11 @@ type worker struct {
 	model  *core.Model
 	lossFn loss.Func
 	rng    *rand.Rand
+	// pool is the shared chunked worker pool every local compute phase
+	// (gradients, histogram builds, index splits, scoring) runs through —
+	// the same machinery as the single-process trainer, with the same
+	// any-parallelism bit-identity guarantee.
+	pool *parallel.Pool
 
 	times core.PhaseTimes
 	// events records per-tree progress for convergence curves; only the
@@ -79,6 +86,7 @@ func (wk *worker) run() error {
 	wk.lossFn = loss.New(wk.cfg.Loss)
 	wk.model = &core.Model{Loss: wk.cfg.Loss}
 	wk.rng = rand.New(rand.NewSource(wk.cfg.Seed))
+	wk.pool = parallel.New(wk.cfg.ResolvedParallelism())
 	wk.start = time.Now()
 
 	startTree := 0
@@ -130,21 +138,38 @@ func (wk *worker) run() error {
 // recomputed from them, and the feature-sampling RNG replayed past the
 // consumed draws — after which boosting continues exactly as if the run had
 // never been interrupted. Recomputing predictions replays one leaf-weight
-// addition per row per tree in tree order, the same accumulation training
-// performed (which skips zero-weight leaves), so the restored predictions
-// are bit-identical to the originals.
+// addition per row per tree in tree order through the compiled engine, the
+// same accumulation training performed, so the restored predictions are
+// bit-identical to the originals. (Training skips zero-weight leaves; the
+// engine adds a +0 tree score instead, which is also a no-op since
+// predictions accumulated from +0 by nonzero additions can never be -0.)
 func (wk *worker) restoreFrom(ck *Checkpoint) {
 	wk.model.BaseScore = ck.Model.BaseScore
 	wk.model.Trees = append(wk.model.Trees, ck.Model.Trees...)
 	wk.events = append(wk.events, ck.Events...)
 	wk.compute(func() {
-		for i := 0; i < wk.shard.NumRows(); i++ {
-			row := wk.shard.Row(i)
-			for _, tn := range ck.Model.Trees {
-				if w := tn.Predict(row); w != 0 {
-					wk.preds[i] += w
+		n := wk.shard.NumRows()
+		scratch := make([]float64, n)
+		for _, tn := range ck.Model.Trees {
+			eng, err := predict.Compile([]*tree.Tree{tn}, 0)
+			if err != nil {
+				// Checkpointed trees passed decode validation; an invalid
+				// tree here means memory corruption — fall back to the
+				// interpreted walk rather than lose the restore.
+				for i := 0; i < n; i++ {
+					if w := tn.Predict(wk.shard.Row(i)); w != 0 {
+						wk.preds[i] += w
+					}
 				}
+				continue
 			}
+			eng.Workers = wk.pool.Workers()
+			eng.PredictBatchInto(wk.shard, scratch)
+			wk.pool.For(n, parallel.RowChunk, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					wk.preds[i] += scratch[i]
+				}
+			})
 		}
 	})
 	// Every worker draws one feature sample per tree (the leader pushes it,
@@ -203,9 +228,11 @@ func (wk *worker) trainTree(t int) error {
 	// Phase 3: NEW_TREE — gradients, leader samples features.
 	gs := time.Now()
 	gd := wk.compute(func() {
-		for i := 0; i < n; i++ {
-			wk.grad[i], wk.hess[i] = wk.lossFn.Gradients(float64(wk.shard.Labels[i]), wk.preds[i])
-		}
+		wk.pool.For(n, parallel.RowChunk, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				wk.grad[i], wk.hess[i] = wk.lossFn.Gradients(float64(wk.shard.Labels[i]), wk.preds[i])
+			}
+		})
 	})
 	wk.times.Gradients += gd
 	m.spans.Record(wk.id, t, -1, "gradients", gs, gd)
@@ -238,7 +265,7 @@ func (wk *worker) trainTree(t int) error {
 	if !cfg.NoBinning {
 		bs := time.Now()
 		bd := wk.compute(func() {
-			binned = histogram.NewBinned(wk.shard, layout, cfg.Parallelism)
+			binned = histogram.NewBinned(wk.shard, layout, wk.pool.Workers())
 		})
 		wk.times.BuildHist += bd
 		m.spans.Record(wk.id, t, -1, "binning", bs, bd)
@@ -253,7 +280,7 @@ func (wk *worker) trainTree(t int) error {
 
 	active := []int{0}
 	buildOpts := histogram.BuildOptions{
-		Parallelism: cfg.Parallelism,
+		Parallelism: wk.pool.Workers(),
 		BatchSize:   cfg.BatchSize,
 		Dense:       cfg.DenseBuild,
 		Pool:        histogram.NewPool(layout),
@@ -385,7 +412,7 @@ func (wk *worker) trainTree(t int) error {
 				tn.SetSplit(node, sp.Feature, sp.Value, sp.Gain)
 				// Split values travel the wire as float64, so the bin
 				// recovery inside SplitPredicate stays exact.
-				idx.Split(node, core.SplitPredicate(wk.shard, binned, layout, sp))
+				idx.SplitStable(node, core.SplitPredicate(wk.shard, binned, layout, sp), wk.pool)
 				states[tree.Left(node)] = nodeState{sp.LeftG, sp.LeftH}
 				states[tree.Right(node)] = nodeState{sp.RightG, sp.RightH}
 				next = append(next, tree.Left(node), tree.Right(node))
@@ -404,15 +431,20 @@ func (wk *worker) trainTree(t int) error {
 		}
 	}
 
-	// Update local predictions from the finished tree's leaves.
+	// Update local predictions from the finished tree's leaves, chunked
+	// over each leaf's rows.
 	for node := range tn.Nodes {
 		nd := &tn.Nodes[node]
 		if !nd.Used || !nd.Leaf || nd.Weight == 0 {
 			continue
 		}
-		for _, r := range idx.Rows(node) {
-			wk.preds[r] += nd.Weight
-		}
+		rows := idx.Rows(node)
+		w := nd.Weight
+		wk.pool.For(len(rows), parallel.RowChunk, func(lo, hi int) {
+			for _, r := range rows[lo:hi] {
+				wk.preds[r] += w
+			}
+		})
 	}
 	wk.model.Trees = append(wk.model.Trees, tn)
 	wk.events = append(wk.events, core.TreeEvent{

@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"dimboost/internal/loss"
 )
@@ -54,7 +55,11 @@ type Config struct {
 	// SketchEps is the quantile-sketch rank error used when proposing
 	// split candidates; 0 defaults to 1/(2K).
 	SketchEps float64
-	// Parallelism is q, the number of histogram-builder threads.
+	// Parallelism is q, the worker count of the shared training pool
+	// (gradients, sketches, histogram builds, split finding, tree
+	// splitting, scoring). Values < 1 resolve to runtime.GOMAXPROCS(0).
+	// The trained model is bit-identical for every value, including 1
+	// (DESIGN.md invariant 15).
 	Parallelism int
 	// BatchSize is b, the instance batch size of the parallel builder.
 	BatchSize int
@@ -89,7 +94,7 @@ func DefaultConfig() Config {
 		FeatureSampleRatio:  1.0,
 		InstanceSampleRatio: 1.0,
 		Loss:                loss.Logistic,
-		Parallelism:         4,
+		Parallelism:         runtime.GOMAXPROCS(0),
 		BatchSize:           10000,
 		Seed:                42,
 	}
@@ -120,6 +125,15 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: SketchEps %v outside [0,1)", c.SketchEps)
 	}
 	return nil
+}
+
+// ResolvedParallelism returns the effective worker count of the training
+// pool: Parallelism, or runtime.GOMAXPROCS(0) when unset (< 1).
+func (c Config) ResolvedParallelism() int {
+	if c.Parallelism >= 1 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // sketchEps resolves the default rank error.

@@ -10,6 +10,8 @@ import (
 	"dimboost/internal/dataset"
 	"dimboost/internal/histogram"
 	"dimboost/internal/loss"
+	"dimboost/internal/parallel"
+	"dimboost/internal/predict"
 	"dimboost/internal/sketch"
 	"dimboost/internal/tree"
 )
@@ -48,11 +50,22 @@ type TreeEvent struct {
 // Trainer runs single-process GBDT training. It is also the computational
 // engine reused by every distributed strategy in internal/baselines and
 // internal/cluster.
+//
+// Every phase of the boosting loop — gradients, weighted sketches, histogram
+// builds, split finding, tree splitting, and scoring — runs through one
+// shared worker pool sized by Config.Parallelism. The pool's fixed chunk
+// grids and ordered reductions make the trained model bit-identical for
+// every parallelism value (DESIGN.md invariant 15).
 type Trainer struct {
 	cfg   Config
 	data  *dataset.Dataset
 	cands []sketch.Candidates
 	rng   *rand.Rand
+	pool  *parallel.Pool
+
+	// predScratch is the reusable per-tree scoring buffer of the
+	// instance-sampling path.
+	predScratch []float64
 
 	// OnTree, when set, is invoked after each completed tree.
 	OnTree func(TreeEvent)
@@ -89,7 +102,12 @@ func NewTrainer(d *dataset.Dataset, cfg Config) (*Trainer, error) {
 	if cfg.NoNodeIndex && cfg.InstanceSampleRatio < 1 {
 		return nil, fmt.Errorf("core: NoNodeIndex (ablation) does not support instance sampling")
 	}
-	return &Trainer{cfg: cfg, data: d, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+	return &Trainer{
+		cfg:  cfg,
+		data: d,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		pool: parallel.New(cfg.ResolvedParallelism()),
+	}, nil
 }
 
 // Candidates returns the per-feature split candidates, computing them on
@@ -131,6 +149,19 @@ func (tr *Trainer) SampleFeatures() []int32 {
 	return out
 }
 
+// scoreEngine compiles trees into a batch scorer bounded by the trainer's
+// pool. Every scoring loop in the trainer goes through the compiled engine —
+// the interpreted tree walk runs only on explicit request (the PR 4
+// invariant).
+func (tr *Trainer) scoreEngine(trees []*tree.Tree, base float64) (*predict.Engine, error) {
+	eng, err := predict.Compile(trees, base)
+	if err != nil {
+		return nil, err
+	}
+	eng.Workers = tr.pool.Workers()
+	return eng, nil
+}
+
 // Train runs the full boosting loop and returns the model.
 func (tr *Trainer) Train() (*Model, error) {
 	cands := tr.Candidates()
@@ -150,34 +181,38 @@ func (tr *Trainer) Train() (*Model, error) {
 		model.BaseScore = tr.Init.BaseScore
 		model.Trees = append(model.Trees, tr.Init.Trees...)
 		warmTrees = len(tr.Init.Trees)
-		for i := 0; i < n; i++ {
-			preds[i] = tr.Init.Predict(tr.data.Row(i))
+		eng, err := tr.scoreEngine(tr.Init.Trees, tr.Init.BaseScore)
+		if err != nil {
+			return nil, fmt.Errorf("core: compiling warm-start model: %w", err)
 		}
+		eng.PredictBatchInto(tr.data, preds)
 	}
 
 	// Early-stopping state.
-	var valPreds []float64
+	var valPreds, valScratch []float64
 	bestLoss := math.Inf(1)
 	bestTrees := warmTrees
 	sinceBest := 0
 	earlyStop := tr.Validation != nil && tr.cfg.EarlyStoppingRounds > 0
 	if tr.Validation != nil {
 		valPreds = make([]float64, tr.Validation.NumRows())
-		for i := range valPreds {
-			valPreds[i] = model.BaseScore
-			for _, tn := range model.Trees {
-				valPreds[i] += tn.Predict(tr.Validation.Row(i))
-			}
+		valScratch = make([]float64, len(valPreds))
+		eng, err := tr.scoreEngine(model.Trees, model.BaseScore)
+		if err != nil {
+			return nil, fmt.Errorf("core: compiling validation scorer: %w", err)
 		}
+		eng.PredictBatchInto(tr.Validation, valPreds)
 	}
 
 	m := trainMetrics()
 	for t := 0; t < tr.cfg.NumTrees; t++ {
 		treeStart := time.Now()
 		gs := time.Now()
-		for i := 0; i < n; i++ {
-			grad[i], hess[i] = lf.Gradients(float64(tr.data.Labels[i]), preds[i])
-		}
+		tr.pool.For(n, parallel.RowChunk, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				grad[i], hess[i] = lf.Gradients(float64(tr.data.Labels[i]), preds[i])
+			}
+		})
 		gd := time.Since(gs)
 		tr.Times.Gradients += gd
 		m.spans.Record(-1, t, -1, "gradients", gs, gd)
@@ -212,9 +247,16 @@ func (tr *Trainer) Train() (*Model, error) {
 		}
 
 		if tr.Validation != nil {
-			for i := range valPreds {
-				valPreds[i] += tn.Predict(tr.Validation.Row(i))
+			eng, err := tr.scoreEngine([]*tree.Tree{tn}, 0)
+			if err != nil {
+				return nil, fmt.Errorf("core: compiling tree %d scorer: %w", t, err)
 			}
+			eng.PredictBatchInto(tr.Validation, valScratch)
+			tr.pool.For(len(valPreds), parallel.RowChunk, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					valPreds[i] += valScratch[i]
+				}
+			})
 			vl := loss.MeanLoss(lf, tr.Validation.Labels, valPreds)
 			if vl < bestLoss-1e-12 {
 				bestLoss = vl
@@ -237,32 +279,65 @@ func (tr *Trainer) Train() (*Model, error) {
 
 // weightedCandidates proposes per-feature split candidates from hessian-
 // weighted sketches over the current iteration's second-order gradients.
+// Rows are cut into the fixed parallel.SketchChunk grid; each chunk builds
+// its own per-feature sketches and the chunk partials merge in ascending
+// chunk order, so the sketch content depends only on the grid, never on the
+// worker count.
 func (tr *Trainer) weightedCandidates(hess []float64) []sketch.Candidates {
 	m := tr.data.NumFeatures
-	sketches := make([]*sketch.WeightedGK, m)
+	n := tr.data.NumRows()
 	eps := tr.cfg.sketchEps()
-	for i := 0; i < tr.data.NumRows(); i++ {
-		in := tr.data.Row(i)
-		w := hess[i]
-		for j, f := range in.Indices {
-			s := sketches[f]
-			if s == nil {
-				s = sketch.NewWeightedGK(eps)
-				sketches[f] = s
+	sketches := make([]*sketch.WeightedGK, m)
+	parallel.ReduceOrdered(tr.pool, n, parallel.SketchChunk,
+		func(_, lo, hi int) []*sketch.WeightedGK {
+			part := make([]*sketch.WeightedGK, m)
+			for i := lo; i < hi; i++ {
+				in := tr.data.Row(i)
+				w := hess[i]
+				for j, f := range in.Indices {
+					s := part[f]
+					if s == nil {
+						s = sketch.NewWeightedGK(eps)
+						part[f] = s
+					}
+					s.Insert(float64(in.Values[j]), w)
+				}
 			}
-			s.Insert(float64(in.Values[j]), w)
-		}
-	}
+			return part
+		},
+		func(_ int, part []*sketch.WeightedGK) {
+			for f, s := range part {
+				if s == nil {
+					continue
+				}
+				if sketches[f] == nil {
+					sketches[f] = s
+				} else {
+					sketches[f].Merge(s)
+				}
+			}
+		})
 	out := make([]sketch.Candidates, m)
-	for f, s := range sketches {
-		out[f] = sketch.ProposeWeighted(s, tr.cfg.NumCandidates)
-	}
+	tr.pool.For(m, 256, func(lo, hi int) {
+		for f := lo; f < hi; f++ {
+			out[f] = sketch.ProposeWeighted(sketches[f], tr.cfg.NumCandidates)
+		}
+	})
 	return out
 }
 
 // nodeState tracks the gradient sums of one active tree node.
 type nodeState struct {
 	g, h float64
+}
+
+// splitTask carries one buildable node through a layer's three phases:
+// its histogram is built in BUILD_HISTOGRAM, scanned in FIND_SPLIT, and the
+// winning split applied in SPLIT_TREE.
+type splitTask struct {
+	node int
+	st   nodeState
+	h    *histogram.Histogram
 }
 
 // growTree builds one regression tree layer by layer (§4.4 BUILD_HISTOGRAM →
@@ -327,7 +402,7 @@ func (tr *Trainer) growTree(treeIdx int, layout *histogram.Layout, grad, hess, p
 	var binned *histogram.Binned
 	if !cfg.NoBinning {
 		bs := time.Now()
-		binned = histogram.NewBinned(tr.data, layout, cfg.Parallelism)
+		binned = histogram.NewBinned(tr.data, layout, tr.pool.Workers())
 		bd := time.Since(bs)
 		tr.Times.BuildHist += bd
 		m.spans.Record(-1, treeIdx, -1, "binning", bs, bd)
@@ -336,7 +411,7 @@ func (tr *Trainer) growTree(treeIdx int, layout *histogram.Layout, grad, hess, p
 	active := []int{0}
 	pool := histogram.NewPool(layout)
 	buildOpts := histogram.BuildOptions{
-		Parallelism: cfg.Parallelism,
+		Parallelism: tr.pool.Workers(),
 		BatchSize:   cfg.BatchSize,
 		Dense:       cfg.DenseBuild,
 		Pool:        pool,
@@ -352,18 +427,24 @@ func (tr *Trainer) growTree(treeIdx int, layout *histogram.Layout, grad, hess, p
 		curHists = map[int]*histogram.Histogram{}
 	}
 
+	numPos := layout.NumFeatures()
+	ranges := (numPos + parallel.PosChunk - 1) / parallel.PosChunk
+
 	for depth := 0; depth < cfg.MaxDepth && len(active) > 0; depth++ {
 		var next []int
 		layerStart := time.Now()
-		var buildD, findD, splitD time.Duration
 		atMax := depth == cfg.MaxDepth-1
+
+		// BUILD_HISTOGRAM: nodes in order; each build fans out over its row
+		// batches internally (histogram.Build* through the shared machinery).
+		bs := time.Now()
+		var tasks []splitTask
 		for _, node := range active {
 			st := states[node]
 			if atMax || idxCount(idx, nodeOf, node) == 0 {
 				tn.SetLeaf(node, cfg.LearningRate*LeafWeight(st.g, st.h, cfg.Lambda))
 				continue
 			}
-			bs := time.Now()
 			h := pool.Get()
 			derived := false
 			// Deriving costs O(TotalBuckets); only cheaper than a direct
@@ -389,48 +470,71 @@ func (tr *Trainer) growTree(treeIdx int, layout *histogram.Layout, grad, hess, p
 			if cfg.HistSubtraction {
 				curHists[node] = h
 			}
-			bd := time.Since(bs)
-			tr.Times.BuildHist += bd
-			buildD += bd
+			tasks = append(tasks, splitTask{node, st, h})
+		}
+		buildD := time.Since(bs)
+		tr.Times.BuildHist += buildD
 
-			fs := time.Now()
-			split := FindSplit(h, st.g, st.h, cfg.Lambda, cfg.Gamma, cfg.MinChildHessian)
-			fd := time.Since(fs)
-			tr.Times.FindSplit += fd
-			findD += fd
-			if !cfg.HistSubtraction {
-				pool.Put(h) // h is dead past FindSplit; recycle immediately
+		// FIND_SPLIT: Algorithm 1 fanned out over (node × feature-range)
+		// tasks; each node's partial bests fold in ascending range order
+		// (BestOf), so the chosen split is worker-count-independent.
+		fs := time.Now()
+		splits := make([]Split, len(tasks))
+		if len(tasks) > 0 && ranges > 0 {
+			bests := make([]Split, len(tasks)*ranges)
+			tr.pool.Tasks(len(bests), func(j int) {
+				t := &tasks[j/ranges]
+				pLo := (j % ranges) * parallel.PosChunk
+				pHi := min(pLo+parallel.PosChunk, numPos)
+				bests[j] = FindSplitRange(t.h, pLo, pHi, t.st.g, t.st.h, cfg.Lambda, cfg.Gamma, cfg.MinChildHessian)
+			})
+			for ti := range tasks {
+				splits[ti] = BestOf(bests[ti*ranges : (ti+1)*ranges]...)
 			}
+		}
+		findD := time.Since(fs)
+		tr.Times.FindSplit += findD
+		if !cfg.HistSubtraction {
+			for _, t := range tasks {
+				pool.Put(t.h) // dead past FIND_SPLIT; recycle immediately
+			}
+		}
 
+		// SPLIT_TREE: apply the winning splits; each node's partition fans
+		// out over row chunks (stable concatenation, see Index.SplitStable).
+		ss := time.Now()
+		for ti := range tasks {
+			t := &tasks[ti]
+			split := splits[ti]
 			if !split.Found {
-				tn.SetLeaf(node, cfg.LearningRate*LeafWeight(st.g, st.h, cfg.Lambda))
+				tn.SetLeaf(t.node, cfg.LearningRate*LeafWeight(t.st.g, t.st.h, cfg.Lambda))
 				continue
 			}
-
-			ss := time.Now()
-			tn.SetSplit(node, split.Feature, split.Value, split.Gain)
+			tn.SetSplit(t.node, split.Feature, split.Value, split.Gain)
 			goLeft := SplitPredicate(tr.data, binned, layout, split)
-			idx.Split(node, goLeft)
+			idx.SplitStable(t.node, goLeft, tr.pool)
 			if cfg.NoNodeIndex {
-				l, r := int32(tree.Left(node)), int32(tree.Right(node))
-				for i := 0; i < n; i++ {
-					if nodeOf[i] == int32(node) {
-						if goLeft(int32(i)) {
-							nodeOf[i] = l
-						} else {
-							nodeOf[i] = r
+				l, r := int32(tree.Left(t.node)), int32(tree.Right(t.node))
+				nd := int32(t.node)
+				tr.pool.For(n, parallel.RowChunk, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						if nodeOf[i] == nd {
+							if goLeft(int32(i)) {
+								nodeOf[i] = l
+							} else {
+								nodeOf[i] = r
+							}
 						}
 					}
-				}
+				})
 			}
-			sd := time.Since(ss)
-			tr.Times.SplitTree += sd
-			splitD += sd
-
-			states[tree.Left(node)] = nodeState{split.LeftG, split.LeftH}
-			states[tree.Right(node)] = nodeState{split.RightG, split.RightH}
-			next = append(next, tree.Left(node), tree.Right(node))
+			states[tree.Left(t.node)] = nodeState{split.LeftG, split.LeftH}
+			states[tree.Right(t.node)] = nodeState{split.RightG, split.RightH}
+			next = append(next, tree.Left(t.node), tree.Right(t.node))
 		}
+		splitD := time.Since(ss)
+		tr.Times.SplitTree += splitD
+
 		if cfg.HistSubtraction {
 			// keep only the histograms of nodes that actually split — the
 			// next layer subtracts against them; everything evicted goes
@@ -462,22 +566,38 @@ func (tr *Trainer) growTree(treeIdx int, layout *histogram.Layout, grad, hess, p
 	}
 
 	if sampling {
-		// rows outside the subsample never entered the index; route them
-		// through the finished tree instead
-		for i := 0; i < n; i++ {
-			preds[i] += tn.Predict(tr.data.Row(i))
+		// rows outside the subsample never entered the index; score every
+		// row through a compiled engine over the finished tree instead
+		eng, err := tr.scoreEngine([]*tree.Tree{tn}, 0)
+		if err != nil {
+			return nil, fmt.Errorf("core: compiling tree scorer: %w", err)
 		}
+		if tr.predScratch == nil {
+			tr.predScratch = make([]float64, n)
+		}
+		scratch := tr.predScratch
+		eng.PredictBatchInto(tr.data, scratch)
+		tr.pool.For(n, parallel.RowChunk, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				preds[i] += scratch[i]
+			}
+		})
 		return tn, nil
 	}
-	// Update predictions leaf by leaf using the index ranges.
+	// Update predictions leaf by leaf using the index ranges, chunked over
+	// each leaf's rows.
 	for node := range tn.Nodes {
 		nd := &tn.Nodes[node]
 		if !nd.Used || !nd.Leaf || nd.Weight == 0 {
 			continue
 		}
-		for _, r := range rowsFor(node) {
-			preds[r] += nd.Weight
-		}
+		rows := rowsFor(node)
+		w := nd.Weight
+		tr.pool.For(len(rows), parallel.RowChunk, func(lo, hi int) {
+			for _, r := range rows[lo:hi] {
+				preds[r] += w
+			}
+		})
 	}
 	return tn, nil
 }
@@ -488,7 +608,9 @@ func (tr *Trainer) growTree(treeIdx int, layout *histogram.Layout, grad, hess, p
 // exactly, and by the bucket semantics (bucket k holds values <= Cuts[k],
 // values above every cut land in the last, never-proposed bucket) the two
 // predicates partition rows identically — so binned and float training
-// produce bit-identical models.
+// produce bit-identical models. The returned predicate only reads shared
+// state and is safe for concurrent use (SplitStable calls it from every
+// pool worker).
 func SplitPredicate(d *dataset.Dataset, binned *histogram.Binned, layout *histogram.Layout, split Split) func(r int32) bool {
 	f, v := int(split.Feature), split.Value
 	if binned == nil {

@@ -34,6 +34,11 @@ func (s Scale) rows(base int) int {
 	return n
 }
 
+// Parallelism, when positive, overrides the training pool size every
+// experiment config uses (dimboost-bench -parallelism). Timings change;
+// trained models do not — the pool is bit-deterministic at any size.
+var Parallelism int
+
 // expConfig is the shared hyper-parameter protocol of the experiments
 // (§7.1, with K and depth trimmed to laptop scale).
 func expConfig() core.Config {
@@ -43,6 +48,9 @@ func expConfig() core.Config {
 	cfg.NumCandidates = 12
 	cfg.Parallelism = 1 // the experiment host has a single core
 	cfg.LearningRate = 0.1
+	if Parallelism > 0 {
+		cfg.Parallelism = Parallelism
+	}
 	return cfg
 }
 

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"dimboost/internal/core"
+)
+
+// TrainParallelLevel is one parallelism setting's measured run: total wall
+// time plus the per-phase breakdown accumulated by the trainer.
+type TrainParallelLevel struct {
+	Parallelism int
+	Total       time.Duration
+	Phases      core.PhaseTimes
+}
+
+// TrainParallelResult reports single-machine training of the same dataset
+// at increasing pool sizes. Models are verified bit-identical across all
+// levels before timings are reported — the speedup column measures the
+// chunked pool, never a different model.
+type TrainParallelResult struct {
+	Rows       int
+	Features   int
+	Trees      int
+	GOMAXPROCS int
+	Levels     []TrainParallelLevel
+}
+
+// TrainParallel times the training loop through the shared chunked worker
+// pool at Parallelism 1/2/4/8 on a Gender-shaped sparse dataset. Because the
+// chunk grid and reduction order are fixed (DESIGN.md §11), every level must
+// produce the bit-identical model; the run fails loudly if any threshold or
+// leaf weight differs. Wall-clock speedup is bounded by GOMAXPROCS — on a
+// single-core host all levels time alike and only the determinism claim is
+// exercised.
+func TrainParallel(w io.Writer, scale Scale) (*TrainParallelResult, error) {
+	rows := scale.rows(12_000)
+	const features = 10_000
+	d := genderScaled(rows, features, 53)
+
+	cfg := expConfig()
+	cfg.NumTrees = 5
+	cfg.MaxDepth = 5
+
+	res := &TrainParallelResult{
+		Rows: d.NumRows(), Features: features, Trees: cfg.NumTrees,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	var ref *core.Model
+	for _, p := range []int{1, 2, 4, 8} {
+		c := cfg
+		c.Parallelism = p
+		tr, err := core.NewTrainer(d, c)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		m, err := tr.Train()
+		if err != nil {
+			return nil, err
+		}
+		total := time.Since(start)
+		if ref == nil {
+			ref = m
+		} else if err := sameModelBits(ref, m); err != nil {
+			return nil, fmt.Errorf("train-parallel: parallelism=%d model diverged: %w", p, err)
+		}
+		res.Levels = append(res.Levels, TrainParallelLevel{Parallelism: p, Total: total, Phases: tr.Times})
+	}
+
+	section(w, fmt.Sprintf("Training parallelism — chunked pool, bit-identical models (%d×%d, %d trees, GOMAXPROCS=%d)",
+		res.Rows, res.Features, res.Trees, res.GOMAXPROCS))
+	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s %10s %10s %8s\n",
+		"parallelism", "total", "grad", "sketch", "build", "find", "split", "speedup")
+	base := res.Levels[0].Total
+	for _, l := range res.Levels {
+		fmt.Fprintf(w, "%-12d %10s %10s %10s %10s %10s %10s %7.2fx\n",
+			l.Parallelism, fmtDur(l.Total),
+			fmtDur(l.Phases.Gradients), fmtDur(l.Phases.Sketch), fmtDur(l.Phases.BuildHist),
+			fmtDur(l.Phases.FindSplit), fmtDur(l.Phases.SplitTree),
+			float64(base)/float64(l.Total))
+	}
+	fmt.Fprintln(w, "models verified bit-identical across all parallelism levels.")
+	return res, nil
+}
+
+// sameModelBits demands Float64bits equality on every node of every tree.
+func sameModelBits(a, b *core.Model) error {
+	if math.Float64bits(a.BaseScore) != math.Float64bits(b.BaseScore) {
+		return fmt.Errorf("base score %v != %v", b.BaseScore, a.BaseScore)
+	}
+	if len(a.Trees) != len(b.Trees) {
+		return fmt.Errorf("%d trees != %d", len(b.Trees), len(a.Trees))
+	}
+	for ti := range a.Trees {
+		an, bn := a.Trees[ti].Nodes, b.Trees[ti].Nodes
+		if len(an) != len(bn) {
+			return fmt.Errorf("tree %d: %d nodes != %d", ti, len(bn), len(an))
+		}
+		for ni := range an {
+			x, y := an[ni], bn[ni]
+			if x.Used != y.Used || x.Leaf != y.Leaf || x.Feature != y.Feature ||
+				math.Float64bits(x.Value) != math.Float64bits(y.Value) ||
+				math.Float64bits(x.Weight) != math.Float64bits(y.Weight) {
+				return fmt.Errorf("tree %d node %d: %+v != %+v", ti, ni, y, x)
+			}
+		}
+	}
+	return nil
+}

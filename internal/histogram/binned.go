@@ -2,9 +2,9 @@ package histogram
 
 import (
 	"sort"
-	"sync"
 
 	"dimboost/internal/dataset"
+	"dimboost/internal/parallel"
 )
 
 // Binned is a quantized CSR mirror of a dataset restricted to a Layout's
@@ -67,9 +67,11 @@ func (b *Binned) Bin(r int, p int32) int {
 const maxNarrowBuckets = 256
 
 // NewBinned quantizes every sampled-feature nonzero of d into its histogram
-// bin under the layout, in parallel over row chunks. The result is reused
-// across all nodes and layers of one tree; the quantization pays the
-// per-nonzero binary search exactly once instead of once per layer.
+// bin under the layout, in parallel over row chunks (each row's entries are
+// computed independently, so the result is the same at any parallelism;
+// values < 1 mean runtime.GOMAXPROCS(0)). The result is reused across all
+// nodes and layers of one tree; the quantization pays the per-nonzero binary
+// search exactly once instead of once per layer.
 func NewBinned(d *dataset.Dataset, l *Layout, parallelism int) *Binned {
 	n := d.NumRows()
 	b := &Binned{Layout: l, RowPtr: make([]int64, n+1)}
@@ -81,36 +83,10 @@ func NewBinned(d *dataset.Dataset, l *Layout, parallelism int) *Binned {
 		}
 	}
 
-	if parallelism < 1 {
-		parallelism = 1
-	}
-	if parallelism > n {
-		parallelism = n
-	}
-	chunk := func(w int) (lo, hi int) {
-		lo = w * n / parallelism
-		hi = (w + 1) * n / parallelism
-		return
-	}
-	parallel := func(f func(lo, hi int)) {
-		if parallelism == 1 {
-			f(0, n)
-			return
-		}
-		var wg sync.WaitGroup
-		for w := 0; w < parallelism; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				lo, hi := chunk(w)
-				f(lo, hi)
-			}(w)
-		}
-		wg.Wait()
-	}
+	pl := parallel.New(parallelism)
 
 	// Pass 1: count each row's sampled nonzeros into RowPtr[r+1].
-	parallel(func(lo, hi int) {
+	pl.For(n, parallel.RowChunk, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			in := d.Row(r)
 			kept := int64(0)
@@ -134,7 +110,7 @@ func NewBinned(d *dataset.Dataset, l *Layout, parallelism int) *Binned {
 	} else {
 		b.Bins8 = make([]uint8, nnz)
 	}
-	parallel(func(lo, hi int) {
+	pl.For(n, parallel.RowChunk, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			in := d.Row(r)
 			at := b.RowPtr[r]

@@ -1,9 +1,8 @@
 package histogram
 
 import (
-	"sync"
-
 	"dimboost/internal/dataset"
+	"dimboost/internal/parallel"
 )
 
 // BuildDense is the traditional histogram construction the paper uses as a
@@ -138,7 +137,9 @@ func buildDenseBins[T uint8 | uint16](h *Histogram, b *Binned, bins []T, rows []
 // BuildOptions control the parallel batch construction of §5.2.
 type BuildOptions struct {
 	// Parallelism is the number of builder goroutines (the paper's q
-	// threads). Values < 1 mean 1.
+	// threads). Values < 1 mean runtime.GOMAXPROCS(0). The result is
+	// bit-identical for every value: the batch grid and the merge order
+	// depend only on BatchSize.
 	Parallelism int
 	// BatchSize is the number of instances per batch (the paper's b).
 	// Values < 1 use a default of 4096.
@@ -153,9 +154,6 @@ type BuildOptions struct {
 }
 
 func (o BuildOptions) normalized() BuildOptions {
-	if o.Parallelism < 1 {
-		o.Parallelism = 1
-	}
 	if o.BatchSize < 1 {
 		o.BatchSize = 4096
 	}
@@ -164,10 +162,11 @@ func (o BuildOptions) normalized() BuildOptions {
 
 // Build constructs the histogram of one tree node over the given rows using
 // the parallel batch method: the row range is cut into batches of
-// opts.BatchSize, worker w builds batches w, w+workers, … into a partial
-// histogram, and the partials are merged in worker order. The static batch
-// assignment makes the accumulation order — and therefore the result —
-// deterministic for a given (rows, opts); with Parallelism == 1 it is
+// opts.BatchSize forming a fixed grid, every batch accumulates into its own
+// partial histogram, and the partials are merged in ascending batch order
+// (parallel.ReduceOrdered). Both the grid and the merge order are functions
+// of (rows, BatchSize) alone, so the result is bit-identical for every
+// Parallelism; a single-batch range builds directly into h, which is then
 // bit-identical to BuildSparse/BuildDense.
 func Build(h *Histogram, d *dataset.Dataset, rows []int32, grad, hess []float64, opts BuildOptions) {
 	build := BuildSparse
@@ -193,46 +192,32 @@ func BuildBinned(h *Histogram, b *Binned, rows []int32, grad, hess []float64, op
 }
 
 // buildParallel runs the shared batching/merging machinery over any
-// per-batch builder. Partial histograms come from opts.Pool when set.
+// per-batch builder. Partial histograms come from opts.Pool when set; eager
+// prefix merging recycles each partial as soon as it is folded in, so a
+// sequential run cycles a single pooled partial.
 func buildParallel(h *Histogram, rows []int32, opts BuildOptions, build func(part *Histogram, batch []int32)) {
 	opts = opts.normalized()
 	nBatches := (len(rows) + opts.BatchSize - 1) / opts.BatchSize
-	if opts.Parallelism == 1 || nBatches <= 1 {
+	if nBatches <= 1 {
 		build(h, rows)
 		return
 	}
-	workers := opts.Parallelism
-	if workers > nBatches {
-		workers = nBatches
-	}
-	partials := make([]*Histogram, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
+	p := parallel.New(opts.Parallelism)
+	parallel.ReduceOrdered(p, len(rows), opts.BatchSize,
+		func(_, lo, hi int) *Histogram {
 			var part *Histogram
 			if opts.Pool != nil {
 				part = opts.Pool.Get()
 			} else {
 				part = New(h.Layout)
 			}
-			for bi := w; bi < nBatches; bi += workers {
-				lo := bi * opts.BatchSize
-				hi := lo + opts.BatchSize
-				if hi > len(rows) {
-					hi = len(rows)
-				}
-				build(part, rows[lo:hi])
+			build(part, rows[lo:hi])
+			return part
+		},
+		func(_ int, part *Histogram) {
+			h.Add(part)
+			if opts.Pool != nil {
+				opts.Pool.Put(part)
 			}
-			partials[w] = part
-		}(w)
-	}
-	wg.Wait()
-	for _, part := range partials {
-		h.Add(part)
-		if opts.Pool != nil {
-			opts.Pool.Put(part)
-		}
-	}
+		})
 }

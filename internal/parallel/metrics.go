@@ -1,0 +1,34 @@
+package parallel
+
+import (
+	"sync"
+
+	"dimboost/internal/obs"
+)
+
+// poolObs groups the pool's observability instruments: chunk-grain task
+// throughput, how often dynamic claiming deviated from the static
+// round-robin assignment (i.e. rebalanced work), and the configured worker
+// bound of the most recently constructed pool.
+type poolObs struct {
+	tasks   *obs.Counter
+	steals  *obs.Counter
+	workers *obs.Gauge
+}
+
+var (
+	poOnce sync.Once
+	poInst *poolObs
+)
+
+func poolMetrics() *poolObs {
+	poOnce.Do(func() {
+		r := obs.Default()
+		poInst = &poolObs{
+			tasks:   r.Counter("dimboost_parallel_tasks_total", "Chunks executed by the shared training worker pool."),
+			steals:  r.Counter("dimboost_parallel_steals_total", "Chunks claimed off their static round-robin owner (dynamic rebalancing)."),
+			workers: r.Gauge("dimboost_parallel_workers", "Worker bound of the most recently constructed training pool (resolved Config.Parallelism)."),
+		}
+	})
+	return poInst
+}

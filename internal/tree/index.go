@@ -1,15 +1,23 @@
 package tree
 
-import "fmt"
+import (
+	"fmt"
+
+	"dimboost/internal/parallel"
+)
 
 // Index is the node-to-instance index of §5.2: a single permutation array of
 // instance ids plus a [lo, hi) range per tree node. Splitting a node
-// partitions its range in place with a two-directional scan-and-swap, so
-// histogram builders can read a node's instances contiguously without
-// scanning the dataset.
+// partitions its range stably — left-going instances keep their relative
+// order, then right-going ones keep theirs — so a node's rows stay in
+// ascending instance order forever. Stability is what makes the partition
+// chunkable: per-chunk partitions concatenated in chunk order give exactly
+// the sequential result, independent of how many workers ran them
+// (DESIGN.md invariant 15).
 type Index struct {
-	pos    []int32
-	lo, hi []int32
+	pos     []int32
+	lo, hi  []int32
+	scratch []int32 // partition staging, lazily allocated, len(pos)
 }
 
 // NewIndex creates an index over n instances for a tree with maxNodes slots;
@@ -69,31 +77,117 @@ func (x *Index) Count(node int) int {
 
 // Split partitions node's instances by goLeft: instances for which goLeft
 // returns true move to the front of the range (child Left(node)), the rest
-// to the back (child Right(node)). It returns the two child sizes.
+// to the back (child Right(node)), each group keeping its relative order.
+// It returns the two child sizes.
 func (x *Index) Split(node int, goLeft func(row int32) bool) (nLeft, nRight int) {
+	return x.SplitStable(node, goLeft, nil)
+}
+
+// SplitStable is Split with the partition work spread over p's workers: the
+// node's range is cut into the fixed parallel.RowChunk grid, every chunk is
+// partitioned independently into the staging buffer (goLeft is called
+// exactly once per row and must be safe for concurrent use), and the chunk
+// results are concatenated in chunk order. Because the partition is stable,
+// the concatenation equals the sequential partition bit for bit, for every
+// worker count. A nil pool runs sequentially.
+func (x *Index) SplitStable(node int, goLeft func(row int32) bool, p *parallel.Pool) (nLeft, nRight int) {
 	l, r := x.lo[node], x.hi[node]
 	if l < 0 {
 		panic(fmt.Sprintf("tree: splitting unset node %d", node))
 	}
-	i, j := l, r-1
-	for i <= j {
-		for i <= j && goLeft(x.pos[i]) {
-			i++
-		}
-		for i <= j && !goLeft(x.pos[j]) {
-			j--
-		}
-		if i < j {
-			x.pos[i], x.pos[j] = x.pos[j], x.pos[i]
-			i++
-			j--
-		}
+	n := int(r - l)
+	chunks := (n + parallel.RowChunk - 1) / parallel.RowChunk
+	var mid int32
+	if p == nil || p.Workers() == 1 || chunks <= 1 {
+		mid = x.stablePartition(l, r, goLeft)
+	} else {
+		mid = x.stablePartitionParallel(l, r, chunks, goLeft, p)
 	}
-	mid := i
 	left, right := Left(node), Right(node)
 	x.lo[left], x.hi[left] = l, mid
 	x.lo[right], x.hi[right] = mid, r
 	return int(mid - l), int(r - mid)
+}
+
+// stablePartition partitions pos[l:r) by goLeft in place, preserving the
+// relative order of both groups, and returns the boundary: lefts are
+// compacted forward while rights stage in scratch and are copied back.
+func (x *Index) stablePartition(l, r int32, goLeft func(row int32) bool) int32 {
+	s := x.ensureScratch()
+	w := l
+	k := 0
+	for i := l; i < r; i++ {
+		row := x.pos[i]
+		if goLeft(row) {
+			x.pos[w] = row
+			w++
+		} else {
+			s[k] = row
+			k++
+		}
+	}
+	copy(x.pos[w:r], s[:k])
+	return w
+}
+
+// stablePartitionParallel is stablePartition over the fixed RowChunk grid.
+// Pass 1 partitions each chunk into its own slice of the staging buffer
+// (lefts forward from the chunk start, rights backward from the chunk end,
+// i.e. reversed). Pass 2 computes per-chunk destination offsets from the
+// left counts. Pass 3 copies every chunk's lefts and (re-reversed) rights to
+// their final positions. All passes write disjoint ranges, and the result is
+// defined purely by the grid, so any worker count produces the same
+// permutation.
+func (x *Index) stablePartitionParallel(l, r int32, chunks int, goLeft func(row int32) bool, p *parallel.Pool) int32 {
+	s := x.ensureScratch()
+	n := int(r - l)
+	nL := make([]int32, chunks)
+	p.ForChunks(n, parallel.RowChunk, func(c, lo, hi int) {
+		a, b := l+int32(lo), l+int32(hi)
+		w, e := a, b-1
+		for i := a; i < b; i++ {
+			row := x.pos[i]
+			if goLeft(row) {
+				s[w] = row
+				w++
+			} else {
+				s[e] = row
+				e--
+			}
+		}
+		nL[c] = w - a
+	})
+	leftAt := make([]int32, chunks)
+	rightAt := make([]int32, chunks)
+	at := l
+	for c, cl := range nL {
+		leftAt[c] = at
+		at += cl
+	}
+	mid := at
+	for c, cl := range nL {
+		rightAt[c] = at
+		hi := min(int32(c+1)*parallel.RowChunk, int32(n))
+		at += hi - int32(c)*parallel.RowChunk - cl
+	}
+	p.ForChunks(n, parallel.RowChunk, func(c, lo, hi int) {
+		a, b := l+int32(lo), l+int32(hi)
+		copy(x.pos[leftAt[c]:], s[a:a+nL[c]])
+		w := rightAt[c]
+		for i := b - 1; i >= a+nL[c]; i-- {
+			x.pos[w] = s[i]
+			w++
+		}
+	})
+	return mid
+}
+
+// ensureScratch returns the staging buffer, allocating it on first use.
+func (x *Index) ensureScratch() []int32 {
+	if x.scratch == nil {
+		x.scratch = make([]int32, len(x.pos))
+	}
+	return x.scratch
 }
 
 // Len returns the total number of indexed instances.

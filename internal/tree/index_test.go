@@ -1,0 +1,102 @@
+package tree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dimboost/internal/parallel"
+)
+
+func TestSplitIsStable(t *testing.T) {
+	idx := NewIndex(10, MaxNodes(3))
+	even := func(r int32) bool { return r%2 == 0 }
+	nl, nr := idx.Split(0, even)
+	if nl != 5 || nr != 5 {
+		t.Fatalf("split sizes %d/%d, want 5/5", nl, nr)
+	}
+	wantL := []int32{0, 2, 4, 6, 8}
+	wantR := []int32{1, 3, 5, 7, 9}
+	if got := idx.Rows(Left(0)); !reflect.DeepEqual(got, wantL) {
+		t.Fatalf("left rows %v, want %v (stable order)", got, wantL)
+	}
+	if got := idx.Rows(Right(0)); !reflect.DeepEqual(got, wantR) {
+		t.Fatalf("right rows %v, want %v (stable order)", got, wantR)
+	}
+}
+
+// TestSplitStableMatchesSequential drives random multi-level splits through
+// pools of every size and demands the exact permutation the sequential
+// partition produces — the property the trainer's bit-identity rests on.
+func TestSplitStableMatchesSequential(t *testing.T) {
+	const n = 50_000 // several RowChunk-sized chunks
+	preds := make([]func(r int32) bool, 0, 3)
+	rng := rand.New(rand.NewSource(7))
+	salt := rng.Int31()
+	preds = append(preds,
+		func(r int32) bool { return (r^salt)%3 != 0 },
+		func(r int32) bool { return (r*1597334677)%100 < 37 },
+		func(r int32) bool { return r%2 == 0 },
+	)
+
+	runSplits := func(p *parallel.Pool) *Index {
+		idx := NewIndex(n, MaxNodes(4))
+		active := []int{0}
+		for _, pred := range preds {
+			var next []int
+			for _, node := range active {
+				if p == nil {
+					idx.Split(node, pred)
+				} else {
+					idx.SplitStable(node, pred, p)
+				}
+				next = append(next, Left(node), Right(node))
+			}
+			active = next
+		}
+		return idx
+	}
+
+	ref := runSplits(nil)
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		got := runSplits(parallel.New(workers))
+		if !reflect.DeepEqual(got.pos, ref.pos) {
+			t.Fatalf("workers=%d: permutation differs from sequential", workers)
+		}
+		if !reflect.DeepEqual(got.lo, ref.lo) || !reflect.DeepEqual(got.hi, ref.hi) {
+			t.Fatalf("workers=%d: node ranges differ from sequential", workers)
+		}
+	}
+}
+
+func TestSplitStableKeepsAscendingRows(t *testing.T) {
+	const n = 10_000
+	idx := NewIndex(n, MaxNodes(3))
+	p := parallel.New(4)
+	idx.SplitStable(0, func(r int32) bool { return r%7 < 3 }, p)
+	for _, node := range []int{Left(0), Right(0)} {
+		rows := idx.Rows(node)
+		for i := 1; i < len(rows); i++ {
+			if rows[i] <= rows[i-1] {
+				t.Fatalf("node %d rows not ascending at %d: %d after %d", node, i, rows[i], rows[i-1])
+			}
+		}
+	}
+}
+
+func TestSplitEmptyAndDegenerate(t *testing.T) {
+	idx := NewIndexFrom([]int32{4, 9}, MaxNodes(3))
+	// All rows go left: right child is empty.
+	nl, nr := idx.Split(0, func(int32) bool { return true })
+	if nl != 2 || nr != 0 {
+		t.Fatalf("sizes %d/%d, want 2/0", nl, nr)
+	}
+	if got := idx.Count(Right(0)); got != 0 {
+		t.Fatalf("right count %d, want 0", got)
+	}
+	// Splitting an empty node must work and yield two empty children.
+	nl, nr = idx.Split(Right(0), func(int32) bool { return false })
+	if nl != 0 || nr != 0 {
+		t.Fatalf("empty split sizes %d/%d", nl, nr)
+	}
+}
