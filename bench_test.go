@@ -352,3 +352,14 @@ func BenchmarkWeightedCandidates(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkServeOverload is the CI smoke for the serving-tier overload
+// scenario: open-loop load past a small admission window, scores verified
+// before any throughput is recorded.
+func BenchmarkServeOverload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ServeBench(io.Discard, benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -30,12 +30,15 @@ import (
 
 // timing is one machine-readable per-experiment measurement (-json).
 // Parallelism and Phases are set only by the train-parallel scenario,
-// which emits one entry per pool size with its phase breakdown.
+// which emits one entry per pool size with its phase breakdown; Stats is
+// set only by the serve scenario (throughput, shed rate, latency
+// percentiles).
 type timing struct {
 	Name        string             `json:"name"`
 	Seconds     float64            `json:"seconds"`
 	Parallelism int                `json:"parallelism,omitempty"`
 	Phases      map[string]float64 `json:"phases,omitempty"`
+	Stats       map[string]float64 `json:"stats,omitempty"`
 }
 
 // report is the -json output document; Scale makes runs comparable
@@ -183,6 +186,36 @@ func main() {
 				return err
 			})
 		},
+		"serve": func() {
+			start := time.Now()
+			res, err := experiments.ServeBench(out, s)
+			if err != nil {
+				log.Fatalf("serve: %v", err)
+			}
+			rep.Experiments = append(rep.Experiments, timing{
+				Name:    "serve-overload",
+				Seconds: time.Since(start).Seconds(),
+				Stats: map[string]float64{
+					"max_concurrent":     float64(res.MaxConcurrent),
+					"queue_depth":        float64(res.QueueDepth),
+					"service_time_ms":    float64(res.ServiceTime.Microseconds()) / 1000,
+					"capacity_rps":       res.CapacityRPS,
+					"offered_rps":        res.OfferedRPS,
+					"sent":               float64(res.Load.Sent),
+					"accepted":           float64(res.Load.Accepted),
+					"throughput_rps":     res.Load.Throughput,
+					"shed":               float64(res.Load.Shed),
+					"shed_rate":          res.Load.ShedRate,
+					"errors":             float64(res.Load.Errors),
+					"p50_ms":             float64(res.Load.P50.Microseconds()) / 1000,
+					"p95_ms":             float64(res.Load.P95.Microseconds()) / 1000,
+					"p99_ms":             float64(res.Load.P99.Microseconds()) / 1000,
+					"quota_shed_429":     float64(res.QuotaShed429),
+					"retry_after_always": boolStat(res.Load.RetryAfterOnAllSheds && res.QuotaRetryAfterOnAllShed),
+				},
+			})
+			fmt.Fprintf(out, "[serve completed in %s]\n", time.Since(start).Round(time.Millisecond))
+		},
 		"table4":  func() { run("table4", func() error { _, err := experiments.Table4(out, s); return err }) },
 		"table5":  func() { run("table5", func() error { _, err := experiments.Table5(out, s); return err }) },
 		"table6":  func() { run("table6", func() error { _, err := experiments.Table6(out, s); return err }) },
@@ -214,7 +247,7 @@ func main() {
 		},
 	}
 	if cmd == "all" {
-		for _, name := range []string{"fig1", "table1", "table3", "fig12", "table4", "table5", "table6", "fig13", "fig14", "a1", "predict", "train-parallel"} {
+		for _, name := range []string{"fig1", "table1", "table3", "fig12", "table4", "table5", "table6", "fig13", "fig14", "a1", "predict", "train-parallel", "serve"} {
 			if name == "fig12" {
 				for _, d := range []string{"rcv1", "synthesis", "gender"} {
 					*ds = d
@@ -234,6 +267,14 @@ func main() {
 	f()
 }
 
+// boolStat encodes a boolean into the numeric stats map.
+func boolStat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: dimboost-bench [flags] <experiment>
 
@@ -250,6 +291,7 @@ experiments:
   a1       unbiasedness of low-precision histograms
   predict  serving path: interpreted vs compiled inference engine
   train-parallel  training pool at parallelism 1/2/4/8, per-phase times, bit-identity check
+  serve    overload admission: open-loop load past capacity, shed rate + latency percentiles
   all      everything, in paper order
 
 -cpuprofile/-memprofile write pprof profiles; -json writes per-experiment

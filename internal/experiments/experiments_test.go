@@ -242,3 +242,29 @@ func TestA1(t *testing.T) {
 		t.Fatal("error step should shrink with bit width")
 	}
 }
+
+func TestServeBenchQuick(t *testing.T) {
+	res, err := ServeBench(io.Discard, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ScoresVerified {
+		t.Fatal("scores not verified")
+	}
+	l := res.Load
+	if l.Sent == 0 {
+		t.Fatal("no load sent")
+	}
+	if l.Accepted+l.Shed+l.Errors != l.Sent {
+		t.Fatalf("accepted %d + shed %d + errors %d != sent %d", l.Accepted, l.Shed, l.Errors, l.Sent)
+	}
+	if l.Shed > 0 && !l.RetryAfterOnAllSheds {
+		t.Fatal("a shed response was missing Retry-After")
+	}
+	if l.Accepted > 0 && (l.P50 <= 0 || l.P99 < l.P50) {
+		t.Fatalf("bad percentiles: p50 %s p99 %s", l.P50, l.P99)
+	}
+	if res.QuotaShed429 == 0 || !res.QuotaRetryAfterOnAllShed {
+		t.Fatalf("quota pass: %d 429s, retry-after %v", res.QuotaShed429, res.QuotaRetryAfterOnAllShed)
+	}
+}

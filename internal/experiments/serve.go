@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"dimboost/internal/core"
+	"dimboost/internal/loadgen"
+	"dimboost/internal/serve"
+)
+
+// ServeBenchResult is the overload scenario's record: the measured
+// capacity of a deliberately small admission window, then an open-loop
+// run at ~4× that capacity. A healthy admission layer keeps accepted
+// latency near the unloaded service time and sheds the excess with
+// 429/503 + Retry-After; a broken one lets latency and in-flight work
+// grow without bound.
+type ServeBenchResult struct {
+	Rows, Features, Trees    int
+	BatchPerRequest          int
+	MaxConcurrent            int
+	QueueDepth               int
+	QueueTimeout             time.Duration
+	ServiceTime              time.Duration // unloaded per-request latency (closed loop)
+	CapacityRPS              float64       // MaxConcurrent / ServiceTime
+	OfferedRPS               float64       // open-loop arrival rate
+	Load                     *loadgen.Result
+	ScoresVerified           bool
+	QuotaShed429             int // sheds from the second, quota-limited pass
+	QuotaRetryAfterOnAllShed bool
+}
+
+// ServeBench trains a model, fronts it with a small admission window, and
+// drives open-loop load past capacity — the serving-tier counterpart of
+// the training fault-injection scenarios. Two passes: a saturation pass
+// (limiter shedding 503s) and a quota pass (a starved tenant shedding
+// 429s), both recording the Retry-After contract.
+func ServeBench(w io.Writer, scale Scale) (*ServeBenchResult, error) {
+	rows := scale.rows(6000)
+	const features = 10_000
+	d := genderScaled(rows, features, 53)
+	train, test := d.Split(0.9)
+
+	cfg := expConfig()
+	cfg.NumTrees = 20
+	cfg.MaxDepth = 6
+	model, err := core.Train(train, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Request body: a fixed batch of real test rows. The batch is large on
+	// purpose: per-request service time must dominate client/scheduler
+	// overhead, or an in-process open-loop generator on a small host can
+	// never actually reach overload (arrival intervals drop below what a
+	// ticker delivers).
+	batch := 1024
+	if test.NumRows() < batch {
+		batch = test.NumRows()
+	}
+	type jsonInstance struct {
+		Indices []int32   `json:"indices"`
+		Values  []float32 `json:"values"`
+	}
+	var req struct {
+		Instances []jsonInstance `json:"instances"`
+	}
+	want := make([]float64, batch)
+	for i := 0; i < batch; i++ {
+		in := test.Row(i)
+		req.Instances = append(req.Instances, jsonInstance{Indices: in.Indices, Values: in.Values})
+		want[i] = model.Predict(in)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ServeBenchResult{
+		Rows: train.NumRows(), Features: features, Trees: len(model.Trees),
+		BatchPerRequest: batch,
+		MaxConcurrent:   2, QueueDepth: 8, QueueTimeout: 100 * time.Millisecond,
+	}
+	h := serve.New(model)
+	h.Limiter = serve.NewLimiter(serve.AdmissionConfig{
+		MaxConcurrent: res.MaxConcurrent,
+		QueueDepth:    res.QueueDepth,
+		QueueTimeout:  res.QueueTimeout,
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	url := srv.URL + "/predict"
+
+	// Correctness gate: one scored response must match the model exactly
+	// before any throughput number means anything.
+	scores, err := postPredict(url, body)
+	if err != nil {
+		return nil, err
+	}
+	for i := range want {
+		if math.Abs(scores[i]-want[i]) > 1e-9 {
+			return nil, fmt.Errorf("serve bench: score %d = %v, want %v", i, scores[i], want[i])
+		}
+	}
+	res.ScoresVerified = true
+
+	// Calibrate: closed-loop sequential requests give the unloaded service
+	// time, hence the admission window's capacity.
+	const calibration = 15
+	start := time.Now()
+	for i := 0; i < calibration; i++ {
+		if _, err := postPredict(url, body); err != nil {
+			return nil, err
+		}
+	}
+	res.ServiceTime = time.Since(start) / calibration
+	res.CapacityRPS = float64(res.MaxConcurrent) / res.ServiceTime.Seconds()
+
+	// Open-loop overload at ~4× capacity, clamped so the arrival ticker
+	// stays in a range it can actually deliver.
+	res.OfferedRPS = 4 * res.CapacityRPS
+	if res.OfferedRPS > 5000 {
+		res.OfferedRPS = 5000
+	}
+	duration := time.Duration(float64(3*time.Second) * float64(scale))
+	if duration < 300*time.Millisecond {
+		duration = 300 * time.Millisecond
+	}
+	load, err := loadgen.Run(context.Background(), loadgen.Config{
+		URL:      url,
+		Rate:     res.OfferedRPS,
+		Duration: duration,
+		Body:     body,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Load = load
+
+	// Quota pass: a tenant with a near-empty bucket against the same
+	// server; everything past the burst sheds as 429 + Retry-After.
+	h.Quota = serve.NewQuotas(serve.QuotaConfig{Rate: 1, Burst: 3})
+	qload, err := loadgen.Run(context.Background(), loadgen.Config{
+		URL:      url,
+		Rate:     40,
+		Duration: duration / 2,
+		Body:     body,
+		Tenant:   "starved",
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.Quota = nil
+	res.QuotaShed429 = qload.Statuses[http.StatusTooManyRequests]
+	res.QuotaRetryAfterOnAllShed = qload.RetryAfterOnAllSheds
+
+	section(w, fmt.Sprintf("Serving — overload admission (%d×%d train, %d trees, %d rows/request)",
+		res.Rows, res.Features, res.Trees, res.BatchPerRequest))
+	fmt.Fprintf(w, "admission window: %d concurrent + %d queued, %s queue timeout\n",
+		res.MaxConcurrent, res.QueueDepth, res.QueueTimeout)
+	fmt.Fprintf(w, "unloaded service time %s  →  capacity ≈ %.0f req/s; offered %.0f req/s for %s\n",
+		fmtDur(res.ServiceTime), res.CapacityRPS, res.OfferedRPS, duration.Round(time.Millisecond))
+	fmt.Fprintf(w, "%-28s %12s\n", "sent", fmt.Sprint(load.Sent))
+	fmt.Fprintf(w, "%-28s %12s\n", "accepted (200)", fmt.Sprintf("%d (%.0f req/s)", load.Accepted, load.Throughput))
+	fmt.Fprintf(w, "%-28s %12s\n", "shed (429/503)", fmt.Sprintf("%d (%.1f%%)", load.Shed, 100*load.ShedRate))
+	fmt.Fprintf(w, "%-28s %12s\n", "errors", fmt.Sprint(load.Errors))
+	fmt.Fprintf(w, "%-28s %12s %12s %12s\n", "accepted latency", fmtDur(load.P50), fmtDur(load.P95), fmtDur(load.P99))
+	fmt.Fprintf(w, "%-28s %12v\n", "Retry-After on every shed", load.RetryAfterOnAllSheds)
+	fmt.Fprintf(w, "quota pass (1 req/s, burst 3): %d×429, Retry-After on all: %v\n",
+		res.QuotaShed429, res.QuotaRetryAfterOnAllShed)
+	fmt.Fprintln(w, "scores verified against the model before load; only 200s enter the percentiles.")
+	return res, nil
+}
+
+// postPredict sends one scoring request and returns the scores.
+func postPredict(url string, body []byte) ([]float64, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("predict: HTTP %d: %s", resp.StatusCode, b)
+	}
+	var out struct {
+		Scores []float64 `json:"scores"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Scores, nil
+}

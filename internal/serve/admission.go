@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Admission errors. Each maps onto one shed reason and HTTP status in the
+// predict path: the server never blocks a caller past its deadline and never
+// admits more work than the configured window.
+var (
+	// ErrQueueFull means the wait queue was at capacity on arrival (503).
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrQueueTimeout means the request waited its full queue budget without
+	// a slot freeing up (503).
+	ErrQueueTimeout = errors.New("serve: timed out waiting for admission")
+	// ErrDraining means the server is shutting down and refuses new work
+	// immediately; already-queued requests still complete (503).
+	ErrDraining = errors.New("serve: draining")
+	// ErrCanceled means the client went away while queued (no response goes
+	// out, but the slot is never leaked).
+	ErrCanceled = errors.New("serve: request canceled while queued")
+)
+
+// AdmissionConfig bounds concurrent scoring work.
+type AdmissionConfig struct {
+	// MaxConcurrent is the number of requests allowed to execute at once.
+	MaxConcurrent int
+	// QueueDepth is how many requests may wait for a slot beyond
+	// MaxConcurrent. 0 means no queue: the limit sheds immediately.
+	QueueDepth int
+	// QueueTimeout caps how long one request may wait in the queue. A
+	// request's own context deadline still applies if sooner. 0 means wait
+	// is bounded only by the request context.
+	QueueTimeout time.Duration
+}
+
+// Limiter is a concurrency limiter with a bounded, deadline-aware wait
+// queue — the admission valve in front of /predict. At most MaxConcurrent
+// requests hold a slot; up to QueueDepth more wait FIFO-ish (Go channel
+// wakeup order) for a slot; everything past that is shed immediately so
+// overload degrades into fast 503s instead of unbounded goroutine pileup.
+type Limiter struct {
+	cfg    AdmissionConfig
+	slots  chan struct{}
+	queued atomic.Int64
+}
+
+// NewLimiter returns a limiter for the given bounds. MaxConcurrent < 1 is
+// treated as 1: an admission layer that admits nothing is never useful.
+func NewLimiter(cfg AdmissionConfig) *Limiter {
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = 1
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	return &Limiter{cfg: cfg, slots: make(chan struct{}, cfg.MaxConcurrent)}
+}
+
+// Config returns the limiter's bounds.
+func (l *Limiter) Config() AdmissionConfig { return l.cfg }
+
+// Active returns the number of currently held slots.
+func (l *Limiter) Active() int { return len(l.slots) }
+
+// Queued returns the number of requests currently waiting.
+func (l *Limiter) Queued() int { return int(l.queued.Load()) }
+
+// Acquire admits the request or reports why it was shed. On success the
+// returned release func must be called exactly once when the work is done.
+// draining short-circuits new arrivals; callers already in the queue when
+// draining flips keep their place and complete.
+func (l *Limiter) Acquire(ctx context.Context, draining *atomic.Bool) (release func(), err error) {
+	if draining != nil && draining.Load() {
+		return nil, ErrDraining
+	}
+	// Fast path: a free slot, no queueing.
+	select {
+	case l.slots <- struct{}{}:
+		return l.release, nil
+	default:
+	}
+	// Claim a queue position; shed immediately when the queue is full. The
+	// CAS loop bounds waiters exactly at QueueDepth under contention.
+	for {
+		q := l.queued.Load()
+		if q >= int64(l.cfg.QueueDepth) {
+			return nil, ErrQueueFull
+		}
+		if l.queued.CompareAndSwap(q, q+1) {
+			break
+		}
+	}
+	m := serveMetrics()
+	m.queueDepth.Set(l.queued.Load())
+	start := time.Now()
+	defer func() {
+		m.queueDepth.Set(l.queued.Add(-1))
+		m.queueWait.ObserveSince(start)
+	}()
+
+	var timeout <-chan time.Time
+	if l.cfg.QueueTimeout > 0 {
+		t := time.NewTimer(l.cfg.QueueTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return l.release, nil
+	case <-timeout:
+		return nil, ErrQueueTimeout
+	case <-ctx.Done():
+		return nil, ErrCanceled
+	}
+}
+
+func (l *Limiter) release() { <-l.slots }

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLimiterBoundsConcurrency hammers a small limiter from many
+// goroutines and checks true concurrency never exceeds MaxConcurrent,
+// waiters never exceed QueueDepth, and everything either runs or sheds.
+func TestLimiterBoundsConcurrency(t *testing.T) {
+	const limit, queue, callers = 3, 5, 64
+	l := NewLimiter(AdmissionConfig{MaxConcurrent: limit, QueueDepth: queue, QueueTimeout: 2 * time.Second})
+
+	var active, maxActive, admitted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := l.Acquire(context.Background(), nil)
+			if err != nil {
+				if !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrQueueTimeout) {
+					t.Errorf("unexpected shed error: %v", err)
+				}
+				shed.Add(1)
+				return
+			}
+			defer release()
+			a := active.Add(1)
+			for {
+				m := maxActive.Load()
+				if a <= m || maxActive.CompareAndSwap(m, a) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			active.Add(-1)
+			admitted.Add(1)
+		}()
+	}
+	wg.Wait()
+
+	if got := maxActive.Load(); got > limit {
+		t.Fatalf("max concurrent %d exceeds limit %d", got, limit)
+	}
+	if admitted.Load()+shed.Load() != callers {
+		t.Fatalf("admitted %d + shed %d != %d callers", admitted.Load(), shed.Load(), callers)
+	}
+	if admitted.Load() < limit {
+		t.Fatalf("only %d admitted, want at least %d", admitted.Load(), limit)
+	}
+	if l.Active() != 0 || l.Queued() != 0 {
+		t.Fatalf("limiter not drained: active %d queued %d", l.Active(), l.Queued())
+	}
+}
+
+// TestLimiterQueueFull fills every slot and queue position, then checks
+// the next arrival sheds immediately with ErrQueueFull.
+func TestLimiterQueueFull(t *testing.T) {
+	l := NewLimiter(AdmissionConfig{MaxConcurrent: 1, QueueDepth: 1})
+	release, err := l.Acquire(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queuedUp := make(chan error, 1)
+	go func() {
+		r, err := l.Acquire(context.Background(), nil)
+		if err == nil {
+			defer r()
+		}
+		queuedUp <- err
+	}()
+	waitFor(t, func() bool { return l.Queued() == 1 })
+
+	if _, err := l.Acquire(context.Background(), nil); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("full queue: got %v, want ErrQueueFull", err)
+	}
+	release()
+	if err := <-queuedUp; err != nil {
+		t.Fatalf("queued caller: %v", err)
+	}
+}
+
+// TestLimiterQueueTimeout parks a waiter behind a stuck slot and checks
+// it sheds with ErrQueueTimeout once its queue budget runs out.
+func TestLimiterQueueTimeout(t *testing.T) {
+	l := NewLimiter(AdmissionConfig{MaxConcurrent: 1, QueueDepth: 4, QueueTimeout: 20 * time.Millisecond})
+	release, err := l.Acquire(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	start := time.Now()
+	if _, err := l.Acquire(context.Background(), nil); !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("got %v, want ErrQueueTimeout", err)
+	}
+	if waited := time.Since(start); waited < 15*time.Millisecond {
+		t.Fatalf("shed after only %s, before the queue budget", waited)
+	}
+	if l.Queued() != 0 {
+		t.Fatalf("queued %d after timeout", l.Queued())
+	}
+}
+
+// TestLimiterContextCancel checks a queued request whose client goes away
+// releases its queue position with ErrCanceled.
+func TestLimiterContextCancel(t *testing.T) {
+	l := NewLimiter(AdmissionConfig{MaxConcurrent: 1, QueueDepth: 4})
+	release, err := l.Acquire(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Acquire(ctx, nil)
+		done <- err
+	}()
+	waitFor(t, func() bool { return l.Queued() == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	if l.Queued() != 0 {
+		t.Fatalf("queued %d after cancel", l.Queued())
+	}
+}
+
+// TestLimiterDraining checks new arrivals are refused the moment draining
+// flips, while a request already queued keeps its place and completes.
+func TestLimiterDraining(t *testing.T) {
+	l := NewLimiter(AdmissionConfig{MaxConcurrent: 1, QueueDepth: 4, QueueTimeout: 2 * time.Second})
+	var draining atomic.Bool
+
+	release, err := l.Acquire(context.Background(), &draining)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queued := make(chan error, 1)
+	go func() {
+		r, err := l.Acquire(context.Background(), &draining)
+		if err == nil {
+			r()
+		}
+		queued <- err
+	}()
+	waitFor(t, func() bool { return l.Queued() == 1 })
+
+	draining.Store(true)
+	if _, err := l.Acquire(context.Background(), &draining); !errors.Is(err, ErrDraining) {
+		t.Fatalf("new arrival while draining: got %v, want ErrDraining", err)
+	}
+	release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued request must complete through drain, got %v", err)
+	}
+}
+
+// TestLimiterNoGoroutineLeak runs an overload burst and checks the
+// goroutine count settles back — shed paths must not strand waiters.
+func TestLimiterNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	l := NewLimiter(AdmissionConfig{MaxConcurrent: 2, QueueDepth: 2, QueueTimeout: 5 * time.Millisecond})
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := l.Acquire(context.Background(), nil)
+			if err == nil {
+				time.Sleep(100 * time.Microsecond)
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= before+2 })
+	if l.Active() != 0 || l.Queued() != 0 {
+		t.Fatalf("limiter state leaked: active %d queued %d", l.Active(), l.Queued())
+	}
+}
+
+// waitFor polls cond with a deadline; test helpers that need another
+// goroutine to reach a state without sleeping a fixed amount.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}

@@ -10,13 +10,17 @@ import (
 // serveObs groups the scoring server's instruments. Per-path/per-code
 // request counters are resolved through the registry on demand — the set of
 // served paths is small and fixed (unknown paths collapse to "other"), so
-// cardinality stays bounded.
+// cardinality stays bounded. Shed and rollback reasons are likewise a
+// small fixed vocabulary.
 type serveObs struct {
-	reg        *obs.Registry
-	inflight   *obs.Gauge
-	trees      *obs.Gauge
-	reloads    *obs.Counter
-	reloadErrs *obs.Counter
+	reg          *obs.Registry
+	inflight     *obs.Gauge
+	trees        *obs.Gauge
+	modelVersion *obs.Gauge
+	reloads      *obs.Counter
+	reloadErrs   *obs.Counter
+	queueDepth   *obs.Gauge
+	queueWait    *obs.Histogram
 }
 
 var (
@@ -28,11 +32,15 @@ func serveMetrics() *serveObs {
 	soOnce.Do(func() {
 		r := obs.Default()
 		soInst = &serveObs{
-			reg:        r,
-			inflight:   r.Gauge("dimboost_http_inflight", "HTTP requests currently in flight."),
-			trees:      r.Gauge("dimboost_serve_model_trees", "Trees in the currently served model."),
-			reloads:    r.Counter("dimboost_serve_reloads_total", "Successful model reloads."),
-			reloadErrs: r.Counter("dimboost_serve_reload_errors_total", "Failed model reload attempts."),
+			reg:          r,
+			inflight:     r.Gauge("dimboost_http_inflight", "HTTP requests currently in flight."),
+			trees:        r.Gauge("dimboost_serve_model_trees", "Trees in the currently served model."),
+			modelVersion: r.Gauge("dimboost_serve_model_version", "Registry version of the currently served model."),
+			reloads:      r.Counter("dimboost_serve_reloads_total", "Successful model reloads."),
+			reloadErrs:   r.Counter("dimboost_serve_reload_errors_total", "Failed model reload attempts."),
+			queueDepth:   r.Gauge("dimboost_serve_queue_depth", "Requests currently waiting for an admission slot."),
+			queueWait: r.Histogram("dimboost_serve_queue_wait_seconds",
+				"Time requests spent queued for admission (both admitted and shed).", nil),
 		}
 	})
 	return soInst
@@ -44,6 +52,21 @@ func (m *serveObs) request(path string, code int, secs float64) {
 		obs.L("path", path), obs.L("code", strconv.Itoa(code))).Inc()
 	m.reg.Histogram("dimboost_http_request_seconds", "HTTP request latency, by path.",
 		nil, obs.L("path", path)).Observe(secs)
+}
+
+// shed records one request refused by the admission layer. Reasons:
+// quota, queue_full, queue_timeout, draining, canceled.
+func (m *serveObs) shed(reason string) {
+	m.reg.Counter("dimboost_serve_shed_total", "Requests shed by the admission layer, by reason.",
+		obs.L("reason", reason)).Inc()
+}
+
+// rollback records one refused model swap (the last-good version keeps
+// serving). Reasons: compile, validate, nil_model.
+func (m *serveObs) rollback(reason string) {
+	m.reg.Counter("dimboost_serve_rollbacks_total",
+		"Model swaps refused by validation or compile; the previous version was retained.",
+		obs.L("reason", reason)).Inc()
 }
 
 // metricPath maps a request path onto the bounded label set.

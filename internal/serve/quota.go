@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// DefaultTenant is the quota key for requests that carry no X-Tenant header.
+const DefaultTenant = "default"
+
+// maxTenantBuckets bounds the bucket map so a client spraying random
+// X-Tenant values cannot grow memory without bound; past the cap the
+// fullest (least-recently-throttled) bucket is evicted, which loses no
+// throttling state worth keeping.
+const maxTenantBuckets = 4096
+
+// QuotaConfig is a token-bucket rate: Rate tokens/second refill up to Burst
+// capacity, one token per admitted request. Rate <= 0 disables the quota.
+type QuotaConfig struct {
+	Rate  float64
+	Burst float64
+}
+
+func (c QuotaConfig) enabled() bool { return c.Rate > 0 }
+
+// Quotas applies per-tenant token-bucket quotas, keyed on the X-Tenant
+// request header (DefaultTenant when absent). Tenants without an explicit
+// override share the same default shape but each get their own bucket, so
+// one tenant's burst never spends another's tokens.
+type Quotas struct {
+	mu        sync.Mutex
+	def       QuotaConfig
+	overrides map[string]QuotaConfig
+	buckets   map[string]*tokenBucket
+	now       func() time.Time // injectable for tests
+}
+
+type tokenBucket struct {
+	cfg    QuotaConfig
+	tokens float64
+	last   time.Time
+}
+
+// NewQuotas returns a quota table with the given default per-tenant shape.
+func NewQuotas(def QuotaConfig) *Quotas {
+	return &Quotas{
+		def:       def,
+		overrides: map[string]QuotaConfig{},
+		buckets:   map[string]*tokenBucket{},
+		now:       time.Now,
+	}
+}
+
+// SetTenant installs a per-tenant override of the default bucket shape.
+func (q *Quotas) SetTenant(tenant string, cfg QuotaConfig) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.overrides[tenant] = cfg
+	delete(q.buckets, tenant) // rebuilt with the new shape on next use
+}
+
+// Allow spends one token from the tenant's bucket. When the bucket is
+// empty it reports false plus how long until a token refills — the 429
+// Retry-After value.
+func (q *Quotas) Allow(tenant string) (ok bool, retryAfter time.Duration) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	cfg := q.def
+	if o, hit := q.overrides[tenant]; hit {
+		cfg = o
+	}
+	if !cfg.enabled() {
+		return true, 0
+	}
+	now := q.now()
+	b := q.buckets[tenant]
+	if b == nil {
+		if len(q.buckets) >= maxTenantBuckets {
+			q.evictFullestLocked()
+		}
+		b = &tokenBucket{cfg: cfg, tokens: cfg.Burst, last: now}
+		q.buckets[tenant] = b
+	}
+	b.tokens = math.Min(b.cfg.Burst, b.tokens+b.cfg.Rate*now.Sub(b.last).Seconds())
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	// Seconds until one whole token exists, rounded up to a positive value
+	// so Retry-After never advertises "now" while we still say no.
+	wait := time.Duration((1 - b.tokens) / b.cfg.Rate * float64(time.Second))
+	if wait <= 0 {
+		wait = time.Second
+	}
+	return false, wait
+}
+
+// Tenants returns the number of live buckets (for tests and metrics).
+func (q *Quotas) Tenants() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buckets)
+}
+
+// evictFullestLocked drops the bucket closest to full. A full bucket
+// carries no throttling debt, so forgetting it is harmless; a drained
+// bucket is exactly the state we must keep.
+func (q *Quotas) evictFullestLocked() {
+	var victim string
+	best := -1.0
+	for t, b := range q.buckets {
+		if headroom := b.tokens / math.Max(b.cfg.Burst, 1); headroom > best {
+			best, victim = headroom, t
+		}
+	}
+	delete(q.buckets, victim)
+}

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock drives quota refill deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeQuotas(cfg QuotaConfig) (*Quotas, *fakeClock) {
+	q := NewQuotas(cfg)
+	c := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	q.now = c.now
+	return q, c
+}
+
+func TestQuotaBurstThenThrottle(t *testing.T) {
+	q, clock := newFakeQuotas(QuotaConfig{Rate: 2, Burst: 3})
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := q.Allow("a"); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, retry := q.Allow("a")
+	if ok {
+		t.Fatal("request past burst admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry-after %s, want (0, 1s] at 2 tokens/s", retry)
+	}
+
+	// Half a second refills one token at rate 2.
+	clock.advance(500 * time.Millisecond)
+	if ok, _ := q.Allow("a"); !ok {
+		t.Fatal("refilled token refused")
+	}
+	if ok, _ := q.Allow("a"); ok {
+		t.Fatal("second request on one refilled token admitted")
+	}
+}
+
+func TestQuotaTenantsIsolated(t *testing.T) {
+	q, _ := newFakeQuotas(QuotaConfig{Rate: 1, Burst: 1})
+	if ok, _ := q.Allow("a"); !ok {
+		t.Fatal("tenant a first request refused")
+	}
+	if ok, _ := q.Allow("b"); !ok {
+		t.Fatal("tenant b must have its own bucket")
+	}
+	if ok, _ := q.Allow("a"); ok {
+		t.Fatal("tenant a second request admitted")
+	}
+}
+
+func TestQuotaDefaultTenant(t *testing.T) {
+	q, _ := newFakeQuotas(QuotaConfig{Rate: 1, Burst: 1})
+	// The empty tenant and DefaultTenant share one bucket.
+	if ok, _ := q.Allow(""); !ok {
+		t.Fatal("default tenant refused")
+	}
+	if ok, _ := q.Allow(DefaultTenant); ok {
+		t.Fatal("empty and explicit default tenant must share a bucket")
+	}
+}
+
+func TestQuotaOverride(t *testing.T) {
+	q, _ := newFakeQuotas(QuotaConfig{Rate: 1, Burst: 1})
+	q.SetTenant("vip", QuotaConfig{Rate: 100, Burst: 5})
+	for i := 0; i < 5; i++ {
+		if ok, _ := q.Allow("vip"); !ok {
+			t.Fatalf("vip burst request %d refused", i)
+		}
+	}
+	if ok, _ := q.Allow("other"); !ok {
+		t.Fatal("default-shaped tenant refused its burst")
+	}
+	if ok, _ := q.Allow("other"); ok {
+		t.Fatal("default-shaped tenant admitted past burst 1")
+	}
+	// Overriding an existing tenant rebuilds its bucket with the new shape.
+	q.SetTenant("other", QuotaConfig{Rate: 10, Burst: 2})
+	if ok, _ := q.Allow("other"); !ok {
+		t.Fatal("reshaped tenant refused")
+	}
+}
+
+func TestQuotaDisabled(t *testing.T) {
+	q, _ := newFakeQuotas(QuotaConfig{})
+	for i := 0; i < 100; i++ {
+		if ok, _ := q.Allow("anyone"); !ok {
+			t.Fatal("disabled quota refused a request")
+		}
+	}
+	if q.Tenants() != 0 {
+		t.Fatalf("disabled quota grew %d buckets", q.Tenants())
+	}
+}
+
+// TestQuotaBucketCap sprays more tenants than the cap and checks the map
+// stays bounded — a client inventing X-Tenant values cannot grow memory
+// without limit.
+func TestQuotaBucketCap(t *testing.T) {
+	q, _ := newFakeQuotas(QuotaConfig{Rate: 1, Burst: 1})
+	for i := 0; i < maxTenantBuckets+100; i++ {
+		q.Allow(fmt.Sprintf("tenant-%d", i))
+	}
+	if n := q.Tenants(); n > maxTenantBuckets {
+		t.Fatalf("%d buckets, cap %d", n, maxTenantBuckets)
+	}
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dimboost/internal/core"
+	"dimboost/internal/dataset"
+	"dimboost/internal/loss"
+)
+
+// historyDepth bounds the retained version log.
+const historyDepth = 16
+
+// ModelVersion describes one entry of the registry's version history.
+type ModelVersion struct {
+	ID        int64     `json:"id"`
+	Trees     int       `json:"trees"`
+	Source    string    `json:"source,omitempty"`
+	SwappedAt time.Time `json:"swapped_at"`
+}
+
+// Registry is a versioned model store with validated hot swap. An incoming
+// model must compile and pass the optional Validate hook (typically a
+// held-out probe set, see ProbeValidator) before it becomes current; a
+// model that fails either check is discarded and the last-good version
+// keeps serving — the rollback is that the commit never happens, observed
+// as dimboost_serve_rollbacks_total{reason} and an unchanged /model
+// version. Reads are lock-free; swaps serialize on a mutex so the version
+// history stays linear.
+type Registry struct {
+	current atomic.Pointer[registryEntry]
+
+	mu      sync.Mutex
+	nextID  int64
+	history []ModelVersion
+
+	// Validate, when set, gates every Swap. It runs outside the registry
+	// lock-free read path but inside the swap critical section.
+	Validate func(*core.Model) error
+}
+
+type registryEntry struct {
+	model   *core.Model
+	version ModelVersion
+}
+
+// NewRegistry seeds the registry with the bootstrap model as version 1.
+// The initial model is compiled but not validated: refusing to start with
+// the only model we have helps nobody, and the operator just loaded it
+// deliberately.
+func NewRegistry(m *core.Model) *Registry {
+	r := &Registry{nextID: 1}
+	m.Compiled() //nolint:errcheck // invalid models fall back to the interpreted walk
+	v := ModelVersion{ID: 1, Trees: len(m.Trees), Source: "boot", SwappedAt: time.Now()}
+	r.current.Store(&registryEntry{model: m, version: v})
+	r.history = []ModelVersion{v}
+	serveMetrics().trees.Set(int64(len(m.Trees)))
+	serveMetrics().modelVersion.Set(1)
+	return r
+}
+
+// Current returns the serving model and its version. Safe for concurrent
+// use with Swap; a reader always observes one coherent (model, version)
+// pair.
+func (r *Registry) Current() (*core.Model, ModelVersion) {
+	e := r.current.Load()
+	return e.model, e.version
+}
+
+// History returns the retained version log, oldest first.
+func (r *Registry) History() []ModelVersion {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]ModelVersion(nil), r.history...)
+}
+
+// Swap validates the incoming model and, only if it compiles and passes
+// the Validate hook, commits it as the next version. On failure the
+// previous model keeps serving, the rollback counter ticks, and the error
+// explains which gate refused the model.
+func (r *Registry) Swap(m *core.Model, source string) (ModelVersion, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, retained := r.Current()
+	if m == nil {
+		serveMetrics().rollback("nil_model")
+		return retained, fmt.Errorf("serve: nil model; version %d retained", retained.ID)
+	}
+	if _, err := m.Compiled(); err != nil {
+		serveMetrics().rollback("compile")
+		return retained, fmt.Errorf("serve: model failed to compile (version %d retained): %w", retained.ID, err)
+	}
+	if r.Validate != nil {
+		if err := r.Validate(m); err != nil {
+			serveMetrics().rollback("validate")
+			return retained, fmt.Errorf("serve: model failed validation (version %d retained): %w", retained.ID, err)
+		}
+	}
+	r.nextID++
+	v := ModelVersion{ID: r.nextID, Trees: len(m.Trees), Source: source, SwappedAt: time.Now()}
+	r.current.Store(&registryEntry{model: m, version: v})
+	r.history = append(r.history, v)
+	if len(r.history) > historyDepth {
+		r.history = r.history[len(r.history)-historyDepth:]
+	}
+	serveMetrics().trees.Set(int64(len(m.Trees)))
+	serveMetrics().modelVersion.Set(v.ID)
+	return v, nil
+}
+
+// ProbeValidator returns a Validate hook that scores a held-out probe set
+// with the candidate model and rejects it when any score is non-finite or
+// when maxMeanLoss > 0 and the probe's mean loss exceeds it. This is the
+// cheap sanity gate between "the file decoded" and "we serve it to
+// everyone": a truncated or mistrained model that still parses gets caught
+// here.
+func ProbeValidator(probe *dataset.Dataset, maxMeanLoss float64) func(*core.Model) error {
+	return func(m *core.Model) error {
+		if probe == nil || probe.NumRows() == 0 {
+			return nil
+		}
+		preds := m.PredictBatch(probe)
+		for i, p := range preds {
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				return fmt.Errorf("probe row %d scored non-finite %v", i, p)
+			}
+		}
+		if maxMeanLoss > 0 {
+			ml := loss.MeanLoss(loss.New(m.Loss), probe.Labels, preds)
+			if math.IsNaN(ml) || ml > maxMeanLoss {
+				return fmt.Errorf("probe mean loss %.6f exceeds limit %.6f", ml, maxMeanLoss)
+			}
+		}
+		return nil
+	}
+}

@@ -3,15 +3,19 @@
 // the paper's pipeline produces. Endpoints:
 //
 //	GET  /healthz            liveness probe (503 while draining)
-//	GET  /model              model summary (loss, trees, node counts)
+//	GET  /model              model summary + registry version history
 //	GET  /importance?top=N   gain-based feature importance
 //	POST /predict            score instances (JSON or LibSVM lines)
 //	POST /model/reload       re-read the model via OnReload (when set)
 //	GET  /metrics            Prometheus text exposition
 //	GET  /debug/obs          metrics + span timeline as JSON
 //
-// The handler is safe for concurrent use and supports atomic hot model
-// swaps.
+// The handler is safe for concurrent use and supports validated atomic hot
+// model swaps with rollback (Registry). The /predict path sits behind an
+// admission layer: per-tenant token-bucket quotas (X-Tenant header, 429 +
+// Retry-After on violation) and a concurrency limiter with a bounded
+// deadline-aware wait queue (503 + Retry-After when saturated), so the
+// process sheds overload instead of collapsing under it.
 package serve
 
 import (
@@ -19,10 +23,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -34,25 +40,39 @@ import (
 
 // Handler serves a model over HTTP.
 type Handler struct {
-	model atomic.Pointer[core.Model]
-	mux   *http.ServeMux
+	registry *Registry
+	mux      *http.ServeMux
 	// MaxBodyBytes caps request bodies (default 32 MiB).
 	MaxBodyBytes int64
 	// OnReload, when set, enables POST /model/reload: it re-reads the model
-	// from wherever it came from and the handler swaps the result in.
+	// from wherever it came from and the handler swaps the result in through
+	// the registry's validate-then-commit path. Reloads are single-flight.
 	OnReload func() (*core.Model, error)
+	// Limiter, when set, bounds concurrent /predict work (admission
+	// control). Configure before serving traffic.
+	Limiter *Limiter
+	// Quota, when set, applies per-tenant token buckets to /predict keyed
+	// on the X-Tenant header. Configure before serving traffic.
+	Quota *Quotas
 
+	reloadMu sync.Mutex
 	draining atomic.Bool
+
+	// predictHook, when set (tests), runs after admission while the request
+	// holds its concurrency slot — the seam overload tests use to pin
+	// in-flight work and count true scoring concurrency.
+	predictHook func()
 }
 
-// New returns a handler serving the given model. The model's inference
-// engine is compiled eagerly so the first /predict request doesn't pay the
-// compile latency.
+// New returns a handler serving the given model as registry version 1. The
+// model's inference engine is compiled eagerly so the first /predict
+// request doesn't pay the compile latency.
 func New(m *core.Model) *Handler {
-	h := &Handler{mux: http.NewServeMux(), MaxBodyBytes: 32 << 20}
-	h.model.Store(m)
-	m.Compiled() //nolint:errcheck // invalid models fall back to the interpreted walk
-	serveMetrics().trees.Set(int64(len(m.Trees)))
+	h := &Handler{
+		registry:     NewRegistry(m),
+		mux:          http.NewServeMux(),
+		MaxBodyBytes: 32 << 20,
+	}
 	h.mux.HandleFunc("GET /healthz", h.healthz)
 	h.mux.HandleFunc("GET /model", h.modelInfo)
 	h.mux.HandleFunc("GET /importance", h.importance)
@@ -62,6 +82,10 @@ func New(m *core.Model) *Handler {
 	h.mux.Handle("GET /debug/obs", obs.Default().DebugHandler())
 	return h
 }
+
+// Registry exposes the handler's model registry so operators can install a
+// validation hook (Registry.Validate) or inspect version history.
+func (h *Handler) Registry() *Registry { return h.registry }
 
 // statusWriter captures the response status for the request metrics.
 type statusWriter struct {
@@ -85,18 +109,18 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	m.request(metricPath(r.URL.Path), sw.code, time.Since(start).Seconds())
 }
 
-// Swap atomically replaces the served model (hot reload). The incoming
-// model's engine is compiled before the swap, so requests never observe a
-// model whose compiled path is cold.
-func (h *Handler) Swap(m *core.Model) {
-	m.Compiled() //nolint:errcheck // invalid models fall back to the interpreted walk
-	h.model.Store(m)
-	serveMetrics().trees.Set(int64(len(m.Trees)))
+// Swap replaces the served model through the registry's validated hot-swap
+// path: the incoming model is compiled and (when Registry.Validate is set)
+// probe-checked before the atomic commit; on failure the previous version
+// keeps serving and the error reports the retained version.
+func (h *Handler) Swap(m *core.Model) error {
+	_, err := h.registry.Swap(m, "swap")
+	return err
 }
 
-// SetDraining flips the health probe: while draining, /healthz answers 503
-// so load balancers stop routing here, while in-flight and follow-up
-// requests still succeed.
+// SetDraining flips the server into shutdown mode: /healthz answers 503 so
+// load balancers stop routing here, and new /predict work is refused
+// immediately — while requests already admitted or queued still complete.
 func (h *Handler) SetDraining(v bool) { h.draining.Store(v) }
 
 func (h *Handler) healthz(w http.ResponseWriter, _ *http.Request) {
@@ -114,27 +138,40 @@ func (h *Handler) reload(w http.ResponseWriter, _ *http.Request) {
 		httpError(w, http.StatusNotFound, "reload not enabled")
 		return
 	}
+	// Single-flight: concurrent reloads would interleave OnReload and Swap
+	// and scramble the registry's version history.
+	h.reloadMu.Lock()
+	defer h.reloadMu.Unlock()
 	m, err := h.OnReload()
 	if err != nil {
 		serveMetrics().reloadErrs.Inc()
 		httpError(w, http.StatusInternalServerError, "reload: %v", err)
 		return
 	}
-	h.Swap(m)
+	v, err := h.registry.Swap(m, "reload")
+	if err != nil {
+		// Validation or compile refused the model: the previous version is
+		// still serving (auto-rollback) and the client learns which one.
+		serveMetrics().reloadErrs.Inc()
+		httpError(w, http.StatusUnprocessableEntity, "reload rejected: %v", err)
+		return
+	}
 	serveMetrics().reloads.Inc()
-	writeJSON(w, http.StatusOK, map[string]int{"trees": len(m.Trees)})
+	writeJSON(w, http.StatusOK, map[string]any{"trees": len(m.Trees), "version": v.ID})
 }
 
 type modelInfo struct {
-	Loss          string `json:"loss"`
-	Trees         int    `json:"trees"`
-	InternalNodes int    `json:"internal_nodes"`
-	Leaves        int    `json:"leaves"`
-	FeaturesUsed  int    `json:"features_used"`
+	Loss          string         `json:"loss"`
+	Trees         int            `json:"trees"`
+	InternalNodes int            `json:"internal_nodes"`
+	Leaves        int            `json:"leaves"`
+	FeaturesUsed  int            `json:"features_used"`
+	Version       int64          `json:"version"`
+	History       []ModelVersion `json:"history"`
 }
 
 func (h *Handler) modelInfo(w http.ResponseWriter, _ *http.Request) {
-	m := h.model.Load()
+	m, v := h.registry.Current()
 	internal, leaves := m.NumNodes()
 	writeJSON(w, http.StatusOK, modelInfo{
 		Loss:          m.Loss.String(),
@@ -142,6 +179,8 @@ func (h *Handler) modelInfo(w http.ResponseWriter, _ *http.Request) {
 		InternalNodes: internal,
 		Leaves:        leaves,
 		FeaturesUsed:  len(m.Importance()),
+		Version:       v.ID,
+		History:       h.registry.History(),
 	})
 }
 
@@ -161,7 +200,8 @@ func (h *Handler) importance(w http.ResponseWriter, r *http.Request) {
 		}
 		top = v
 	}
-	imp := h.model.Load().Importance()
+	m, _ := h.registry.Current()
+	imp := m.Importance()
 	if len(imp) > top {
 		imp = imp[:top]
 	}
@@ -189,7 +229,62 @@ type predictResponse struct {
 	Probabilities []float64 `json:"probabilities,omitempty"`
 }
 
+// admit runs the /predict request through quota and concurrency admission.
+// It reports whether the request may proceed; when it may not, the 429/503
+// response (with Retry-After) has already been written.
+func (h *Handler) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if h.draining.Load() {
+		serveMetrics().shed("draining")
+		shedError(w, http.StatusServiceUnavailable, time.Second, "draining")
+		return nil, false
+	}
+	if h.Quota != nil {
+		tenant := r.Header.Get("X-Tenant")
+		if allowed, retryAfter := h.Quota.Allow(tenant); !allowed {
+			serveMetrics().shed("quota")
+			shedError(w, http.StatusTooManyRequests, retryAfter,
+				"tenant %q over quota", tenantLabel(tenant))
+			return nil, false
+		}
+	}
+	if h.Limiter == nil {
+		return func() {}, true
+	}
+	release, err := h.Limiter.Acquire(r.Context(), &h.draining)
+	if err == nil {
+		return release, true
+	}
+	retryAfter := h.Limiter.Config().QueueTimeout
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		serveMetrics().shed("queue_full")
+		shedError(w, http.StatusServiceUnavailable, retryAfter, "admission queue full")
+	case errors.Is(err, ErrQueueTimeout):
+		serveMetrics().shed("queue_timeout")
+		shedError(w, http.StatusServiceUnavailable, retryAfter, "timed out waiting for admission")
+	case errors.Is(err, ErrDraining):
+		serveMetrics().shed("draining")
+		shedError(w, http.StatusServiceUnavailable, time.Second, "draining")
+	default: // ErrCanceled: the client is gone; the write goes nowhere.
+		serveMetrics().shed("canceled")
+		shedError(w, http.StatusServiceUnavailable, retryAfter, "canceled while queued")
+	}
+	return nil, false
+}
+
 func (h *Handler) predict(w http.ResponseWriter, r *http.Request) {
+	release, ok := h.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	if h.predictHook != nil {
+		h.predictHook()
+	}
+
 	body := http.MaxBytesReader(w, r.Body, h.MaxBodyBytes)
 	defer body.Close()
 
@@ -228,7 +323,7 @@ func (h *Handler) predict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	m := h.model.Load()
+	m, _ := h.registry.Current()
 	var resp predictResponse
 	if eng, err := m.Compiled(); err == nil {
 		resp.Scores = eng.PredictInstances(instances)
@@ -248,6 +343,8 @@ func (h *Handler) predict(w http.ResponseWriter, r *http.Request) {
 }
 
 // jsonToInstance validates and sorts a JSON instance into dataset form.
+// Non-finite values are refused so the JSON path agrees with the LibSVM
+// parser, which errors on NaN/±Inf.
 func jsonToInstance(ji jsonInstance) (dataset.Instance, error) {
 	if len(ji.Indices) != len(ji.Values) {
 		return dataset.Instance{}, fmt.Errorf("%d indices vs %d values", len(ji.Indices), len(ji.Values))
@@ -260,6 +357,9 @@ func jsonToInstance(ji jsonInstance) (dataset.Instance, error) {
 	for i := range ji.Indices {
 		if ji.Indices[i] < 0 {
 			return dataset.Instance{}, fmt.Errorf("negative feature index %d", ji.Indices[i])
+		}
+		if v := float64(ji.Values[i]); math.IsNaN(v) || math.IsInf(v, 0) {
+			return dataset.Instance{}, fmt.Errorf("non-finite value %v at feature %d", v, ji.Indices[i])
 		}
 		pairs[i] = pair{ji.Indices[i], ji.Values[i]}
 	}
@@ -276,6 +376,14 @@ func jsonToInstance(ji jsonInstance) (dataset.Instance, error) {
 	return dataset.Instance{Indices: idx, Values: vals}, nil
 }
 
+// tenantLabel keeps error messages readable for the default tenant.
+func tenantLabel(t string) string {
+	if t == "" {
+		return DefaultTenant
+	}
+	return t
+}
+
 // bodyErrStatus distinguishes a body that tripped MaxBytesReader (413) from
 // one that merely failed to parse (400).
 func bodyErrStatus(err error) int {
@@ -290,6 +398,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+// shedError writes an admission refusal with a Retry-After hint (whole
+// seconds, rounded up, at least 1).
+func shedError(w http.ResponseWriter, status int, retryAfter time.Duration, format string, args ...any) {
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	httpError(w, status, format, args...)
 }
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
