@@ -216,13 +216,39 @@ func main() {
 			})
 			fmt.Fprintf(out, "[serve completed in %s]\n", time.Since(start).Round(time.Millisecond))
 		},
-		"table4":  func() { run("table4", func() error { _, err := experiments.Table4(out, s); return err }) },
-		"table5":  func() { run("table5", func() error { _, err := experiments.Table5(out, s); return err }) },
-		"table6":  func() { run("table6", func() error { _, err := experiments.Table6(out, s); return err }) },
-		"fig13":   func() { run("fig13", func() error { _, err := experiments.Fig13(out, s); return err }) },
-		"fig14":   func() { run("fig14", func() error { _, err := experiments.Fig14(out, s); return err }) },
-		"a1":      func() { run("a1", func() error { experiments.A1(out); return nil }) },
-		"predict": func() { run("predict", func() error { _, err := experiments.Predict(out, s); return err }) },
+		"table4": func() { run("table4", func() error { _, err := experiments.Table4(out, s); return err }) },
+		"table5": func() { run("table5", func() error { _, err := experiments.Table5(out, s); return err }) },
+		"table6": func() { run("table6", func() error { _, err := experiments.Table6(out, s); return err }) },
+		"fig13":  func() { run("fig13", func() error { _, err := experiments.Fig13(out, s); return err }) },
+		"fig14":  func() { run("fig14", func() error { _, err := experiments.Fig14(out, s); return err }) },
+		"a1":     func() { run("a1", func() error { experiments.A1(out); return nil }) },
+		"predict": func() {
+			start := time.Now()
+			res, err := experiments.Predict(out, s)
+			if err != nil {
+				log.Fatalf("predict: %v", err)
+			}
+			rep.Experiments = append(rep.Experiments, timing{
+				Name:    "predict-engines",
+				Seconds: time.Since(start).Seconds(),
+				Stats: map[string]float64{
+					"rows":                  float64(res.Rows),
+					"trees":                 float64(res.Trees),
+					"engine_nodes":          float64(res.EngineNodes),
+					"engine_conditions":     float64(res.EngineConditions),
+					"auto_backend_bv":       boolStat(res.Backend == "bitvector"),
+					"compile_soa_ms":        float64(res.CompileSoA.Microseconds()) / 1000,
+					"compile_bitvector_ms":  float64(res.CompileBitvector.Microseconds()) / 1000,
+					"interpreted_ms":        float64(res.Interpreted.Microseconds()) / 1000,
+					"soa_serial_ms":         float64(res.SoASerial.Microseconds()) / 1000,
+					"soa_parallel_ms":       float64(res.SoAParallel.Microseconds()) / 1000,
+					"bitvector_serial_ms":   float64(res.BitvectorSerial.Microseconds()) / 1000,
+					"bitvector_parallel_ms": float64(res.BitvectorParallel.Microseconds()) / 1000,
+					"bitvector_vs_soa":      res.Speedup(),
+				},
+			})
+			fmt.Fprintf(out, "[predict completed in %s]\n", time.Since(start).Round(time.Millisecond))
+		},
 		"train-parallel": func() {
 			start := time.Now()
 			res, err := experiments.TrainParallel(out, s)

@@ -24,7 +24,8 @@ func main() {
 		features    = flag.Int("features", 0, "feature count (0 infers from data)")
 		out         = flag.String("out", "", "write one prediction per line to this file")
 		prob        = flag.Bool("prob", false, "output probabilities instead of raw scores (logistic models)")
-		interpreted = flag.Bool("interpreted", false, "score with the interpreted tree walk instead of the compiled engine")
+		engine      = flag.String("engine", "auto", "scoring engine: auto, soa, bitvector, or interpreted")
+		interpreted = flag.Bool("interpreted", false, "alias for -engine interpreted")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -40,18 +41,31 @@ func main() {
 		log.Fatal(err)
 	}
 
+	sel := *engine
+	if *interpreted {
+		sel = "interpreted"
+	}
+	var eng *dimboost.Engine
+	if sel != "interpreted" {
+		backend, err := dimboost.ParseEngineBackend(sel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if eng, err = m.CompiledBackend(backend); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	scoreStart := time.Now()
 	var preds []float64
-	if *interpreted {
-		preds = m.PredictBatchInterpreted(d)
+	path := "interpreted"
+	if eng != nil {
+		preds = eng.PredictBatch(d)
+		path = eng.Backend().String()
 	} else {
-		preds = m.PredictBatch(d)
+		preds = m.PredictBatchInterpreted(d)
 	}
 	scoreElapsed := time.Since(scoreStart)
-	path := "compiled"
-	if *interpreted {
-		path = "interpreted"
-	}
 	fmt.Printf("scored %d rows in %s (%s, %.0f rows/s)\n", d.NumRows(),
 		scoreElapsed.Round(time.Microsecond), path,
 		float64(d.NumRows())/scoreElapsed.Seconds())

@@ -45,12 +45,33 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // Model is a trained GBDT ensemble.
 type Model = core.Model
 
-// Engine is the compiled inference engine backing Model.PredictBatch: the
-// ensemble flattened into structure-of-arrays node slices over a compact
-// feature space, scoring rows with a single scatter instead of per-node
-// binary searches. Obtain one with Model.Compiled for allocation-free
-// serving loops; it is bit-identical to the interpreted tree walk.
+// Engine is the compiled inference engine backing Model.PredictBatch. The
+// ensemble compiles to one of two backends over a compact feature space —
+// the structure-of-arrays root-to-leaf walk, or the QuickScorer-style
+// bitvector traversal when every tree fits the 64-leaf mask width — and
+// both are bit-identical to the interpreted tree walk. Obtain one with
+// Model.Compiled (automatic backend selection) or Model.CompiledBackend
+// for allocation-free serving loops.
 type Engine = predict.Engine
+
+// EngineBackend selects the Engine's scoring representation; see
+// Model.CompiledBackend.
+type EngineBackend = predict.Backend
+
+const (
+	// BackendAuto picks the bitvector backend when the ensemble is
+	// eligible and the SoA walk otherwise.
+	BackendAuto = predict.BackendAuto
+	// BackendSoA forces the structure-of-arrays root-to-leaf walk.
+	BackendSoA = predict.BackendSoA
+	// BackendBitvector forces the QuickScorer-style bitvector traversal;
+	// compiling fails if any tree exceeds the leaf-mask width.
+	BackendBitvector = predict.BackendBitvector
+)
+
+// ParseEngineBackend maps a selector string ("auto", "soa", "bitvector") to
+// an EngineBackend.
+func ParseEngineBackend(s string) (EngineBackend, error) { return predict.ParseBackend(s) }
 
 // Trainer runs single-process training with progress callbacks and phase
 // timing.

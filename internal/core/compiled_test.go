@@ -6,6 +6,7 @@ import (
 
 	"dimboost/internal/dataset"
 	"dimboost/internal/loss"
+	"dimboost/internal/predict"
 	"dimboost/internal/tree"
 )
 
@@ -62,6 +63,57 @@ func TestCompiledCache(t *testing.T) {
 	}
 	if got := e5.Predict(dataset.Instance{}); got != 101 {
 		t.Fatalf("after swap: got %v, want 101", got)
+	}
+}
+
+// TestCompiledBackendCache: each backend selector owns an independent cache
+// slot — forcing one backend neither evicts nor returns another's engine —
+// and ensemble changes invalidate every slot.
+func TestCompiledBackendCache(t *testing.T) {
+	m := &Model{Loss: loss.Squared, BaseScore: 1}
+	m.Trees = append(m.Trees, leafTree(2, 10))
+
+	auto, err := m.Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	soa, err := m.CompiledBackend(predict.BackendSoA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv, err := m.CompiledBackend(predict.BackendBitvector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soa.Backend() != predict.BackendSoA || bv.Backend() != predict.BackendBitvector {
+		t.Fatalf("forced backends resolved to %v and %v", soa.Backend(), bv.Backend())
+	}
+	if auto == soa || auto == bv || soa == bv {
+		t.Fatal("backend slots shared an engine")
+	}
+	if again, _ := m.CompiledBackend(predict.BackendSoA); again != soa {
+		t.Fatal("forced-SoA engine recompiled on an unchanged ensemble")
+	}
+	if again, _ := m.Compiled(); again != auto {
+		t.Fatal("auto engine evicted by forced-backend compiles")
+	}
+
+	m.Trees = append(m.Trees, leafTree(2, 5))
+	for _, b := range []predict.Backend{predict.BackendAuto, predict.BackendSoA, predict.BackendBitvector} {
+		eng, err := m.CompiledBackend(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eng == auto || eng == soa || eng == bv {
+			t.Fatalf("%v: appended tree did not invalidate the slot", b)
+		}
+		if got := eng.Predict(dataset.Instance{}); got != 16 {
+			t.Fatalf("%v: got %v, want 16", b, got)
+		}
+	}
+
+	if _, err := m.CompiledBackend(predict.Backend(9)); err == nil {
+		t.Fatal("out-of-range backend accepted")
 	}
 }
 

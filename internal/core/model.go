@@ -20,9 +20,10 @@ type Model struct {
 	BaseScore float64
 	Trees     []*tree.Tree
 
-	// compiled caches the inference engine built from Trees, keyed on the
-	// ensemble snapshot it was compiled from.
-	compiled atomic.Pointer[compiledEngine]
+	// compiled caches the inference engines built from Trees — one slot per
+	// backend selector (auto, soa, bitvector) — each keyed on the ensemble
+	// snapshot it was compiled from.
+	compiled [predict.BackendBitvector + 1]atomic.Pointer[compiledEngine]
 }
 
 // compiledEngine pairs an engine with the Trees slice it was built from, so
@@ -43,19 +44,32 @@ func (c *compiledEngine) matches(trees []*tree.Tree) bool {
 		(c.trees[0] == trees[0] && c.trees[len(trees)-1] == trees[len(trees)-1])
 }
 
-// Compiled returns the model's compiled inference engine, building it on
-// first use and rebuilding if the ensemble changed since.
+// Compiled returns the model's compiled inference engine with automatic
+// backend selection, building it on first use and rebuilding if the
+// ensemble changed since.
 func (m *Model) Compiled() (*predict.Engine, error) {
-	if c := m.compiled.Load(); c != nil && c.matches(m.Trees) {
+	return m.CompiledBackend(predict.BackendAuto)
+}
+
+// CompiledBackend returns the model's compiled inference engine for a
+// specific backend selector. Each selector gets its own cache slot, so a
+// serving process can hold, say, the auto-picked engine and a forced-SoA
+// reference engine side by side without recompiling on every call.
+func (m *Model) CompiledBackend(backend predict.Backend) (*predict.Engine, error) {
+	if int(backend) >= len(m.compiled) {
+		return nil, fmt.Errorf("core: unknown predict backend %d", backend)
+	}
+	slot := &m.compiled[backend]
+	if c := slot.Load(); c != nil && c.matches(m.Trees) {
 		return c.engine, nil
 	}
-	eng, err := predict.Compile(m.Trees, m.BaseScore)
+	eng, err := predict.CompileBackend(m.Trees, m.BaseScore, backend)
 	if err != nil {
 		return nil, err
 	}
 	// Snapshot by copy: aliasing m.Trees' backing array would let in-place
 	// tree replacement mutate the snapshot and defeat the staleness check.
-	m.compiled.Store(&compiledEngine{engine: eng, trees: append([]*tree.Tree(nil), m.Trees...)})
+	slot.Store(&compiledEngine{engine: eng, trees: append([]*tree.Tree(nil), m.Trees...)})
 	return eng, nil
 }
 

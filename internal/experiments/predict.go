@@ -11,28 +11,40 @@ import (
 )
 
 // PredictResult reports the serving-path comparison: the same trained
-// ensemble scored with the interpreted tree walk versus the compiled
-// structure-of-arrays engine, single-threaded and parallel.
+// ensemble scored with the interpreted tree walk, the compiled
+// structure-of-arrays engine, and the QuickScorer-style bitvector engine,
+// single-threaded and parallel.
 type PredictResult struct {
 	Rows     int
 	Features int
 	Trees    int
 	AvgNNZ   float64
-	Compile  time.Duration
+	// Backend is what automatic selection picks for this ensemble.
+	Backend          string
+	CompileSoA       time.Duration
+	CompileBitvector time.Duration
+	EngineFeatures   int // compact feature-space size after remapping
+	EngineNodes      int
+	EngineConditions int // bitvector backend's compiled condition count
 	// Per-pass wall time over the full batch (best of three passes).
-	Interpreted      time.Duration
-	CompiledSerial   time.Duration
-	CompiledParallel time.Duration
-	// EngineFeatures is the compact feature-space size after remapping.
-	EngineFeatures int
-	EngineNodes    int
+	Interpreted       time.Duration
+	SoASerial         time.Duration
+	SoAParallel       time.Duration
+	BitvectorSerial   time.Duration
+	BitvectorParallel time.Duration
+}
+
+// Speedup is the headline number: the bitvector engine against the SoA
+// engine, both single-worker at equal batch size.
+func (r *PredictResult) Speedup() float64 {
+	return float64(r.SoASerial) / float64(r.BitvectorSerial)
 }
 
 // Predict benchmarks the inference path the way §5 benchmarks histogram
 // construction: a Gender-shaped high-dimensional sparse dataset, a trained
-// ensemble, and the same predictions produced by the naïve per-node binary
-// search versus the precomputed (compiled) layout. Predictions are verified
-// bit-identical before timings are reported.
+// production-depth ensemble, and the same predictions produced by the naïve
+// per-node binary search, the SoA engine, and the bitvector engine. All
+// three are verified bit-identical before timings are reported.
 func Predict(w io.Writer, scale Scale) (*PredictResult, error) {
 	rows := scale.rows(20_000)
 	const features = 33_000
@@ -40,7 +52,11 @@ func Predict(w io.Writer, scale Scale) (*PredictResult, error) {
 	train, test := d.Split(0.9)
 
 	cfg := expConfig()
-	cfg.NumTrees = 20
+	// 512 trees fills exactly one of the bitvector backend's cache blocks;
+	// depth 6 keeps every tree within a 32-bit leaf mask. At this size the
+	// SoA engine's node arrays outgrow L2 while the bitvector condition
+	// stream stays resident — the regime the backend is built for.
+	cfg.NumTrees = 512
 	cfg.MaxDepth = 6
 	model, err := core.Train(train, cfg)
 	if err != nil {
@@ -48,42 +64,78 @@ func Predict(w io.Writer, scale Scale) (*PredictResult, error) {
 	}
 
 	compileStart := time.Now()
-	eng, err := predict.Compile(model.Trees, model.BaseScore)
+	soa, err := predict.CompileBackend(model.Trees, model.BaseScore, predict.BackendSoA)
 	if err != nil {
 		return nil, err
 	}
+	compileSoA := time.Since(compileStart)
+	compileStart = time.Now()
+	bv, err := predict.CompileBackend(model.Trees, model.BaseScore, predict.BackendBitvector)
+	if err != nil {
+		return nil, err
+	}
+	compileBV := time.Since(compileStart)
+	auto, err := model.Compiled()
+	if err != nil {
+		return nil, err
+	}
+
 	res := &PredictResult{
 		Rows: test.NumRows(), Features: test.NumFeatures, Trees: len(model.Trees),
-		AvgNNZ: test.AvgNNZ(), Compile: time.Since(compileStart),
-		EngineFeatures: eng.NumFeatures(), EngineNodes: eng.NumNodes(),
+		AvgNNZ: test.AvgNNZ(), Backend: auto.Backend().String(),
+		CompileSoA: compileSoA, CompileBitvector: compileBV,
+		EngineFeatures: soa.NumFeatures(), EngineNodes: soa.NumNodes(),
+		EngineConditions: bv.NumConditions(),
 	}
 
 	want := model.PredictBatchInterpreted(test)
-	got := eng.PredictBatch(test)
-	for i := range want {
-		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
-			return nil, fmt.Errorf("predict: row %d compiled %v != interpreted %v", i, got[i], want[i])
+	for _, eng := range []*predict.Engine{soa, bv} {
+		got := eng.PredictBatch(test)
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				return nil, fmt.Errorf("predict: row %d %s engine %v != interpreted %v",
+					i, eng.Backend(), got[i], want[i])
+			}
 		}
 	}
 
 	res.Interpreted = bestOf(3, func() { model.PredictBatchInterpreted(test) })
 	out := make([]float64, test.NumRows())
-	eng.Workers = 1
-	res.CompiledSerial = bestOf(3, func() { eng.PredictBatchInto(test, out) })
-	eng.Workers = 0
-	res.CompiledParallel = bestOf(3, func() { eng.PredictBatchInto(test, out) })
+	// The serial head-to-head runs as interleaved rounds — one SoA pass then
+	// one bitvector pass per round, minimum over five rounds each — so slow
+	// host drift (noisy neighbors, frequency steps) lands on both engines
+	// instead of on whichever was measured second.
+	soa.Workers = 1
+	bv.Workers = 1
+	res.SoASerial, res.BitvectorSerial = pairedBest(5,
+		func() { soa.PredictBatchInto(test, out) },
+		func() { bv.PredictBatchInto(test, out) })
+	soa.Workers = 0
+	res.SoAParallel = bestOf(3, func() { soa.PredictBatchInto(test, out) })
+	bv.Workers = 0
+	res.BitvectorParallel = bestOf(3, func() { bv.PredictBatchInto(test, out) })
 
-	section(w, fmt.Sprintf("Serving — interpreted vs compiled inference (%d×%d, %d trees, z=%.0f)",
+	section(w, fmt.Sprintf("Serving — interpreted vs SoA vs bitvector inference (%d×%d, %d trees, z=%.0f)",
 		res.Rows, res.Features, res.Trees, res.AvgNNZ))
-	fmt.Fprintf(w, "engine: %d nodes, %d/%d features referenced, compiled in %s\n",
-		res.EngineNodes, res.EngineFeatures, res.Features, fmtDur(res.Compile))
-	fmt.Fprintf(w, "%-22s %12s %12s\n", "path", "batch time", "speedup")
-	fmt.Fprintf(w, "%-22s %12s %12s\n", "interpreted", fmtDur(res.Interpreted), "1.0x")
-	fmt.Fprintf(w, "%-22s %12s %11.1fx\n", "compiled (1 worker)", fmtDur(res.CompiledSerial),
-		float64(res.Interpreted)/float64(res.CompiledSerial))
-	fmt.Fprintf(w, "%-22s %12s %11.1fx\n", "compiled (parallel)", fmtDur(res.CompiledParallel),
-		float64(res.Interpreted)/float64(res.CompiledParallel))
-	fmt.Fprintln(w, "predictions verified bit-identical across all rows before timing.")
+	fmt.Fprintf(w, "engines: %d nodes / %d bitvector conditions, %d/%d features referenced, compiled in %s (soa) / %s (bitvector); auto picks %s\n",
+		res.EngineNodes, res.EngineConditions, res.EngineFeatures, res.Features,
+		fmtDur(res.CompileSoA), fmtDur(res.CompileBitvector), res.Backend)
+	fmt.Fprintf(w, "%-24s %12s %12s\n", "path", "batch time", "speedup")
+	fmt.Fprintf(w, "%-24s %12s %12s\n", "interpreted", fmtDur(res.Interpreted), "1.0x")
+	for _, row := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"soa (1 worker)", res.SoASerial},
+		{"soa (parallel)", res.SoAParallel},
+		{"bitvector (1 worker)", res.BitvectorSerial},
+		{"bitvector (parallel)", res.BitvectorParallel},
+	} {
+		fmt.Fprintf(w, "%-24s %12s %11.1fx\n", row.name, fmtDur(row.d),
+			float64(res.Interpreted)/float64(row.d))
+	}
+	fmt.Fprintf(w, "bitvector vs soa (1 worker, equal batch): %.2fx\n", res.Speedup())
+	fmt.Fprintln(w, "predictions verified bit-identical across all rows and engines before timing.")
 	return res, nil
 }
 
@@ -98,4 +150,25 @@ func bestOf(n int, f func()) time.Duration {
 		}
 	}
 	return best
+}
+
+// pairedBest interleaves n timed passes of f and g round-robin and returns
+// each one's fastest wall time. Interleaving keeps the two measurement
+// windows co-located, so machine-wide slowdowns bias a ratio of the two
+// results far less than two back-to-back bestOf calls would.
+func pairedBest(n int, f, g func()) (bestF, bestG time.Duration) {
+	bestF, bestG = time.Duration(math.MaxInt64), time.Duration(math.MaxInt64)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < bestF {
+			bestF = d
+		}
+		start = time.Now()
+		g()
+		if d := time.Since(start); d < bestG {
+			bestG = d
+		}
+	}
+	return bestF, bestG
 }

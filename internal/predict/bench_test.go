@@ -28,7 +28,7 @@ func fixture(b *testing.B) benchFixture {
 		})
 		train, test := d.Split(0.75)
 		cfg := core.DefaultConfig()
-		cfg.NumTrees = 30
+		cfg.NumTrees = 200
 		cfg.MaxDepth = 6
 		m, err := core.Train(train, cfg)
 		if err != nil {
@@ -60,36 +60,38 @@ func BenchmarkPredictBatch(b *testing.B) {
 		b.ReportMetric(float64(b.N)*float64(rows)/b.Elapsed().Seconds(), "rows/s")
 	})
 
-	b.Run("compiled", func(b *testing.B) {
-		eng, err := predict.Compile(f.model.Trees, f.model.BaseScore)
-		if err != nil {
-			b.Fatal(err)
-		}
-		eng.Workers = 1
-		out := make([]float64, f.data.NumRows())
-		eng.PredictBatchInto(f.data, out) // warm the scratch pool
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			eng.PredictBatchInto(f.data, out)
-		}
-		b.ReportMetric(float64(b.N)*float64(rows)/b.Elapsed().Seconds(), "rows/s")
-	})
+	for _, backend := range []predict.Backend{predict.BackendSoA, predict.BackendBitvector} {
+		b.Run(backend.String(), func(b *testing.B) {
+			eng, err := predict.CompileBackend(f.model.Trees, f.model.BaseScore, backend)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.Workers = 1
+			out := make([]float64, f.data.NumRows())
+			eng.PredictBatchInto(f.data, out) // warm the scratch pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.PredictBatchInto(f.data, out)
+			}
+			b.ReportMetric(float64(b.N)*float64(rows)/b.Elapsed().Seconds(), "rows/s")
+		})
 
-	b.Run("compiled-parallel", func(b *testing.B) {
-		eng, err := predict.Compile(f.model.Trees, f.model.BaseScore)
-		if err != nil {
-			b.Fatal(err)
-		}
-		out := make([]float64, f.data.NumRows())
-		eng.PredictBatchInto(f.data, out)
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
+		b.Run(backend.String()+"-parallel", func(b *testing.B) {
+			eng, err := predict.CompileBackend(f.model.Trees, f.model.BaseScore, backend)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := make([]float64, f.data.NumRows())
 			eng.PredictBatchInto(f.data, out)
-		}
-		b.ReportMetric(float64(b.N)*float64(rows)/b.Elapsed().Seconds(), "rows/s")
-	})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.PredictBatchInto(f.data, out)
+			}
+			b.ReportMetric(float64(b.N)*float64(rows)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
 }
 
 // BenchmarkPredictSingle measures one-row latency on the serving path.
@@ -101,28 +103,34 @@ func BenchmarkPredictSingle(b *testing.B) {
 			f.model.Predict(f.data.Row(i % f.data.NumRows()))
 		}
 	})
-	b.Run("compiled", func(b *testing.B) {
-		eng, err := predict.Compile(f.model.Trees, f.model.BaseScore)
-		if err != nil {
-			b.Fatal(err)
-		}
-		eng.Predict(f.data.Row(0))
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			eng.Predict(f.data.Row(i % f.data.NumRows()))
-		}
-	})
+	for _, backend := range []predict.Backend{predict.BackendSoA, predict.BackendBitvector} {
+		b.Run(backend.String(), func(b *testing.B) {
+			eng, err := predict.CompileBackend(f.model.Trees, f.model.BaseScore, backend)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.Predict(f.data.Row(0))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Predict(f.data.Row(i % f.data.NumRows()))
+			}
+		})
+	}
 }
 
 // BenchmarkEngineCompile measures ensemble-to-engine compile latency — the
 // cost a model reload pays before the first request is served.
 func BenchmarkEngineCompile(b *testing.B) {
 	f := fixture(b)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := predict.Compile(f.model.Trees, f.model.BaseScore); err != nil {
-			b.Fatal(err)
-		}
+	for _, backend := range []predict.Backend{predict.BackendSoA, predict.BackendBitvector} {
+		b.Run(backend.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := predict.CompileBackend(f.model.Trees, f.model.BaseScore, backend); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

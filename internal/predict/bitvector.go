@@ -1,0 +1,669 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"dimboost/internal/tree"
+)
+
+// The bitvector backend is the QuickScorer/V-QuickScorer traversal family
+// applied to DimBoost's ensembles: instead of routing each row root-to-leaf
+// through every tree (a data-dependent branch per node, mispredicted roughly
+// half the time on real data), the ensemble is compiled into per-feature
+// condition arrays and scoring becomes a branch-free sweep:
+//
+//   - Every internal node "x[f] <= t" becomes a *condition* on feature f. A
+//     condition that evaluates FALSE (x > t) makes the node's left subtree
+//     unreachable, so each condition carries a leaf mask with zeros at the
+//     left subtree's leaf positions (leaves are numbered left to right).
+//   - Conditions are grouped per compact feature and sorted by threshold
+//     ascending. For a row value x, the false conditions are exactly an
+//     ascending prefix (x > t is monotone in t), so scoring walks each
+//     feature's array ANDing masks until the first true comparison — no
+//     per-node branches, no tree recursion, purely sequential loads.
+//   - Each tree keeps a leaf bitvector, initialized to all-ones over its
+//     leaf count. After every feature is processed, the exit leaf is the
+//     lowest set bit: any leaf left of the true exit shares an ancestor with
+//     it whose condition was false and which masked it out, and the exit
+//     leaf itself is only ever masked by conditions on its own root path
+//     that evaluated true — so it survives, and survives leftmost.
+//   - Trees are processed in cache-sized blocks (bvBlockTrees per block):
+//     one block's condition arrays and leaf vectors stay resident while the
+//     row sweeps it, the QuickScorer ∆-blocking scheme.
+//   - The mask word is sized to the ensemble, the scalar analog of
+//     V-QuickScorer's width specialization: when every tree has at most 32
+//     used leaves (shallow serving ensembles, the common case) the whole
+//     engine compiles with uint32 masks — 12-byte conditions instead of 16
+//     and half the leaf-vector bytes per row — and falls back to uint64 for
+//     anything up to BitvectorMaxLeaves.
+//
+// Exactness. The interpreted walk compares float64(x32) <= t with a float64
+// threshold; this backend stores float32 thresholds and compares in float32.
+// The two are made bit-equivalent — not approximately equal — by compiling
+// each threshold to bvThreshold32(t): the largest float32 whose float64
+// widening is <= t. float64 widening of float32 is monotone and injective,
+// so x32 <= bvThreshold32(t) iff float64(x32) <= t for every float32 x32
+// (including ±Inf; NaN values are handled as an always-false sweep of the
+// whole condition array, matching the interpreted walk's "NaN <= t is
+// false"). NaN *thresholds* make a condition false for every x, so they are
+// folded into the tree's initial bitvector at compile time and never
+// consulted at scoring time. The differential and fuzz tests in this package
+// hold the backends to math.Float64bits equality on every row.
+
+// BitvectorMaxLeaves is the widest leaf-mask: a tree is eligible for the
+// bitvector backend iff it has at most this many used leaves. Depth does not
+// matter — a depth-16 path tree has 16 leaves and compiles fine; a complete
+// depth-7 tree (64 leaves) is the widest complete shape that fits.
+const BitvectorMaxLeaves = 64
+
+// bvWord is the leaf-mask storage width. Compile picks the narrowest word
+// the ensemble's widest tree fits.
+type bvWord interface {
+	~uint32 | ~uint64
+}
+
+// bvBlockTrees is the tree-blocking factor: per row, one block's leaf
+// vectors (one mask word per tree) plus the touched slices of its condition
+// arrays are the working set. On sparse rows only a small fraction of each
+// block's conditions is read, so blocks are sized for the leaf vectors to
+// stay L1-resident rather than for total condition bytes (4KB at uint64
+// width); most serving ensembles fit a single block, which also means the
+// row's feature list is swept exactly once.
+const bvBlockTrees = 512
+
+// BlockTrees is bvBlockTrees for callers and tests that need to know where
+// the single-block fast path ends (e.g. to build an ensemble that crosses
+// into multi-block sweeping).
+const BlockTrees = bvBlockTrees
+
+// bvEngine is the compiled bitvector form of an ensemble, specialized to a
+// mask width.
+type bvEngine[W bvWord] struct {
+	blocks []bvBlock[W]
+	// initVec[t] is tree t's starting leaf bitvector: its leaf-count low
+	// bits set, minus the folds of always-false (NaN-threshold) conditions.
+	initVec []W
+	// zeroVec[t] is the all-zeros row's leaf bitvector: initVec with every
+	// negative-threshold condition's mask pre-applied (0 > t iff t < 0).
+	// Rows with no negative values start from it — any x > 0 exceeds every
+	// negative threshold, so its correct false-prefix is a superset of the
+	// pre-applied one and AND monotonicity makes the head start exact.
+	zeroVec []W
+	// direct fuses the engine's feature remap, the block's featIndex, and
+	// the run table into one original-feature-id → condition-run table,
+	// built only for single-block ensembles (≤ bvBlockTrees trees, the
+	// common serving shape). It lets the fast path score a row in one pass
+	// over its sparse indices — no touched-feature staging, and the
+	// per-feature load chain is two hops (direct entry → conditions)
+	// instead of three (remap → run index → run bounds → conditions):
+	// those hops serialize inside the sweep, so each one removed is
+	// latency off every touched feature. Features the model never splits
+	// on hold the empty run {0, 0}. Nil for multi-block engines, which
+	// sweep each block from the staged touched list instead.
+	direct []bvRun
+	// leafStart[t] offsets into leafWeight; leaves are stored per tree in
+	// left-to-right order, so "lowest set bit" indexes directly.
+	leafStart  []int32
+	leafWeight []float64
+	numConds   int
+}
+
+// bvBlock holds the conditions of one contiguous run of trees, grouped by
+// compact feature id and sorted by threshold ascending within each feature.
+type bvBlock[W bvWord] struct {
+	firstTree int32
+	numTrees  int32
+
+	feats []int32 // compact feature ids present in this block, hot-first
+	// (longest condition run first — see the layout comment in compileBV)
+	featStart []int32 // len(feats)+1 offsets into conds
+	negCount  []int32 // per feature: conditions with threshold < 0 (the
+	// exact false-prefix for x == 0, i.e. missing features)
+	// posRun[fi] is the [lo, hi) conds range the zeroVec paths walk: lo
+	// skips the negative prefix (featStart[fi]+negCount[fi]), hi is
+	// featStart[fi+1]. Packed as a pair so the sweep resolves a feature's
+	// run with a single 8-byte load.
+	posRun []bvRun
+
+	// featIndex inverts feats over the whole compact space (-1 = feature
+	// not in this block), so a row's touched features resolve to their
+	// condition runs in O(1) — the sparse-row adaptation of QuickScorer:
+	// rows carry far fewer features than the ensemble splits on, so the
+	// sweep visits the row's features, not every feature of the block.
+	featIndex []int32
+	// negFeats lists the positions in feats with negCount > 0 — the only
+	// features whose conditions can evaluate false when the row doesn't
+	// carry them (x = 0 > t requires t < 0). Everything else is skipped
+	// entirely for missing features.
+	negFeats []int32
+
+	conds []bvPacked[W] // featStart-indexed runs, thresholds ascending per run
+}
+
+// bvPacked is one compiled condition: threshold, block-local tree index and
+// the leaf mask interleaved in one struct (12 bytes at uint32 width, 16 at
+// uint64), so the sweep reads a single sequential stream. Two layouts were
+// measured slower on the gender-shaped benchmark: separately indexed
+// threshold/tree/mask streams (range over the interleaved stream is
+// bounds-check-free, split streams are not), and threshold-deduplicated
+// (threshold, cut) segments ahead of compare-free (tree, mask) pairs — the
+// second per-feature loop costs an extra exit misprediction per touched
+// feature, which outweighs the compares it saves.
+type bvPacked[W bvWord] struct {
+	thr  float32
+	tree int32
+	mask W
+}
+
+// bvRun is a half-open [lo, hi) range into a block's conds array.
+type bvRun struct {
+	lo, hi int32
+}
+
+// bvThreshold32 compiles a float64 split threshold into the largest float32
+// c with float64(c) <= t, so that for every float32 x: x <= c iff
+// float64(x) <= t. The caller folds NaN thresholds before calling.
+func bvThreshold32(t float64) float32 {
+	c := float32(t)
+	if float64(c) > t {
+		c = math.Nextafter32(c, float32(math.Inf(-1)))
+	}
+	return c
+}
+
+// bvCond is the pre-layout form of one condition, used only during compile.
+// Masks build in uint64 and narrow at packing time.
+type bvCond struct {
+	feat  int32
+	thr   float32
+	ltree int32
+	mask  uint64
+}
+
+// compileBitvector builds the bitvector backend at the narrowest mask width
+// the ensemble fits. Caller has already validated the trees and checked
+// every leaf count against BitvectorMaxLeaves.
+func compileBitvector(e *Engine, trees []*tree.Tree) {
+	if maxL, _ := maxLeafCount(trees); maxL <= 32 {
+		e.bv32 = compileBV[uint32](e, trees)
+	} else {
+		e.bv64 = compileBV[uint64](e, trees)
+	}
+}
+
+func compileBV[W bvWord](e *Engine, trees []*tree.Tree) *bvEngine[W] {
+	bv := &bvEngine[W]{
+		initVec:   make([]W, len(trees)),
+		leafStart: make([]int32, len(trees)+1),
+	}
+	numBlocks := (len(trees) + bvBlockTrees - 1) / bvBlockTrees
+	bv.blocks = make([]bvBlock[W], numBlocks)
+	var conds []bvCond // reused across blocks
+
+	for bi := 0; bi < numBlocks; bi++ {
+		first := bi * bvBlockTrees
+		last := min(first+bvBlockTrees, len(trees))
+		conds = conds[:0]
+		for gt := first; gt < last; gt++ {
+			t := trees[gt]
+			bv.leafStart[gt] = int32(len(bv.leafWeight))
+			nLeaves, fold := int32(0), ^uint64(0)
+			// Walk assigns leaf positions left to right and returns the
+			// subtree's [lo, hi) leaf range; a condition's mask clears its
+			// left child's range.
+			var walk func(node int) (lo, hi int32)
+			walk = func(node int) (int32, int32) {
+				n := &t.Nodes[node]
+				if n.Leaf {
+					pos := nLeaves
+					nLeaves++
+					bv.leafWeight = append(bv.leafWeight, n.Weight)
+					return pos, pos + 1
+				}
+				lLo, lHi := walk(tree.Left(node))
+				_, rHi := walk(tree.Right(node))
+				mask := ^(((uint64(1) << uint(lHi-lLo)) - 1) << uint(lLo))
+				if math.IsNaN(n.Value) {
+					// x <= NaN is false for every x: fold the always-taken
+					// mask into the starting vector instead of storing a
+					// condition that would need a NaN-aware comparison.
+					fold &= mask
+					return lLo, rHi
+				}
+				conds = append(conds, bvCond{
+					feat:  e.remap[n.Feature],
+					thr:   bvThreshold32(n.Value),
+					ltree: int32(gt - first),
+					mask:  mask,
+				})
+				return lLo, rHi
+			}
+			walk(0)
+			allOnes := ^uint64(0)
+			if nLeaves < 64 {
+				allOnes = (uint64(1) << uint(nLeaves)) - 1
+			}
+			// Narrowing is exact: the width was chosen so every live leaf
+			// bit fits W, and masks only matter on live bits.
+			bv.initVec[gt] = W(allOnes & fold)
+		}
+
+		// Deterministic layout: by feature, then threshold ascending (the
+		// sweep's prefix invariant), then tree and mask as total-order tie
+		// breaks. Masks of distinct nodes differ, so the order is unique.
+		sort.Slice(conds, func(a, b int) bool {
+			ca, cb := &conds[a], &conds[b]
+			if ca.feat != cb.feat {
+				return ca.feat < cb.feat
+			}
+			if ca.thr != cb.thr {
+				return ca.thr < cb.thr
+			}
+			if ca.ltree != cb.ltree {
+				return ca.ltree < cb.ltree
+			}
+			return ca.mask < cb.mask
+		})
+
+		b := &bv.blocks[bi]
+		b.firstTree = int32(first)
+		b.numTrees = int32(last - first)
+
+		// Group boundaries in the sorted (feature, threshold) order.
+		type group struct{ lo, hi int32 }
+		var groups []group
+		for i := 0; i < len(conds); {
+			j := i + 1
+			for j < len(conds) && conds[j].feat == conds[i].feat {
+				j++
+			}
+			groups = append(groups, group{int32(i), int32(j)})
+			i = j
+		}
+		// Hot-first layout: pack longer runs at the front of conds. Trees
+		// split most often on their informative features, which are also the
+		// features real rows carry most often, so the condition bytes a row
+		// actually sweeps concentrate in one contiguous front region that
+		// stays cache-resident from row to row instead of scattering across
+		// the whole array. The sweep reaches a group only through
+		// featIndex/posRun, so group order is free to permute; ties break on
+		// feature id to keep the layout deterministic.
+		sort.Slice(groups, func(a, b int) bool {
+			ga, gb := groups[a], groups[b]
+			if la, lb := ga.hi-ga.lo, gb.hi-gb.lo; la != lb {
+				return la > lb
+			}
+			return conds[ga.lo].feat < conds[gb.lo].feat
+		})
+
+		b.conds = make([]bvPacked[W], 0, len(conds))
+		for _, g := range groups {
+			b.feats = append(b.feats, conds[g.lo].feat)
+			b.featStart = append(b.featStart, int32(len(b.conds)))
+			neg := int32(0)
+			for _, c := range conds[g.lo:g.hi] {
+				if c.thr < 0 {
+					neg++
+				}
+				b.conds = append(b.conds, bvPacked[W]{thr: c.thr, tree: c.ltree, mask: W(c.mask)})
+			}
+			b.negCount = append(b.negCount, neg)
+		}
+		b.featStart = append(b.featStart, int32(len(b.conds)))
+		b.featIndex = make([]int32, e.numCompact)
+		for i := range b.featIndex {
+			b.featIndex[i] = -1
+		}
+		b.posRun = make([]bvRun, len(b.feats))
+		for fi, f := range b.feats {
+			b.featIndex[f] = int32(fi)
+			b.posRun[fi] = bvRun{lo: b.featStart[fi] + b.negCount[fi], hi: b.featStart[fi+1]}
+			if b.negCount[fi] > 0 {
+				b.negFeats = append(b.negFeats, int32(fi))
+			}
+		}
+		bv.numConds += len(conds)
+	}
+	bv.leafStart[len(trees)] = int32(len(bv.leafWeight))
+	bv.zeroVec = make([]W, len(trees))
+	copy(bv.zeroVec, bv.initVec)
+	for bi := range bv.blocks {
+		b := &bv.blocks[bi]
+		for _, c := range b.conds {
+			if c.thr < 0 {
+				bv.zeroVec[b.firstTree+c.tree] &= c.mask
+			}
+		}
+	}
+	if numBlocks == 1 {
+		b := &bv.blocks[0]
+		bv.direct = make([]bvRun, len(e.remap))
+		for orig, c := range e.remap {
+			if c >= 0 {
+				if fi := b.featIndex[c]; fi >= 0 {
+					bv.direct[orig] = b.posRun[fi]
+				}
+				// featIndex can be -1 even for a referenced feature: one
+				// whose every split has a NaN threshold compiles entirely
+				// into initVec and owns no condition run.
+			}
+			// Unmapped entries keep the zero value {0, 0} — the empty run —
+			// so unused features sweep zero conditions without a
+			// data-dependent branch.
+		}
+	}
+	return bv
+}
+
+// predictRowBV scores one row against the bitvector backend at its compiled
+// mask width.
+func (e *Engine) predictRowBV(s *scratch, indices []int32, values []float32) float64 {
+	if e.bv32 != nil {
+		return bvPredictRow(e, e.bv32, s.vec32, s, indices, values)
+	}
+	return bvPredictRow(e, e.bv64, s.vec64, s, indices, values)
+}
+
+// bvPredictRow scores one row. Single-block ensembles take the fused fast
+// path: one pass over the row's sparse indices, each resolved through the
+// direct table straight to its condition run — no staging of touched
+// features, no per-feature second lookup. The pass is optimistic about
+// signs (the overwhelmingly common shape for sparse count/tf-idf features
+// is non-negative): vectors start from zeroVec, which is exact for x >= 0
+// and NaN by AND monotonicity, and the first negative value abandons the
+// row to the general sweep, whose initVec + negative-prefix second pass
+// handles signs exactly.
+func bvPredictRow[W bvWord](e *Engine, bv *bvEngine[W], vec *[bvBlockTrees]W, s *scratch, indices []int32, values []float32) float64 {
+	if direct := bv.direct; direct != nil {
+		b := &bv.blocks[0]
+		copy(vec[:b.numTrees], bv.zeroVec[:b.numTrees])
+		conds := b.conds
+		if len(values) < len(indices) {
+			return bvPredictRowStaged(e, bv, vec, s, indices, values)
+		}
+		// Indices are sorted ascending, so entries past the table (features
+		// no tree references) form a suffix; trimming it here keeps the hot
+		// loop free of that compare.
+		n := len(indices)
+		for n > 0 && int(indices[n-1]) >= len(direct) {
+			n--
+		}
+		indices = indices[:n]
+		values = values[:n] // drops the per-entry bounds check
+		// Software pipelining: each feature's sweep starts with a serial
+		// load chain (direct entry, then its first conditions), and the
+		// table is too large to stay L1-resident under random feature-id
+		// access. Loading the NEXT feature's entry before sweeping the
+		// current run lets that miss overlap the sweep instead of stalling
+		// after it.
+		var r bvRun
+		if n > 0 {
+			r = direct[indices[0]]
+		}
+		for j := 0; j < n; j++ {
+			var rNext bvRun
+			if j+1 < n {
+				rNext = direct[indices[j+1]]
+			}
+			// Unused features resolve to the empty run, so there is no
+			// data-dependent "unused?" branch here — on real sparse rows
+			// roughly a fifth of the entries are unused and that branch
+			// mispredicts constantly.
+			x := values[j]
+			if x > 0 {
+				run := conds[r.lo:r.hi:r.hi]
+				// Ascending thresholds: apply while the condition is false
+				// (x > t); the first true comparison ends the prefix. Since
+				// x > run[k+1].thr implies x > run[k].thr, the two-wide loop
+				// pays one compare and one branch per two conditions — this
+				// loop is where a scored row spends most of its time. (A
+				// four-wide variant measured slower: its scalar tail loop
+				// adds a second mispredicting exit per touched feature.)
+				k := 0
+				for k+1 < len(run) && x > run[k+1].thr {
+					vec[run[k].tree&(bvBlockTrees-1)] &= run[k].mask
+					vec[run[k+1].tree&(bvBlockTrees-1)] &= run[k+1].mask
+					k += 2
+				}
+				if k < len(run) && x > run[k].thr {
+					vec[run[k].tree&(bvBlockTrees-1)] &= run[k].mask
+				}
+			} else if x < 0 {
+				return bvPredictRowStaged(e, bv, vec, s, indices, values)
+			} else if x != x {
+				// NaN: x > t and x <= t are both false; the interpreted
+				// walk goes right at every node — apply the whole run
+				// (empty for unused features). Negative-threshold
+				// conditions are already in zeroVec.
+				for _, c := range conds[r.lo:r.hi] {
+					vec[c.tree&(bvBlockTrees-1)] &= c.mask
+				}
+			}
+			// x == 0 (either sign): zeroVec already holds exactly this
+			// feature's false prefix.
+			r = rNext
+		}
+		return bvFinish(bv, b, vec, e.base)
+	}
+	return bvPredictRowStaged(e, bv, vec, s, indices, values)
+}
+
+// bvPredictRowStaged is the multi-block (and negative-row) scoring path: it
+// stages the row's model-relevant features once into scratch, then sweeps
+// every block from that list, so the sparse indices and the remap table are
+// read once rather than once per block.
+func bvPredictRowStaged[W bvWord](e *Engine, bv *bvEngine[W], vec *[bvBlockTrees]W, s *scratch, indices []int32, values []float32) float64 {
+	remap := e.remap
+	rowNeg := false
+	touched, vals := s.touched, s.vals
+	for j, idx := range indices {
+		if int(idx) >= len(remap) {
+			// Indices are sorted ascending; everything after is unused too.
+			break
+		}
+		if c := remap[idx]; c >= 0 {
+			v := values[j]
+			touched = append(touched, c)
+			vals = append(vals, v)
+			if v < 0 {
+				rowNeg = true
+			}
+		}
+	}
+	s.touched, s.vals = touched, vals
+	var sum float64
+	if rowNeg {
+		sum = bvScoreGeneral(e, bv, vec, s)
+	} else {
+		sum = bvScoreNonNeg(e, bv, vec, s)
+	}
+	s.touched = s.touched[:0]
+	s.vals = s.vals[:0]
+	return sum
+}
+
+// bvScoreNonNeg sweeps a staged row with no negative values. Leaf vectors
+// start from zeroVec — every negative-threshold condition pre-applied —
+// which is exact here: a feature at zero has precisely the negative prefix
+// false, and a feature at x > 0 has a false-prefix that contains it (x
+// exceeds every negative threshold), so the walk just continues from the
+// run's non-negative start. A NaN value fails every comparison, so its
+// whole run applies — again a superset of the pre-applied prefix. No second
+// pass over absent features.
+func bvScoreNonNeg[W bvWord](e *Engine, bv *bvEngine[W], vec *[bvBlockTrees]W, s *scratch) float64 {
+	sum := e.base
+	for bi := range bv.blocks {
+		b := &bv.blocks[bi]
+		copy(vec[:b.numTrees], bv.zeroVec[b.firstTree:b.firstTree+b.numTrees])
+		featIndex, runs, conds := b.featIndex, b.posRun, b.conds
+		for k, f := range s.touched {
+			fi := featIndex[f]
+			if fi < 0 {
+				continue
+			}
+			x := s.vals[k]
+			if x == 0 {
+				continue // zeroVec already holds exactly this feature's prefix
+			}
+			r := runs[fi]
+			run := conds[r.lo:r.hi]
+			if x == x {
+				// Two-wide false-prefix sweep; see bvPredictRow for why.
+				j := 0
+				for j+1 < len(run) && x > run[j+1].thr {
+					vec[run[j].tree&(bvBlockTrees-1)] &= run[j].mask
+					vec[run[j+1].tree&(bvBlockTrees-1)] &= run[j+1].mask
+					j += 2
+				}
+				if j < len(run) && x > run[j].thr {
+					vec[run[j].tree&(bvBlockTrees-1)] &= run[j].mask
+				}
+			} else {
+				// NaN: x > t and x <= t are both false; the interpreted
+				// walk goes right at every node — apply the whole run.
+				for _, c := range run {
+					vec[c.tree&(bvBlockTrees-1)] &= c.mask
+				}
+			}
+		}
+		sum = bvFinish(bv, b, vec, sum)
+	}
+	return sum
+}
+
+// bvScoreGeneral is the unrestricted sweep: leaf vectors start from initVec,
+// the row's features walk their full runs, and a second pass applies the
+// negative prefixes of features the row doesn't carry. The absent-feature
+// pass needs random-access lookups, so this path scatters the row into the
+// dense buffer first (and restores it before returning).
+func bvScoreGeneral[W bvWord](e *Engine, bv *bvEngine[W], vec *[bvBlockTrees]W, s *scratch) float64 {
+	for k, c := range s.touched {
+		s.dense[c] = s.vals[k]
+	}
+	sum := e.base
+	for bi := range bv.blocks {
+		b := &bv.blocks[bi]
+		copy(vec[:b.numTrees], bv.initVec[b.firstTree:b.firstTree+b.numTrees])
+		featIndex, featStart, conds := b.featIndex, b.featStart, b.conds
+		// Pass 1: the row's own features. Features the row doesn't carry
+		// (the vast majority on sparse data) never enter this loop.
+		for _, f := range s.touched {
+			fi := featIndex[f]
+			if fi < 0 {
+				continue
+			}
+			x := s.dense[f]
+			if x == 0 {
+				// Explicit zero behaves exactly like missing (0 > t iff
+				// t < 0); pass 2 covers it via the negative prefix.
+				continue
+			}
+			run := conds[featStart[fi]:featStart[fi+1]]
+			if x == x {
+				for _, c := range run {
+					if x <= c.thr {
+						break
+					}
+					vec[c.tree&(bvBlockTrees-1)] &= c.mask
+				}
+			} else {
+				// NaN fails every comparison — apply the whole run.
+				for _, c := range run {
+					vec[c.tree&(bvBlockTrees-1)] &= c.mask
+				}
+			}
+		}
+		// Pass 2: features absent from the row (or present as zero) whose
+		// condition arrays start with negative thresholds — the exact false
+		// set for x = 0 — applied with no comparisons at all.
+		for _, fi := range b.negFeats {
+			if s.dense[b.feats[fi]] != 0 {
+				continue // carried by the row with x != 0: pass 1 handled it
+			}
+			lo := featStart[fi]
+			for _, c := range conds[lo : lo+b.negCount[fi]] {
+				vec[c.tree&(bvBlockTrees-1)] &= c.mask
+			}
+		}
+		sum = bvFinish(bv, b, vec, sum)
+	}
+	for _, c := range s.touched {
+		s.dense[c] = 0
+	}
+	return sum
+}
+
+// bvFinish folds one block's leaf vectors into the running score: each
+// tree's exit leaf is the lowest surviving bit. Trees are added in ensemble
+// order, preserving the interpreted walk's summation order bit for bit.
+// The exit bit always exists — the rightmost leaf is in the right subtree
+// of every ancestor, and masks only ever clear left subtrees — so the
+// vector is never zero and the uint64 widening is exact at either width.
+func bvFinish[W bvWord](bv *bvEngine[W], b *bvBlock[W], vec *[bvBlockTrees]W, sum float64) float64 {
+	base := int(b.firstTree)
+	ls := bv.leafStart[base : base+int(b.numTrees)]
+	lw := bv.leafWeight
+	for t, start := range ls {
+		leaf := bits.TrailingZeros64(uint64(vec[t&(bvBlockTrees-1)]))
+		sum += lw[int(start)+leaf]
+	}
+	return sum
+}
+
+// NumConditions returns the compiled condition count of the bitvector
+// backend (0 for the SoA backend).
+func (e *Engine) NumConditions() int {
+	switch {
+	case e.bv32 != nil:
+		return e.bv32.numConds
+	case e.bv64 != nil:
+		return e.bv64.numConds
+	}
+	return 0
+}
+
+// MaskBits returns the bitvector backend's compiled leaf-mask width in bits
+// (32 or 64), or 0 for the SoA backend.
+func (e *Engine) MaskBits() int {
+	switch {
+	case e.bv32 != nil:
+		return 32
+	case e.bv64 != nil:
+		return 64
+	}
+	return 0
+}
+
+// sizeBytes estimates the bitvector backend's in-memory footprint.
+func (bv *bvEngine[W]) sizeBytes() int64 {
+	word := int64(8)
+	if uint64(^W(0)) <= uint64(^uint32(0)) {
+		word = 4
+	}
+	n := int64(len(bv.initVec))*word + int64(len(bv.zeroVec))*word + int64(len(bv.direct))*8
+	n += int64(len(bv.leafStart))*4 + int64(len(bv.leafWeight))*8
+	for i := range bv.blocks {
+		b := &bv.blocks[i]
+		n += int64(len(b.feats))*4 + int64(len(b.featStart))*4 + int64(len(b.negCount))*4
+		n += int64(len(b.featIndex))*4 + int64(len(b.negFeats))*4 + int64(len(b.posRun))*8
+		n += int64(len(b.conds)) * (8 + word)
+	}
+	return n
+}
+
+// maxLeafCount returns the largest used-leaf count across the trees, for
+// backend eligibility and mask-width selection.
+func maxLeafCount(trees []*tree.Tree) (int, int) {
+	maxL, at := 0, -1
+	for i, t := range trees {
+		if l := t.NumLeaves(); l > maxL {
+			maxL, at = l, i
+		}
+	}
+	return maxL, at
+}
+
+var errTooManyLeaves = fmt.Errorf("predict: tree exceeds %d leaves for the bitvector backend", BitvectorMaxLeaves)

@@ -1,0 +1,192 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dimboost/internal/dataset"
+	"dimboost/internal/tree"
+)
+
+// TestBVThreshold32 pins the narrowing rule: bvThreshold32(t) is the largest
+// float32 c with float64(c) <= t, so x <= c iff float64(x) <= t for every
+// float32 x. Checked exhaustively around the rounding boundary of random and
+// special thresholds.
+func TestBVThreshold32(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	thrs := []float64{
+		0, 1, -1, 0.1, -0.3, 1.0 / 3.0, 5e-324, -5e-324, 1e-40, -1e-40,
+		3.4e38, -3.4e38, 3.5e38, -3.5e38, 1e300, -1e300,
+		math.MaxFloat64, -math.MaxFloat64, math.Inf(1), math.Inf(-1),
+		math.Copysign(0, -1),
+	}
+	for i := 0; i < 2000; i++ {
+		thrs = append(thrs, rng.NormFloat64()*math.Pow(10, float64(rng.Intn(80)-40)))
+	}
+	for _, thr := range thrs {
+		c := bvThreshold32(thr)
+		if float64(c) > thr {
+			t.Fatalf("bvThreshold32(%v) = %v widens above the threshold", thr, c)
+		}
+		// Probe x at the compiled threshold, one ulp either side, the raw
+		// float32 rounding of t, and infinities.
+		probes := []float32{
+			c,
+			math.Nextafter32(c, float32(math.Inf(1))),
+			math.Nextafter32(c, float32(math.Inf(-1))),
+			float32(thr), 0,
+			float32(math.Inf(1)), float32(math.Inf(-1)),
+		}
+		for _, x := range probes {
+			got := x <= c
+			want := float64(x) <= thr
+			if got != want {
+				t.Fatalf("thr %v (c=%v) x=%v: float32 compare %v, float64 compare %v",
+					thr, c, x, got, want)
+			}
+		}
+	}
+}
+
+// TestBackendSelection covers the auto-selection rule and forced backends.
+func TestBackendSelection(t *testing.T) {
+	small := tree.New(3)
+	small.SetSplit(0, 1, 0.5, 1)
+	small.SetLeaf(1, 1)
+	small.SetLeaf(2, 2)
+
+	// 128 leaves: one past the mask width in every direction.
+	wide := tree.New(8)
+	var grow func(node, level int)
+	grow = func(node, level int) {
+		if level == 8 {
+			t := float64(node)
+			wide.SetLeaf(node, t)
+			return
+		}
+		wide.SetSplit(node, int32(level), 0.25, 1)
+		grow(tree.Left(node), level+1)
+		grow(tree.Right(node), level+1)
+	}
+	grow(0, 1)
+
+	cases := []struct {
+		name    string
+		trees   []*tree.Tree
+		backend Backend
+		want    Backend
+		wantErr string
+	}{
+		{"auto-small", []*tree.Tree{small}, BackendAuto, BackendBitvector, ""},
+		{"auto-wide", []*tree.Tree{small, wide}, BackendAuto, BackendSoA, ""},
+		{"forced-soa", []*tree.Tree{small}, BackendSoA, BackendSoA, ""},
+		{"forced-bv", []*tree.Tree{small}, BackendBitvector, BackendBitvector, ""},
+		{"forced-bv-wide", []*tree.Tree{small, wide}, BackendBitvector, 0, "128 leaves"},
+		{"empty", nil, BackendAuto, BackendBitvector, ""},
+	}
+	for _, c := range cases {
+		eng, err := CompileBackend(c.trees, 0.5, c.backend)
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("%s: err = %v, want mention of %q", c.name, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if eng.Backend() != c.want {
+			t.Fatalf("%s: backend = %v, want %v", c.name, eng.Backend(), c.want)
+		}
+	}
+
+	// A depth-7 complete tree has exactly 64 leaves — the widest eligible
+	// shape; a depth-17 path tree is deep but narrow and stays eligible.
+	exact := tree.New(7)
+	var grow7 func(node, level int)
+	grow7 = func(node, level int) {
+		if level == 7 {
+			exact.SetLeaf(node, 1)
+			return
+		}
+		exact.SetSplit(node, 0, 0.5, 1)
+		grow7(tree.Left(node), level+1)
+		grow7(tree.Right(node), level+1)
+	}
+	grow7(0, 1)
+	if exact.NumLeaves() != BitvectorMaxLeaves {
+		t.Fatalf("depth-7 complete tree has %d leaves", exact.NumLeaves())
+	}
+	eng, err := CompileBackend([]*tree.Tree{exact}, 0, BackendBitvector)
+	if err != nil {
+		t.Fatalf("64-leaf tree refused: %v", err)
+	}
+	if eng.NumConditions() != 63 {
+		t.Fatalf("conditions = %d, want 63", eng.NumConditions())
+	}
+}
+
+// TestParseBackend round-trips the selector values.
+func TestParseBackend(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Backend
+		ok   bool
+	}{
+		{"auto", BackendAuto, true}, {"", BackendAuto, true},
+		{"soa", BackendSoA, true}, {"bitvector", BackendBitvector, true},
+		{"bv", BackendBitvector, true}, {"quickscorer", BackendBitvector, true},
+		{"compiled", 0, false}, {"BITVECTOR", 0, false},
+	} {
+		got, err := ParseBackend(c.in)
+		if c.ok != (err == nil) || (c.ok && got != c.want) {
+			t.Fatalf("ParseBackend(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	for _, b := range []Backend{BackendAuto, BackendSoA, BackendBitvector} {
+		rt, err := ParseBackend(b.String())
+		if err != nil || rt != b {
+			t.Fatalf("round-trip %v: %v, %v", b, rt, err)
+		}
+	}
+}
+
+// TestBVNaNThresholdFold: a NaN split threshold means "x <= NaN" is false
+// for every x — the condition folds into the tree's initial bitvector and
+// every row exits through the right subtree, exactly like the interpreted
+// walk.
+func TestBVNaNThresholdFold(t *testing.T) {
+	tr := tree.New(3)
+	tr.SetSplit(0, 2, math.NaN(), 1)
+	tr.SetLeaf(1, 100) // unreachable: 0 <= NaN is false
+	tr.SetSplit(2, 2, 0.5, 1)
+	tr.SetLeaf(tree.Left(2), 7)
+	tr.SetLeaf(tree.Right(2), 9)
+
+	eng, err := CompileBackend([]*tree.Tree{tr}, 0, BackendBitvector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The NaN condition is folded, not stored.
+	if eng.NumConditions() != 1 {
+		t.Fatalf("conditions = %d, want 1 (NaN condition folded)", eng.NumConditions())
+	}
+	for _, c := range []struct {
+		x    float32
+		want float64
+	}{{0, 7}, {0.5, 7}, {0.6, 9}, {-5, 7}, {float32(math.NaN()), 9}} {
+		in := instOne(2, c.x)
+		if got := eng.Predict(in); got != c.want {
+			t.Fatalf("x=%v: bitvector %v, want %v", c.x, got, c.want)
+		}
+		if ref := tr.Predict(in); ref != c.want {
+			t.Fatalf("x=%v: interpreted reference drifted: %v != %v", c.x, ref, c.want)
+		}
+	}
+}
+
+func instOne(f int32, v float32) dataset.Instance {
+	return dataset.Instance{Indices: []int32{f}, Values: []float32{v}}
+}

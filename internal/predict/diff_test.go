@@ -8,6 +8,7 @@ package predict_test
 // pool enabled, so `go test -race` exercises the scatter-buffer pooling.
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -115,9 +116,59 @@ func randModel(rng *rand.Rand, numFeatures int) *core.Model {
 	return m
 }
 
-// TestDifferentialPredictBatch is the headline property: across ≥ 1000
-// randomized ensemble×row cases, Engine.PredictBatch (parallel pool
-// enabled) is bit-exact against the interpreted Model.Predict.
+// bothBackends compiles the ensemble with each backend forced (skipping
+// bitvector when a tree exceeds the leaf-mask width) so every differential
+// case gates the SoA walk and the QuickScorer rewrite alike.
+func bothBackends(t *testing.T, m *core.Model) []*predict.Engine {
+	t.Helper()
+	soa, err := predict.CompileBackend(m.Trees, m.BaseScore, predict.BackendSoA)
+	if err != nil {
+		t.Fatalf("compile soa: %v", err)
+	}
+	engines := []*predict.Engine{soa}
+	bv, err := predict.CompileBackend(m.Trees, m.BaseScore, predict.BackendBitvector)
+	if err == nil {
+		engines = append(engines, bv)
+	} else {
+		// Ineligible ensembles must say why, and auto must agree by
+		// resolving to the SoA walk.
+		auto, aerr := predict.Compile(m.Trees, m.BaseScore)
+		if aerr != nil {
+			t.Fatalf("auto compile after bitvector refusal: %v", aerr)
+		}
+		if auto.Backend() != predict.BackendSoA {
+			t.Fatalf("auto backend = %v for bitvector-ineligible ensemble", auto.Backend())
+		}
+	}
+	return engines
+}
+
+// diffBatch checks one ensemble × dataset case on every backend, bitwise,
+// and returns the number of (row × backend) comparisons performed.
+func diffBatch(t *testing.T, m *core.Model, ds *dataset.Dataset, tag string) int {
+	t.Helper()
+	want := make([]float64, ds.NumRows())
+	for i := range want {
+		want[i] = m.Predict(ds.Row(i))
+	}
+	cases := 0
+	for _, eng := range bothBackends(t, m) {
+		got := eng.PredictBatch(ds)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("%s row %d [%v]: compiled %v (bits %x) != interpreted %v (bits %x)",
+					tag, i, eng.Backend(), got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+			}
+		}
+		cases += ds.NumRows()
+	}
+	return cases
+}
+
+// TestDifferentialPredictBatch is the headline property: across ≥ 1400
+// randomized ensemble×row×backend cases, Engine.PredictBatch (parallel pool
+// enabled, both backends) is bit-exact against the interpreted
+// Model.Predict.
 func TestDifferentialPredictBatch(t *testing.T) {
 	featureSpaces := []int{1, 3, 17, 500, 33_000}
 	cases := 0
@@ -128,11 +179,6 @@ func TestDifferentialPredictBatch(t *testing.T) {
 		rowFeatures := []int{(nf + 1) / 2, nf, 2 * nf}[trial%3]
 		m := randModel(rng, nf)
 
-		eng, err := predict.Compile(m.Trees, m.BaseScore)
-		if err != nil {
-			t.Fatalf("trial %d: compile: %v", trial, err)
-		}
-
 		b := dataset.NewBuilder(0)
 		const rows = 30
 		for r := 0; r < rows; r++ {
@@ -141,20 +187,49 @@ func TestDifferentialPredictBatch(t *testing.T) {
 				t.Fatalf("trial %d row %d: %v", trial, r, err)
 			}
 		}
-		ds := b.Build()
+		cases += diffBatch(t, m, b.Build(), fmt.Sprintf("trial %d", trial))
+	}
+	if cases < 1400 {
+		t.Fatalf("only %d differential cases, want >= 1400", cases)
+	}
+}
 
-		got := eng.PredictBatch(ds)
-		for i := 0; i < ds.NumRows(); i++ {
-			want := m.Predict(ds.Row(i))
+// TestDifferentialMultiBlock crosses the tree-blocking boundary: ensembles
+// larger than one cache block take the staged sweep path — touched-feature
+// staging per block instead of the fused direct table — and must stay
+// bit-exact there too, including on rows with negative and NaN values.
+func TestDifferentialMultiBlock(t *testing.T) {
+	rng := newRand(431)
+	m := &core.Model{Loss: loss.Squared, BaseScore: 0.5}
+	for i := 0; i < predict.BlockTrees+18; i++ {
+		m.Trees = append(m.Trees, randTree(rng, 1+rng.Intn(4), 120))
+	}
+
+	b := dataset.NewBuilder(0)
+	for r := 0; r < 40; r++ {
+		in := randInstance(rng, 150)
+		if err := b.Add(in.Indices, in.Values, 0); err != nil {
+			t.Fatalf("row %d: %v", r, err)
+		}
+	}
+	diffBatch(t, m, b.Build(), "multi-block")
+
+	// NaN and negative values force the always-false full-run sweep and the
+	// negative-prefix second pass on the staged path.
+	insts := []dataset.Instance{
+		{Indices: []int32{3, 40, 77}, Values: []float32{float32(math.NaN()), -1, 0.25}},
+		{Indices: []int32{0, 119}, Values: []float32{-2.5, float32(math.NaN())}},
+		{},
+	}
+	for _, eng := range bothBackends(t, m) {
+		got := eng.PredictInstances(insts)
+		for i, in := range insts {
+			want := m.Predict(in)
 			if math.Float64bits(got[i]) != math.Float64bits(want) {
-				t.Fatalf("trial %d row %d: compiled %v (bits %x) != interpreted %v (bits %x)",
-					trial, i, got[i], math.Float64bits(got[i]), want, math.Float64bits(want))
+				t.Fatalf("multi-block inst %d [%v]: compiled %v != interpreted %v",
+					i, eng.Backend(), got[i], want)
 			}
 		}
-		cases += ds.NumRows()
-	}
-	if cases < 1000 {
-		t.Fatalf("only %d differential cases, want >= 1000", cases)
 	}
 }
 
@@ -166,22 +241,20 @@ func TestDifferentialPredictInstances(t *testing.T) {
 		rng := rand.New(rand.NewSource(int64(trial)*104729 + 17))
 		nf := []int{2, 40, 1000}[trial%3]
 		m := randModel(rng, nf)
-		eng, err := predict.Compile(m.Trees, m.BaseScore)
-		if err != nil {
-			t.Fatalf("trial %d: compile: %v", trial, err)
-		}
 		ins := make([]dataset.Instance, 25)
 		for i := range ins {
 			ins[i] = randInstance(rng, 2*nf)
 		}
-		got := eng.PredictInstances(ins)
-		for i, in := range ins {
-			want := m.Predict(in)
-			if math.Float64bits(got[i]) != math.Float64bits(want) {
-				t.Fatalf("trial %d instance %d: compiled %v != interpreted %v", trial, i, got[i], want)
-			}
-			if one := eng.Predict(in); math.Float64bits(one) != math.Float64bits(want) {
-				t.Fatalf("trial %d instance %d: Predict %v != interpreted %v", trial, i, one, want)
+		for _, eng := range bothBackends(t, m) {
+			got := eng.PredictInstances(ins)
+			for i, in := range ins {
+				want := m.Predict(in)
+				if math.Float64bits(got[i]) != math.Float64bits(want) {
+					t.Fatalf("trial %d instance %d [%v]: compiled %v != interpreted %v", trial, i, eng.Backend(), got[i], want)
+				}
+				if one := eng.Predict(in); math.Float64bits(one) != math.Float64bits(want) {
+					t.Fatalf("trial %d instance %d [%v]: Predict %v != interpreted %v", trial, i, eng.Backend(), one, want)
+				}
 			}
 		}
 	}
@@ -200,10 +273,16 @@ func TestDifferentialTrainedModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The model cache's auto engine and both forced backends all score the
+	// trained ensemble bit-identically to the interpreted walk.
 	eng, err := m.Compiled()
 	if err != nil {
 		t.Fatal(err)
 	}
+	if eng.Backend() != predict.BackendBitvector {
+		t.Fatalf("trained depth-5 model auto-selected %v, want bitvector", eng.Backend())
+	}
+	diffBatch(t, m, d, "trained")
 	got := eng.PredictBatch(d)
 	for i := 0; i < d.NumRows(); i++ {
 		want := m.Predict(d.Row(i))
@@ -211,4 +290,186 @@ func TestDifferentialTrainedModel(t *testing.T) {
 			t.Fatalf("row %d: compiled %v != interpreted %v", i, got[i], want)
 		}
 	}
+}
+
+// ---- Adversarial cases the bitvector rewrite must survive. These landed
+// ahead of the backend so they gate it: every case runs against both
+// backends through diffBatch and is checked bitwise.
+
+// pathTree builds a depth-`depth` tree that is a single root-to-leaf chain
+// (each split's non-chain child is a leaf): maximal depth, minimal leaf
+// count, the shape that stresses deep masks without tripping the leaf-width
+// limit. turn selects whether the chain descends left or right at each
+// level; features and thresholds cycle through the given palettes.
+func pathTree(depth int, feats []int32, thrs []float64, turn func(level int) bool) *tree.Tree {
+	t := tree.New(depth)
+	node := 0
+	for level := 0; level < depth-1; level++ {
+		t.SetSplit(node, feats[level%len(feats)], thrs[level%len(thrs)], 1)
+		if turn(level) {
+			t.SetLeaf(tree.Right(node), float64(level)+0.5)
+			node = tree.Left(node)
+		} else {
+			t.SetLeaf(tree.Left(node), -float64(level)-0.5)
+			node = tree.Right(node)
+		}
+	}
+	t.SetLeaf(node, 99.25)
+	return t
+}
+
+// fullTree builds a complete tree of the given depth (2^(depth-1) leaves)
+// splitting on the given feature palette with the given thresholds.
+func fullTree(depth int, feats []int32, thrs []float64) *tree.Tree {
+	t := tree.New(depth)
+	leaf := 0.0
+	var grow func(node, level int)
+	grow = func(node, level int) {
+		if level == depth {
+			leaf++
+			t.SetLeaf(node, leaf/8)
+			return
+		}
+		t.SetSplit(node, feats[level%len(feats)], thrs[level%len(thrs)], 1)
+		grow(tree.Left(node), level+1)
+		grow(tree.Right(node), level+1)
+	}
+	grow(0, 1)
+	return t
+}
+
+// notF32 is a palette of thresholds that are NOT exactly representable in
+// float32 — the values where a naive float32 threshold cast would flip the
+// comparison — plus magnitudes past the float32 range and a subnormal.
+var notF32 = []float64{
+	0.1, -0.3, 1.0 / 3.0, 2.718281828459045, -1e-40, 1e-40,
+	3.5e38, -3.5e38, 1e300, -1e300, 5e-324, math.MaxFloat64,
+}
+
+// boundaryRows builds instances whose values sit exactly at
+// float32(threshold) and one ulp to either side, for every threshold in the
+// palette — the float64(float32 x) <= t boundary in all three positions.
+func boundaryRows(feats []int32, thrs []float64) []dataset.Instance {
+	var ins []dataset.Instance
+	for _, tv := range thrs {
+		c := float32(tv)
+		for _, x := range []float32{
+			c,
+			math.Nextafter32(c, float32(math.Inf(1))),
+			math.Nextafter32(c, float32(math.Inf(-1))),
+			0, float32(math.Inf(1)), float32(math.Inf(-1)),
+		} {
+			kv := map[int]float32{}
+			for _, f := range feats {
+				kv[int(f)] = x
+			}
+			ins = append(ins, inst(kv))
+		}
+	}
+	return ins
+}
+
+func instancesToDataset(t *testing.T, ins []dataset.Instance) *dataset.Dataset {
+	t.Helper()
+	b := dataset.NewBuilder(0)
+	for _, in := range ins {
+		if err := b.Add(in.Indices, in.Values, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// TestDifferentialDeepTrees: depth-17 chains (16 splits on a root-to-leaf
+// path, 17 leaves) in every zigzag pattern, plus a depth-8 complete tree
+// (128 leaves) that must force the SoA fallback under auto selection.
+func TestDifferentialDeepTrees(t *testing.T) {
+	feats := []int32{0, 3, 7, 11}
+	m := &core.Model{Loss: loss.Squared, BaseScore: 0.125}
+	m.Trees = append(m.Trees,
+		pathTree(17, feats, notF32, func(int) bool { return true }),
+		pathTree(17, feats, notF32, func(int) bool { return false }),
+		pathTree(17, feats, notF32, func(l int) bool { return l%2 == 0 }),
+		pathTree(17, feats, thresholdPalette, func(l int) bool { return l%3 != 0 }),
+	)
+	rng := newRand(41)
+	ins := boundaryRows(feats, notF32)
+	for i := 0; i < 60; i++ {
+		ins = append(ins, randInstance(rng, 16))
+	}
+	diffBatch(t, m, instancesToDataset(t, ins), "deep-path")
+
+	// A 128-leaf tree exceeds the 64-bit mask: bitvector must refuse it by
+	// name and auto must fall back — bothBackends asserts both.
+	wide := &core.Model{Loss: loss.Squared}
+	wide.Trees = append(wide.Trees, fullTree(8, feats, notF32), m.Trees[0])
+	if _, err := predict.CompileBackend(wide.Trees, 0, predict.BackendBitvector); err == nil {
+		t.Fatal("bitvector backend accepted a 128-leaf tree")
+	}
+	diffBatch(t, wide, instancesToDataset(t, ins), "wide-fallback")
+}
+
+// TestDifferentialDuplicateThresholds: one feature carries the same
+// threshold at many nodes of one tree and across trees — the sorted
+// condition array has long runs of equal keys whose relative order must not
+// matter.
+func TestDifferentialDuplicateThresholds(t *testing.T) {
+	const f = int32(5)
+	dup := []float64{0.25, 0.25, 0.25}
+	m := &core.Model{Loss: loss.Squared, BaseScore: -1}
+	m.Trees = append(m.Trees,
+		fullTree(5, []int32{f}, dup),    // same feature+threshold at all 15 splits
+		fullTree(4, []int32{f, 2}, dup), // interleaved with a second feature
+		pathTree(10, []int32{f}, dup, func(l int) bool { return l%2 == 0 }),
+		fullTree(3, []int32{f}, []float64{0.25, math.Nextafter(0.25, 1)}),
+	)
+	ins := boundaryRows([]int32{f, 2}, []float64{0.25})
+	ins = append(ins, inst(map[int]float32{int(f): 0.25}), inst(nil),
+		inst(map[int]float32{int(f): 0.2500001}), inst(map[int]float32{2: 0.25}))
+	rng := newRand(43)
+	for i := 0; i < 40; i++ {
+		ins = append(ins, randInstance(rng, 8))
+	}
+	diffBatch(t, m, instancesToDataset(t, ins), "dup-thresholds")
+}
+
+// TestDifferentialSingleLeafTrees: depth-1 trees (a bare root leaf) mixed
+// into an ensemble — no conditions, the leaf bitvector is a single bit.
+func TestDifferentialSingleLeafTrees(t *testing.T) {
+	leaf1, leaf2 := tree.New(1), tree.New(1)
+	leaf1.SetLeaf(0, 3.5)
+	leaf2.SetLeaf(0, -0.125)
+	m := &core.Model{Loss: loss.Squared, BaseScore: 2}
+	m.Trees = append(m.Trees, leaf1, fullTree(4, []int32{1, 9}, notF32), leaf2)
+	rng := newRand(47)
+	ins := boundaryRows([]int32{1, 9}, notF32)
+	for i := 0; i < 40; i++ {
+		ins = append(ins, randInstance(rng, 12))
+	}
+	diffBatch(t, m, instancesToDataset(t, ins), "single-leaf")
+
+	only := &core.Model{Loss: loss.Squared, BaseScore: -4}
+	only.Trees = []*tree.Tree{leaf1, leaf2}
+	diffBatch(t, only, instancesToDataset(t, ins), "all-single-leaf")
+}
+
+// TestDifferentialF32BoundaryThresholds: ensembles whose thresholds are not
+// float32-representable, scored on rows whose values sit exactly at
+// float64(float32(threshold)) and one ulp off — the cases where the
+// bitvector backend's threshold narrowing must round in the provably safe
+// direction.
+func TestDifferentialF32BoundaryThresholds(t *testing.T) {
+	feats := []int32{0, 1, 2, 3}
+	m := &core.Model{Loss: loss.Squared, BaseScore: 0.5}
+	m.Trees = append(m.Trees,
+		fullTree(5, feats, notF32),
+		fullTree(4, feats, []float64{notF32[0], notF32[3], notF32[6], notF32[9]}),
+		pathTree(13, feats, notF32, func(l int) bool { return l%2 == 1 }),
+	)
+	ins := boundaryRows(feats, notF32)
+	rng := newRand(53)
+	for i := 0; i < 60; i++ {
+		ins = append(ins, randInstance(rng, 8))
+	}
+	diffBatch(t, m, instancesToDataset(t, ins), "f32-boundary")
 }

@@ -24,11 +24,20 @@
 //     recycled through a sync.Pool, so steady-state scoring allocates
 //     nothing.
 //
-// Exactness: the engine is bit-identical to the interpreted walk, and the
-// differential tests in this package prove it. Missing features read as 0
-// (the scatter buffer's resting state), the split comparison is the same
-// float64(float32 value) <= threshold, and trees accumulate in the same
-// order with the same float64 additions, so every rounding step matches.
+// Since PR 7 the engine has a second, faster representation: the
+// QuickScorer-style bitvector backend (bitvector.go) replaces the per-node
+// branches of the SoA walk with a branch-free sweep over per-feature sorted
+// condition arrays. Compile auto-selects it whenever every tree fits the
+// 64-bit leaf mask; CompileBackend forces either representation, and both
+// sit behind the same Engine API.
+//
+// Exactness: both backends are bit-identical to the interpreted walk, and
+// the differential tests in this package prove it. Missing features read as
+// 0 (the scatter buffer's resting state), the split comparison preserves
+// float64(float32 value) <= threshold semantics exactly (the bitvector
+// backend via a rounding-aware float32 threshold compilation), and trees
+// accumulate in the same order with the same float64 additions, so every
+// rounding step matches.
 package predict
 
 import (
@@ -40,8 +49,51 @@ import (
 	"time"
 
 	"dimboost/internal/dataset"
+	"dimboost/internal/obs"
 	"dimboost/internal/tree"
 )
+
+// Backend selects the scoring representation an Engine compiles to.
+type Backend uint8
+
+const (
+	// BackendAuto picks the bitvector backend when every tree fits the
+	// leaf-mask width (BitvectorMaxLeaves) and falls back to the SoA walk
+	// otherwise.
+	BackendAuto Backend = iota
+	// BackendSoA is the structure-of-arrays root-to-leaf walk (PR 4).
+	BackendSoA
+	// BackendBitvector is the QuickScorer-style branch-free traversal; see
+	// bitvector.go. Compiling an ensemble with a tree past
+	// BitvectorMaxLeaves leaves fails.
+	BackendBitvector
+)
+
+// String returns the flag-friendly backend name.
+func (b Backend) String() string {
+	switch b {
+	case BackendAuto:
+		return "auto"
+	case BackendSoA:
+		return "soa"
+	case BackendBitvector:
+		return "bitvector"
+	}
+	return fmt.Sprintf("backend(%d)", uint8(b))
+}
+
+// ParseBackend parses a -engine style selector value.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "auto", "":
+		return BackendAuto, nil
+	case "soa":
+		return BackendSoA, nil
+	case "bitvector", "bv", "quickscorer":
+		return BackendBitvector, nil
+	}
+	return BackendAuto, fmt.Errorf("predict: unknown backend %q (want auto, soa, or bitvector)", s)
+}
 
 // Engine scores rows against a compiled ensemble. It is safe for concurrent
 // use; all fields are read-only after Compile.
@@ -50,11 +102,14 @@ type Engine struct {
 	// runtime.GOMAXPROCS(0). Set it before the first batch call.
 	Workers int
 
-	base float64
+	base    float64
+	backend Backend // resolved: BackendSoA or BackendBitvector
+	nodes   int     // used nodes across all trees, backend-independent
 
-	// Structure-of-arrays node storage, ensemble-wide. Node i is a leaf iff
-	// left[i] < 0; leaves read weight[i], internal nodes read feature[i]
-	// (a compact feature id), threshold[i], and children left[i], left[i]+1.
+	// Structure-of-arrays node storage, ensemble-wide (SoA backend only).
+	// Node i is a leaf iff left[i] < 0; leaves read weight[i], internal
+	// nodes read feature[i] (a compact feature id), threshold[i], and
+	// children left[i], left[i]+1.
 	feature   []int32
 	threshold []float64
 	left      []int32
@@ -62,29 +117,61 @@ type Engine struct {
 	// roots[t] is the slot of tree t's root.
 	roots []int32
 
+	// bv32/bv64 are the bitvector backend's storage at its compiled mask
+	// width (both nil for the SoA backend; at most one is set).
+	bv32 *bvEngine[uint32]
+	bv64 *bvEngine[uint64]
+
 	// remap translates global feature ids to compact ids ([0, numCompact));
 	// -1 marks features the ensemble never splits on. Global ids past
 	// len(remap) are likewise unused.
 	remap      []int32
 	numCompact int
+	numTrees   int
+
+	// Per-backend instruments, resolved once at compile so the hot path
+	// pays two atomic adds per batch regardless of backend.
+	mRows  *obs.Counter
+	mBatch *obs.Histogram
 
 	pool sync.Pool // *scratch
 }
 
 // scratch is one worker's scoring state: a dense buffer over the compact
-// feature space plus the list of slots the current row dirtied.
+// feature space, the list of slots the current row dirtied, and (bitvector
+// backend) one block's worth of per-tree leaf vectors.
 type scratch struct {
 	dense   []float32
 	touched []int32
+	// vals pairs with touched on the bitvector path: the row's values in
+	// compact-feature order, so the common sweep never builds the dense
+	// buffer at all.
+	vals []float32
+	// vec32/vec64 are fixed-width arrays (not slices) so the sweep's
+	// leaf-vector updates index them as vec[tree&(bvBlockTrees-1)] — a
+	// no-op mask that proves the index in-bounds and drops the bounds
+	// check from the hottest loop in the backend. Only the engine's
+	// compiled mask width is allocated.
+	vec32 *[bvBlockTrees]uint32
+	vec64 *[bvBlockTrees]uint64
 }
 
 // Compile flattens a trained ensemble (trees plus base score) into an
-// Engine. Each tree must satisfy tree.Validate; the trees are not retained
-// and may be mutated afterwards without affecting the engine.
+// Engine, auto-selecting the backend. Each tree must satisfy tree.Validate;
+// the trees are not retained and may be mutated afterwards without affecting
+// the engine.
 func Compile(trees []*tree.Tree, baseScore float64) (*Engine, error) {
+	return CompileBackend(trees, baseScore, BackendAuto)
+}
+
+// CompileBackend is Compile with an explicit backend selection.
+// BackendBitvector fails when any tree has more than BitvectorMaxLeaves
+// used leaves; BackendAuto falls back to BackendSoA in that case.
+func CompileBackend(trees []*tree.Tree, baseScore float64, backend Backend) (*Engine, error) {
 	start := time.Now()
 
-	// Pass 1: collect the features the ensemble references.
+	// Pass 1: validate, count nodes, collect the features the ensemble
+	// references (shared by both backends).
 	maxFeat := int32(-1)
 	used := map[int32]struct{}{}
 	nodes := 0
@@ -110,14 +197,25 @@ func Compile(trees []*tree.Tree, baseScore float64) (*Engine, error) {
 			}
 		}
 	}
+
+	resolved := backend
+	if maxL, at := maxLeafCount(trees); maxL > BitvectorMaxLeaves {
+		switch backend {
+		case BackendBitvector:
+			return nil, fmt.Errorf("predict: tree %d has %d leaves: %w", at, maxL, errTooManyLeaves)
+		case BackendAuto:
+			resolved = BackendSoA
+		}
+	} else if backend == BackendAuto {
+		resolved = BackendBitvector
+	}
+
 	e := &Engine{
 		base:       baseScore,
-		feature:    make([]int32, 0, nodes),
-		threshold:  make([]float64, 0, nodes),
-		left:       make([]int32, 0, nodes),
-		weight:     make([]float64, 0, nodes),
-		roots:      make([]int32, 0, len(trees)),
+		backend:    resolved,
+		nodes:      nodes,
 		numCompact: len(used),
+		numTrees:   len(trees),
 	}
 
 	// Compact ids follow global feature order so the layout is deterministic.
@@ -134,8 +232,41 @@ func Compile(trees []*tree.Tree, baseScore float64) (*Engine, error) {
 		e.remap[f] = int32(c)
 	}
 
-	// Pass 2: emit each tree's used nodes breadth-first. Visiting a split
-	// appends both children consecutively, so right = left+1 ensemble-wide.
+	if resolved == BackendBitvector {
+		compileBitvector(e, trees)
+	} else {
+		compileSoA(e, trees, nodes)
+	}
+
+	e.pool.New = func() any {
+		s := &scratch{dense: make([]float32, e.numCompact)}
+		if e.bv32 != nil {
+			s.vec32 = new([bvBlockTrees]uint32)
+		} else if e.bv64 != nil {
+			s.vec64 = new([bvBlockTrees]uint64)
+		}
+		return s
+	}
+	pm := predictMetrics()
+	be := pm.backend(resolved.String())
+	e.mRows = be.rows
+	e.mBatch = be.batchSeconds
+	be.compiles.Inc()
+	be.compileSeconds.ObserveSince(start)
+	pm.engineNodes.Set(int64(nodes))
+	pm.engineFeatures.Set(int64(e.numCompact))
+	return e, nil
+}
+
+// compileSoA emits each tree's used nodes breadth-first into the four
+// parallel node slices. Visiting a split appends both children
+// consecutively, so right = left+1 ensemble-wide.
+func compileSoA(e *Engine, trees []*tree.Tree, nodes int) {
+	e.feature = make([]int32, 0, nodes)
+	e.threshold = make([]float64, 0, nodes)
+	e.left = make([]int32, 0, nodes)
+	e.weight = make([]float64, 0, nodes)
+	e.roots = make([]int32, 0, len(trees))
 	type pending struct{ implicit, slot int32 }
 	var queue []pending
 	for _, t := range trees {
@@ -160,16 +291,6 @@ func Compile(trees []*tree.Tree, baseScore float64) (*Engine, error) {
 				pending{int32(tree.Right(int(p.implicit))), l + 1})
 		}
 	}
-
-	e.pool.New = func() any {
-		return &scratch{dense: make([]float32, e.numCompact)}
-	}
-	pm := predictMetrics()
-	pm.compiles.Inc()
-	pm.compileSeconds.ObserveSince(start)
-	pm.engineNodes.Set(int64(len(e.left)))
-	pm.engineFeatures.Set(int64(e.numCompact))
-	return e, nil
 }
 
 // newNode appends one zeroed node slot and returns its index.
@@ -182,11 +303,15 @@ func (e *Engine) newNode() int32 {
 	return i
 }
 
+// Backend returns the resolved backend the engine compiled to (never
+// BackendAuto).
+func (e *Engine) Backend() Backend { return e.backend }
+
 // NumNodes returns the compiled node count (used nodes across all trees).
-func (e *Engine) NumNodes() int { return len(e.left) }
+func (e *Engine) NumNodes() int { return e.nodes }
 
 // NumTrees returns the number of trees in the compiled ensemble.
-func (e *Engine) NumTrees() int { return len(e.roots) }
+func (e *Engine) NumTrees() int { return e.numTrees }
 
 // NumFeatures returns the size of the compact feature space — the distinct
 // features the ensemble splits on.
@@ -194,13 +319,30 @@ func (e *Engine) NumFeatures() int { return e.numCompact }
 
 // SizeBytes estimates the engine's in-memory footprint.
 func (e *Engine) SizeBytes() int64 {
-	return int64(len(e.left))*(4+8+4+8) + int64(len(e.roots))*4 + int64(len(e.remap))*4
+	n := int64(len(e.remap)) * 4
+	if e.bv32 != nil {
+		return n + e.bv32.sizeBytes()
+	}
+	if e.bv64 != nil {
+		return n + e.bv64.sizeBytes()
+	}
+	return n + int64(len(e.left))*(4+8+4+8) + int64(len(e.roots))*4
 }
 
-// predictRow scatters one sparse row into the scratch buffer, walks every
-// tree, and restores the buffer to all-zero. It allocates only when the
-// row's nonzero count exceeds every earlier row's (growing touched).
+// predictRow scatters one sparse row into the scratch buffer, scores it
+// through the resolved backend, and restores the buffer to all-zero. It
+// allocates only when the row's nonzero count exceeds every earlier row's
+// (growing touched).
 func (e *Engine) predictRow(s *scratch, indices []int32, values []float32) float64 {
+	if e.backend == BackendBitvector {
+		return e.predictRowBV(s, indices, values)
+	}
+	return e.predictRowSoA(s, indices, values)
+}
+
+// predictRowSoA is the PR 4 root-to-leaf walk over the structure-of-arrays
+// node slices — one data-dependent branch per node visit.
+func (e *Engine) predictRowSoA(s *scratch, indices []int32, values []float32) float64 {
 	remap := e.remap
 	for j, idx := range indices {
 		if int(idx) >= len(remap) {
@@ -228,6 +370,14 @@ func (e *Engine) predictRow(s *scratch, indices []int32, values []float32) float
 	}
 	s.touched = s.touched[:0]
 	return sum
+}
+
+// predictRows scores rows [lo, hi) of a batch on one scratch.
+func (e *Engine) predictRows(s *scratch, bt batch, lo, hi int, out []float64) {
+	for i := lo; i < hi; i++ {
+		idx, vals := bt.row(i)
+		out[i] = e.predictRow(s, idx, vals)
+	}
 }
 
 // Predict scores a single instance.
@@ -300,10 +450,7 @@ func (e *Engine) predictAll(n int, bt batch, out []float64) {
 		// Inline on the caller's goroutine: the steady-state path allocates
 		// nothing (the scratch comes from the pool, out from the caller).
 		s := e.pool.Get().(*scratch)
-		for i := 0; i < n; i++ {
-			idx, vals := bt.row(i)
-			out[i] = e.predictRow(s, idx, vals)
-		}
+		e.predictRows(s, bt, 0, n, out)
 		e.pool.Put(s)
 	} else {
 		var next atomic.Int64
@@ -320,16 +467,12 @@ func (e *Engine) predictAll(n int, bt batch, out []float64) {
 						return
 					}
 					lo, hi := c*chunkRows, min((c+1)*chunkRows, n)
-					for i := lo; i < hi; i++ {
-						idx, vals := bt.row(i)
-						out[i] = e.predictRow(s, idx, vals)
-					}
+					e.predictRows(s, bt, lo, hi, out)
 				}
 			}()
 		}
 		wg.Wait()
 	}
-	pm := predictMetrics()
-	pm.rows.Add(int64(n))
-	pm.batchSeconds.ObserveSince(start)
+	e.mRows.Add(int64(n))
+	e.mBatch.ObserveSince(start)
 }

@@ -1,0 +1,115 @@
+package predict_test
+
+// FuzzEngineBackendsAgree is the native-fuzz arm of invariant 13: a random
+// ensemble (derived deterministically from the fuzzed seed, with hostile
+// thresholds — duplicates, non-float32-representable values, ±Inf, NaN) and
+// a raw-bytes instance (hostile values including NaN/Inf bit patterns) must
+// score bit-identically through the interpreted walk, the SoA engine, and
+// the bitvector engine. Tree shapes are capped at depth 7 so the bitvector
+// backend is always eligible and never silently skipped.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dimboost/internal/dataset"
+	"dimboost/internal/predict"
+	"dimboost/internal/tree"
+)
+
+// fuzzThresholds mixes exactly-representable values, float32 rounding
+// boundaries, duplicates, and non-finite values.
+var fuzzThresholds = []float64{
+	-2.5, -1, 0, 0, 0.25, 0.25, 0.5, 1, 3,
+	0.1, -0.3, 1.0 / 3.0, 1e-40, -1e-40, 3.5e38, -3.5e38,
+	math.Inf(1), math.Inf(-1), math.NaN(),
+	math.Copysign(0, -1), 5e-324,
+}
+
+// fuzzTree grows one tree from the rng; depth ≤ 7 keeps every tree inside
+// the bitvector leaf-mask width.
+func fuzzTree(rng *rand.Rand, maxDepth, numFeatures int) *tree.Tree {
+	t := tree.New(maxDepth)
+	var grow func(node, depth int)
+	grow = func(node, depth int) {
+		if depth >= maxDepth || rng.Float64() > 0.72 {
+			t.SetLeaf(node, math.Round(rng.NormFloat64()*1000)/1000)
+			return
+		}
+		v := fuzzThresholds[rng.Intn(len(fuzzThresholds))]
+		if rng.Float64() < 0.25 {
+			v = rng.NormFloat64()
+		}
+		t.SetSplit(node, int32(rng.Intn(numFeatures)), v, 1)
+		grow(tree.Left(node), depth+1)
+		grow(tree.Right(node), depth+1)
+	}
+	grow(0, 1)
+	return t
+}
+
+// fuzzInstance decodes the raw fuzz bytes into a sparse instance: groups of
+// five bytes become (index gap, float32 bits) pairs, so indices are always
+// sorted strictly ascending while values cover every float32 bit pattern,
+// NaNs and infinities included.
+func fuzzInstance(raw []byte) dataset.Instance {
+	var in dataset.Instance
+	idx := int32(-1)
+	for len(raw) >= 5 {
+		idx += int32(raw[0]) + 1
+		bits := uint32(raw[1]) | uint32(raw[2])<<8 | uint32(raw[3])<<16 | uint32(raw[4])<<24
+		in.Indices = append(in.Indices, idx)
+		in.Values = append(in.Values, math.Float32frombits(bits))
+		raw = raw[5:]
+	}
+	return in
+}
+
+func FuzzEngineBackendsAgree(f *testing.F) {
+	f.Add(int64(1), uint8(3), []byte{0, 0, 0, 128, 62})                         // 0.25 at feature 0
+	f.Add(int64(7), uint8(40), []byte{2, 205, 204, 204, 61, 1, 0, 0, 192, 127}) // 0.1 then NaN
+	f.Add(int64(99), uint8(0), []byte{})                                        // empty row
+	f.Add(int64(-5), uint8(255), []byte{0, 0, 0, 128, 255, 0, 0, 0, 128, 127})  // -Inf, +Inf
+	f.Add(int64(1234), uint8(17), []byte{10, 255, 255, 255, 255, 10, 1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, seed int64, shape uint8, raw []byte) {
+		rng := rand.New(rand.NewSource(seed))
+		maxDepth := 1 + int(shape)%7
+		numTrees := 1 + int(shape/7)%8
+		numFeatures := 1 + rng.Intn(300)
+
+		trees := make([]*tree.Tree, numTrees)
+		for i := range trees {
+			trees[i] = fuzzTree(rng, 1+rng.Intn(maxDepth), numFeatures)
+		}
+		base := math.Round(rng.NormFloat64()*100) / 100
+
+		soa, err := predict.CompileBackend(trees, base, predict.BackendSoA)
+		if err != nil {
+			t.Fatalf("soa compile: %v", err)
+		}
+		bv, err := predict.CompileBackend(trees, base, predict.BackendBitvector)
+		if err != nil {
+			t.Fatalf("bitvector compile (depth ≤ 7 must be eligible): %v", err)
+		}
+
+		in := fuzzInstance(raw)
+		want := base
+		for _, tr := range trees {
+			want += tr.Predict(in)
+		}
+		for _, eng := range []*predict.Engine{soa, bv} {
+			got := eng.Predict(in)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%v engine: %v (bits %x) != interpreted %v (bits %x)",
+					eng.Backend(), got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+			batch := eng.PredictInstances([]dataset.Instance{in, in})
+			for i, g := range batch {
+				if math.Float64bits(g) != math.Float64bits(want) {
+					t.Fatalf("%v engine batch row %d: %v != %v", eng.Backend(), i, g, want)
+				}
+			}
+		}
+	})
+}

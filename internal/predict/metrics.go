@@ -6,13 +6,22 @@ import (
 	"dimboost/internal/obs"
 )
 
-// predictObs groups the inference engine's instruments: compile counts and
-// latency, scored-row throughput, and gauges describing the live engine.
-type predictObs struct {
+// backendObs holds one backend's instruments. Compile counts/latency and
+// scored-row throughput carry a backend label so the two representations
+// (soa, bitvector) are separable on /metrics; the series share the
+// dimboost_predict_* family names PR 4 introduced.
+type backendObs struct {
 	compiles       *obs.Counter
 	compileSeconds *obs.Histogram
 	rows           *obs.Counter
 	batchSeconds   *obs.Histogram
+}
+
+// predictObs groups the inference engine's instruments.
+type predictObs struct {
+	mu       sync.Mutex
+	backends map[string]*backendObs
+
 	engineNodes    *obs.Gauge
 	engineFeatures *obs.Gauge
 }
@@ -26,13 +35,31 @@ func predictMetrics() *predictObs {
 	poOnce.Do(func() {
 		r := obs.Default()
 		poInst = &predictObs{
-			compiles:       r.Counter("dimboost_predict_compiles_total", "Inference engines compiled from ensembles."),
-			compileSeconds: r.Histogram("dimboost_predict_compile_seconds", "Ensemble-to-engine compile latency.", nil),
-			rows:           r.Counter("dimboost_predict_rows_total", "Rows scored through the compiled engine."),
-			batchSeconds:   r.Histogram("dimboost_predict_batch_seconds", "Batch scoring latency (one observation per batch).", nil),
+			backends:       make(map[string]*backendObs),
 			engineNodes:    r.Gauge("dimboost_predict_engine_nodes", "Compiled nodes in the most recently built engine."),
 			engineFeatures: r.Gauge("dimboost_predict_engine_features", "Compact feature-space size of the most recently built engine."),
 		}
 	})
 	return poInst
+}
+
+// backend resolves (creating on first use) the instruments of one engine
+// backend. Called once per Compile; the returned pointers are cached on the
+// Engine so scoring never takes this lock.
+func (p *predictObs) backend(name string) *backendObs {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b, ok := p.backends[name]; ok {
+		return b
+	}
+	r := obs.Default()
+	l := obs.L("backend", name)
+	b := &backendObs{
+		compiles:       r.Counter("dimboost_predict_compiles_total", "Inference engines compiled from ensembles.", l),
+		compileSeconds: r.Histogram("dimboost_predict_compile_seconds", "Ensemble-to-engine compile latency.", nil, l),
+		rows:           r.Counter("dimboost_predict_rows_total", "Rows scored through the compiled engine.", l),
+		batchSeconds:   r.Histogram("dimboost_predict_batch_seconds", "Batch scoring latency (one observation per batch).", nil, l),
+	}
+	p.backends[name] = b
+	return b
 }

@@ -1,0 +1,79 @@
+package predict_test
+
+// Metrics accounting contract: dimboost_predict_rows_total{backend} and the
+// dimboost_predict_batch_seconds{backend} histogram count each row exactly
+// once per batch, and each batch exactly once, on every engine backend —
+// for Dataset batches, instance batches, and across serial and parallel
+// worker pools. (The single-row Predict path is deliberately unmetered: a
+// per-call atomic on the µs-scale serving path is not worth it, and the
+// serving tier meters requests itself.)
+
+import (
+	"testing"
+
+	"dimboost/internal/dataset"
+	"dimboost/internal/obs"
+	"dimboost/internal/predict"
+)
+
+func TestMetricsCountRowsOncePerBatch(t *testing.T) {
+	m := randModel(newRand(77), 120)
+	b := dataset.NewBuilder(0)
+	rng := newRand(78)
+	for r := 0; r < 517; r++ { // not a multiple of the 256-row chunk size
+		in := randInstance(rng, 120)
+		if err := b.Add(in.Indices, in.Values, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := b.Build()
+	ins := make([]dataset.Instance, 33)
+	for i := range ins {
+		ins[i] = randInstance(rng, 240)
+	}
+
+	for _, backend := range []predict.Backend{predict.BackendSoA, predict.BackendBitvector} {
+		eng, err := predict.CompileBackend(m.Trees, m.BaseScore, backend)
+		if err != nil {
+			t.Fatalf("%v: %v", backend, err)
+		}
+		// Resolving the instruments with the same name+labels returns the
+		// live series, so deltas isolate this test from everything else the
+		// package has already recorded.
+		label := obs.L("backend", backend.String())
+		rows := obs.Default().Counter("dimboost_predict_rows_total", "", label)
+		batches := obs.Default().Histogram("dimboost_predict_batch_seconds", "", nil, label)
+		rows0, batches0 := rows.Value(), batches.Count()
+
+		out := make([]float64, ds.NumRows())
+		eng.Workers = 1
+		eng.PredictBatchInto(ds, out) // serial dataset batch
+		eng.Workers = 0
+		eng.PredictBatchInto(ds, out) // parallel dataset batch
+		eng.PredictInstances(ins)     // instance batch
+		eng.PredictBatch(ds)          // allocating dataset batch
+		eng.PredictInstances(nil)     // empty batch: no rows, no observation
+		wantRows := int64(3*ds.NumRows() + len(ins))
+		const wantBatches = 4
+
+		if got := rows.Value() - rows0; got != wantRows {
+			t.Errorf("%v: rows_total delta = %d, want %d", backend, got, wantRows)
+		}
+		if got := batches.Count() - batches0; got != uint64(wantBatches) {
+			t.Errorf("%v: batch_seconds count delta = %d, want %d", backend, got, wantBatches)
+		}
+
+		// The other backend's series must not move: scoring on one backend
+		// never leaks into the other's accounting.
+		other := predict.BackendSoA
+		if backend == predict.BackendSoA {
+			other = predict.BackendBitvector
+		}
+		otherRows := obs.Default().Counter("dimboost_predict_rows_total", "", obs.L("backend", other.String()))
+		before := otherRows.Value()
+		eng.PredictBatch(ds)
+		if otherRows.Value() != before {
+			t.Errorf("%v: scoring moved the %v rows_total series", backend, other)
+		}
+	}
+}

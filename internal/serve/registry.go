@@ -113,20 +113,29 @@ func (r *Registry) Swap(m *core.Model, source string) (ModelVersion, error) {
 }
 
 // ProbeValidator returns a Validate hook that scores a held-out probe set
-// with the candidate model and rejects it when any score is non-finite or
-// when maxMeanLoss > 0 and the probe's mean loss exceeds it. This is the
-// cheap sanity gate between "the file decoded" and "we serve it to
-// everyone": a truncated or mistrained model that still parses gets caught
-// here.
+// with the candidate model and rejects it when any score is non-finite,
+// when the compiled engine (whichever backend auto-selection picked for
+// this ensemble) disagrees bit-for-bit with the interpreted reference walk
+// on any probe row, or when maxMeanLoss > 0 and the probe's mean loss
+// exceeds it. This is the sanity gate between "the file decoded" and "we
+// serve it to everyone": a truncated or mistrained model that still parses
+// gets caught here, and so would a miscompiled scoring backend — the swap
+// rolls back instead of serving wrong scores.
 func ProbeValidator(probe *dataset.Dataset, maxMeanLoss float64) func(*core.Model) error {
 	return func(m *core.Model) error {
 		if probe == nil || probe.NumRows() == 0 {
 			return nil
 		}
 		preds := m.PredictBatch(probe)
+		ref := m.PredictBatchInterpreted(probe)
 		for i, p := range preds {
 			if math.IsNaN(p) || math.IsInf(p, 0) {
 				return fmt.Errorf("probe row %d scored non-finite %v", i, p)
+			}
+			if math.Float64bits(p) != math.Float64bits(ref[i]) {
+				eng, _ := m.Compiled()
+				return fmt.Errorf("probe row %d: %v engine scored %v, interpreted walk %v",
+					i, eng.Backend(), p, ref[i])
 			}
 		}
 		if maxMeanLoss > 0 {

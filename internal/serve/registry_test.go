@@ -8,6 +8,7 @@ import (
 
 	"dimboost/internal/core"
 	"dimboost/internal/obs"
+	"dimboost/internal/predict"
 	"dimboost/internal/tree"
 )
 
@@ -137,6 +138,39 @@ func TestProbeValidatorRejectsNonFinite(t *testing.T) {
 	if err := ProbeValidator(probe, 0)(bad); err == nil {
 		t.Fatal("non-finite scores must fail validation")
 	} else if !strings.Contains(err.Error(), "non-finite") {
+		t.Fatalf("unexpected rejection: %v", err)
+	}
+}
+
+// TestProbeValidatorCatchesEngineDrift: the probe gate cross-checks the
+// compiled engine against the interpreted walk bit for bit, so an engine
+// that no longer matches the ensemble (here: a leaf weight mutated in place
+// after compilation, which the snapshot-identity cache cannot see) is
+// refused instead of served. Depth-4 trees auto-select the bitvector
+// backend, so this also exercises the new backend through the swap gate.
+func TestProbeValidatorCatchesEngineDrift(t *testing.T) {
+	m, d := trainedModel(t)
+	probe := d.Subset(0, 20)
+	eng, err := m.Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Backend() != predict.BackendBitvector {
+		t.Fatalf("depth-4 ensemble auto-selected %v, want bitvector", eng.Backend())
+	}
+	if err := ProbeValidator(probe, 0)(m); err != nil {
+		t.Fatalf("fresh engine must pass: %v", err)
+	}
+	for i := range m.Trees[0].Nodes {
+		n := &m.Trees[0].Nodes[i]
+		if n.Used && n.Leaf {
+			n.Weight += 1000
+			break
+		}
+	}
+	if err := ProbeValidator(probe, 0)(m); err == nil {
+		t.Fatal("engine drifted from the ensemble and still passed")
+	} else if !strings.Contains(err.Error(), "interpreted walk") {
 		t.Fatalf("unexpected rejection: %v", err)
 	}
 }
