@@ -17,6 +17,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"sync"
 	"time"
@@ -41,6 +42,14 @@ type timing struct {
 	Stats       map[string]float64 `json:"stats,omitempty"`
 }
 
+// meta records the host execution environment of a run: timings are only
+// comparable between reports whose meta matches.
+type meta struct {
+	NumCPU     int   `json:"num_cpu"`
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	GOMEMLIMIT int64 `json:"gomemlimit"`
+}
+
 // report is the -json output document; Scale makes runs comparable
 // run-over-run only when taken at the same scale. Metrics is the full
 // observability snapshot at exit — counters, gauges, and phase histograms
@@ -48,6 +57,7 @@ type timing struct {
 type report struct {
 	Scale       float64        `json:"scale"`
 	GoVersion   string         `json:"go_version"`
+	Meta        meta           `json:"meta"`
 	Experiments []timing       `json:"experiments"`
 	Metrics     []obs.Snapshot `json:"metrics,omitempty"`
 }
@@ -113,7 +123,11 @@ func main() {
 			}
 		}()
 	}
-	rep := report{Scale: *scale, GoVersion: runtime.Version()}
+	rep := report{Scale: *scale, GoVersion: runtime.Version(), Meta: meta{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOMEMLIMIT: debug.SetMemoryLimit(-1),
+	}}
 	if *jsonOut != "" {
 		defer func() {
 			rep.Metrics = obs.Default().Snapshot()
@@ -249,6 +263,33 @@ func main() {
 			})
 			fmt.Fprintf(out, "[predict completed in %s]\n", time.Since(start).Round(time.Millisecond))
 		},
+		"ooc": func() {
+			start := time.Now()
+			res, err := experiments.OOC(out, s)
+			if err != nil {
+				log.Fatalf("ooc: %v", err)
+			}
+			for _, l := range res.Levels {
+				rep.Experiments = append(rep.Experiments, timing{
+					Name:    fmt.Sprintf("ooc-budget-%s", l.Budget),
+					Seconds: l.Wall.Seconds(),
+					Stats: map[string]float64{
+						"budget_bytes":       float64(l.Budget),
+						"tracker_peak_bytes": float64(l.TrackerPeak),
+						"rss_growth_bytes":   float64(l.RSSGrowth),
+						"min_budget_bytes":   float64(res.MinBudget),
+						"slack_bytes":        float64(experiments.OOCSlack),
+						"file_bytes":         float64(res.FileBytes),
+						"bit_identical":      boolStat(res.BitIdentical),
+					},
+				})
+			}
+			rep.Experiments = append(rep.Experiments, timing{
+				Name:    "ooc-inmemory-baseline",
+				Seconds: res.InMemoryWall.Seconds(),
+			})
+			fmt.Fprintf(out, "[ooc completed in %s]\n", time.Since(start).Round(time.Millisecond))
+		},
 		"train-parallel": func() {
 			start := time.Now()
 			res, err := experiments.TrainParallel(out, s)
@@ -273,7 +314,7 @@ func main() {
 		},
 	}
 	if cmd == "all" {
-		for _, name := range []string{"fig1", "table1", "table3", "fig12", "table4", "table5", "table6", "fig13", "fig14", "a1", "predict", "train-parallel", "serve"} {
+		for _, name := range []string{"fig1", "table1", "table3", "fig12", "table4", "table5", "table6", "fig13", "fig14", "a1", "predict", "train-parallel", "ooc", "serve"} {
 			if name == "fig12" {
 				for _, d := range []string{"rcv1", "synthesis", "gender"} {
 					*ds = d
@@ -317,6 +358,7 @@ experiments:
   a1       unbiasedness of low-precision histograms
   predict  serving path: interpreted vs compiled inference engine
   train-parallel  training pool at parallelism 1/2/4/8, per-phase times, bit-identity check
+  ooc      out-of-core training at three memory budgets: peak RSS vs budget, bit-identity check
   serve    overload admission: open-loop load past capacity, shed rate + latency percentiles
   all      everything, in paper order
 

@@ -5,9 +5,11 @@
 //
 //	dimboost-train -data train.libsvm -model model.bin -trees 50 -depth 7
 //	dimboost-train -data train.libsvm -model model.bin -workers 8 -servers 8
+//	dimboost-train -data train.bin -model model.bin -mem-budget 256MiB
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -51,10 +53,23 @@ func main() {
 		ckptDir  = flag.String("checkpoint-dir", "", "directory for per-tree checkpoints (distributed mode)")
 		resume   = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir")
 		metrics  = flag.String("metrics-listen", "", "address for GET /metrics and /debug/obs during training (empty = disabled)")
+		budget   = flag.String("mem-budget", "", "out-of-core training memory budget, e.g. 512MiB (requires binary -data; empty = in-memory)")
 	)
 	flag.Parse()
 	if *data == "" {
 		log.Fatal("-data is required")
+	}
+	memBudget, err := dimboost.ParseMemoryBudget(*budget)
+	if err != nil {
+		log.Fatalf("-mem-budget: %v", err)
+	}
+	if memBudget > 0 {
+		if *workers > 0 {
+			log.Fatal("-mem-budget applies to single-process training only (drop -workers)")
+		}
+		if !strings.HasSuffix(*data, ".bin") && !strings.HasSuffix(*data, ".dimb") {
+			log.Fatal("-mem-budget requires -data in the chunked binary format (.bin/.dimb); convert LibSVM data with dimboost.WriteBinaryFile first")
+		}
 	}
 	if *metrics != "" {
 		addr, err := obs.Default().Serve(*metrics)
@@ -70,12 +85,17 @@ func main() {
 		log.Fatal("-checkpoint-dir requires distributed mode (-workers > 0)")
 	}
 
-	d, err := loadData(*data, *features)
-	if err != nil {
-		log.Fatal(err)
+	// Out-of-core mode never materializes the dataset, so there is no
+	// held-out split to evaluate; everything on disk is training data.
+	var train, test *dimboost.Dataset
+	if memBudget == 0 {
+		d, err := loadData(*data, *features)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %d rows × %d features (%.1f nnz/row)\n", d.NumRows(), d.NumFeatures, d.AvgNNZ())
+		train, test = d.Split(1 - *valFrac)
 	}
-	fmt.Printf("loaded %d rows × %d features (%.1f nnz/row)\n", d.NumRows(), d.NumFeatures, d.AvgNNZ())
-	train, test := d.Split(1 - *valFrac)
 
 	cfg := dimboost.DefaultConfig()
 	cfg.NumTrees = *trees
@@ -91,6 +111,7 @@ func main() {
 	cfg.Parallelism = *par
 	cfg.BatchSize = *batch
 	cfg.Seed = *seed
+	cfg.MemoryBudget = memBudget
 	switch *lossName {
 	case "logistic":
 		cfg.Loss = dimboost.Logistic
@@ -102,7 +123,19 @@ func main() {
 
 	start := time.Now()
 	var m *dimboost.Model
-	if *workers > 0 {
+	if memBudget > 0 {
+		m, err = dimboost.TrainOutOfCore(*data, cfg)
+		var be *dimboost.BudgetError
+		if errors.As(err, &be) {
+			// A budget below one chunk's working set can never make
+			// progress; fail fast with the smallest budget that can.
+			log.Fatalf("%v", be)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("out-of-core: trained under a %s budget\n", memBudget)
+	} else if *workers > 0 {
 		p := *servers
 		if p == 0 {
 			p = *workers
@@ -146,7 +179,7 @@ func main() {
 	}
 	fmt.Printf("trained %d trees in %s\n", len(m.Trees), time.Since(start).Round(time.Millisecond))
 
-	if test.NumRows() > 0 {
+	if test != nil && test.NumRows() > 0 {
 		preds := m.PredictBatch(test)
 		if cfg.Loss == dimboost.Logistic {
 			auc, _ := dimboost.AUC(test.Labels, preds)

@@ -27,6 +27,7 @@ import (
 	"dimboost/internal/cv"
 	"dimboost/internal/dataset"
 	"dimboost/internal/loss"
+	"dimboost/internal/ooc"
 	"dimboost/internal/pca"
 	"dimboost/internal/predict"
 	"dimboost/internal/serve"
@@ -86,6 +87,29 @@ func NewTrainer(d *Dataset, cfg Config) (*Trainer, error) { return core.NewTrain
 // Train fits a GBDT model on a single machine using all configured
 // parallelism.
 func Train(d *Dataset, cfg Config) (*Model, error) { return core.Train(d, cfg) }
+
+// MemoryBudget bounds the resident bytes of out-of-core training; see
+// Config.MemoryBudget and TrainOutOfCore.
+type MemoryBudget = ooc.Budget
+
+// ParseMemoryBudget parses a human-readable byte size ("512MiB", "2g",
+// "65536") into a MemoryBudget; empty and "0" mean unlimited.
+func ParseMemoryBudget(s string) (MemoryBudget, error) { return ooc.ParseBudget(s) }
+
+// BudgetError reports a memory budget below the minimum working set of
+// out-of-core training; its Min field carries the smallest admissible
+// budget for the same dataset and parallelism.
+type BudgetError = ooc.BudgetError
+
+// TrainOutOfCore fits a GBDT model from a binary dataset file (see
+// WriteBinaryFile) while keeping resident data under cfg.MemoryBudget: the
+// dataset streams from disk through a bounded chunk cache and each tree's
+// quantized mirror spills to scratch files. The trained model is
+// Float64bits-identical to Train on the same data. Budgets below the
+// minimum working set fail fast with a *BudgetError.
+func TrainOutOfCore(path string, cfg Config) (*Model, error) {
+	return core.TrainOutOfCore(path, cfg)
+}
 
 // LoadModel reads a model written by Model.Save.
 func LoadModel(r io.Reader) (*Model, error) { return core.Load(r) }

@@ -9,6 +9,7 @@ import (
 	"runtime"
 
 	"dimboost/internal/loss"
+	"dimboost/internal/ooc"
 )
 
 // Config holds every GBDT hyper-parameter. Field names follow the paper's
@@ -65,6 +66,14 @@ type Config struct {
 	BatchSize int
 	// Seed drives feature sampling and any stochastic component.
 	Seed int64
+
+	// MemoryBudget bounds the bytes the out-of-core data path may keep
+	// resident (chunk caches + labels); 0 keeps the in-memory path. A
+	// non-zero budget routes training through internal/ooc: the dataset
+	// stays on disk in the chunked binary format and the per-tree binned
+	// mirror spills to memory-mapped scratch files, with results
+	// bit-identical to in-memory training (see TrainOutOfCore).
+	MemoryBudget ooc.Budget
 
 	// DenseBuild disables the sparsity-aware construction (ablation,
 	// Table 3 row 1).
@@ -123,6 +132,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: EarlyStoppingRounds %d < 0", c.EarlyStoppingRounds)
 	case c.SketchEps < 0 || c.SketchEps >= 1:
 		return fmt.Errorf("core: SketchEps %v outside [0,1)", c.SketchEps)
+	case c.MemoryBudget < 0:
+		return fmt.Errorf("core: MemoryBudget %d < 0", c.MemoryBudget)
 	}
 	return nil
 }

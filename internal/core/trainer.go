@@ -10,6 +10,7 @@ import (
 	"dimboost/internal/dataset"
 	"dimboost/internal/histogram"
 	"dimboost/internal/loss"
+	"dimboost/internal/ooc"
 	"dimboost/internal/parallel"
 	"dimboost/internal/predict"
 	"dimboost/internal/sketch"
@@ -63,6 +64,17 @@ type Trainer struct {
 	rng   *rand.Rand
 	pool  *parallel.Pool
 
+	// src is the disk-resident data path (out-of-core mode); exactly one of
+	// data/src is non-nil. labels is the resident label column of either
+	// path.
+	src    *ooc.Source
+	labels []float32
+
+	// splitMask is the out-of-core split scratch: per-row goLeft verdicts,
+	// precomputed chunk by chunk so SplitStable's predicate never touches
+	// disk (one bool per row, part of the documented fixed working set).
+	splitMask []bool
+
 	// predScratch is the reusable per-tree scoring buffer of the
 	// instance-sampling path.
 	predScratch []float64
@@ -103,10 +115,11 @@ func NewTrainer(d *dataset.Dataset, cfg Config) (*Trainer, error) {
 		return nil, fmt.Errorf("core: NoNodeIndex (ablation) does not support instance sampling")
 	}
 	return &Trainer{
-		cfg:  cfg,
-		data: d,
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
-		pool: parallel.New(cfg.ResolvedParallelism()),
+		cfg:    cfg,
+		data:   d,
+		labels: d.Labels,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		pool:   parallel.New(cfg.ResolvedParallelism()),
 	}, nil
 }
 
@@ -115,8 +128,18 @@ func NewTrainer(d *dataset.Dataset, cfg Config) (*Trainer, error) {
 func (tr *Trainer) Candidates() []sketch.Candidates {
 	if tr.cands == nil {
 		start := time.Now()
-		set := sketch.NewSet(tr.data.NumFeatures, tr.cfg.sketchEps())
-		set.AddDataset(tr.data)
+		set := sketch.NewSet(tr.numFeatures(), tr.cfg.sketchEps())
+		if tr.src != nil {
+			// Chunks stream sequentially in ascending order, so every value
+			// inserts in global row order — the same sketch state as one
+			// AddDataset pass over the resident dataset.
+			tr.src.ForEachChunkSeq(func(_, _, _ int, d *dataset.Dataset) error {
+				set.AddDataset(d)
+				return nil
+			})
+		} else {
+			set.AddDataset(tr.data)
+		}
 		tr.cands = set.Candidates(tr.cfg.NumCandidates)
 		d := time.Since(start)
 		tr.Times.Sketch += d
@@ -132,7 +155,7 @@ func (tr *Trainer) SetCandidates(c []sketch.Candidates) { tr.cands = c }
 // SampleFeatures draws σM distinct features, sorted ascending. With σ == 1
 // it returns the identity.
 func (tr *Trainer) SampleFeatures() []int32 {
-	m := tr.data.NumFeatures
+	m := tr.numFeatures()
 	if tr.cfg.FeatureSampleRatio >= 1 {
 		return histogram.AllFeatures(m)
 	}
@@ -165,7 +188,10 @@ func (tr *Trainer) scoreEngine(trees []*tree.Tree, base float64) (*predict.Engin
 // Train runs the full boosting loop and returns the model.
 func (tr *Trainer) Train() (*Model, error) {
 	cands := tr.Candidates()
-	n := tr.data.NumRows()
+	if err := tr.srcErr(); err != nil {
+		return nil, err
+	}
+	n := tr.numRows()
 	lf := loss.New(tr.cfg.Loss)
 	preds := make([]float64, n)
 	grad := make([]float64, n)
@@ -185,7 +211,9 @@ func (tr *Trainer) Train() (*Model, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: compiling warm-start model: %w", err)
 		}
-		eng.PredictBatchInto(tr.data, preds)
+		if err := tr.scoreTrainInto(eng, preds); err != nil {
+			return nil, err
+		}
 	}
 
 	// Early-stopping state.
@@ -210,7 +238,7 @@ func (tr *Trainer) Train() (*Model, error) {
 		gs := time.Now()
 		tr.pool.For(n, parallel.RowChunk, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				grad[i], hess[i] = lf.Gradients(float64(tr.data.Labels[i]), preds[i])
+				grad[i], hess[i] = lf.Gradients(float64(tr.labels[i]), preds[i])
 			}
 		})
 		gd := time.Since(gs)
@@ -226,7 +254,7 @@ func (tr *Trainer) Train() (*Model, error) {
 			m.spans.Record(-1, t, -1, "sketch", ws, wd)
 		}
 		features := tr.SampleFeatures()
-		layout, err := histogram.NewLayout(features, treeCands, tr.data.NumFeatures)
+		layout, err := histogram.NewLayout(features, treeCands, tr.numFeatures())
 		if err != nil {
 			return nil, err
 		}
@@ -241,9 +269,12 @@ func (tr *Trainer) Train() (*Model, error) {
 		if tr.OnTree != nil {
 			tr.OnTree(TreeEvent{
 				Tree:      t,
-				TrainLoss: loss.MeanLoss(lf, tr.data.Labels, preds),
+				TrainLoss: loss.MeanLoss(lf, tr.labels, preds),
 				Elapsed:   time.Since(start),
 			})
+		}
+		if err := tr.srcErr(); err != nil {
+			return nil, err
 		}
 
 		if tr.Validation != nil {
@@ -284,16 +315,14 @@ func (tr *Trainer) Train() (*Model, error) {
 // chunk order, so the sketch content depends only on the grid, never on the
 // worker count.
 func (tr *Trainer) weightedCandidates(hess []float64) []sketch.Candidates {
-	m := tr.data.NumFeatures
-	n := tr.data.NumRows()
+	m := tr.numFeatures()
+	n := tr.numRows()
 	eps := tr.cfg.sketchEps()
 	sketches := make([]*sketch.WeightedGK, m)
 	parallel.ReduceOrdered(tr.pool, n, parallel.SketchChunk,
 		func(_, lo, hi int) []*sketch.WeightedGK {
 			part := make([]*sketch.WeightedGK, m)
-			for i := lo; i < hi; i++ {
-				in := tr.data.Row(i)
-				w := hess[i]
+			addRow := func(in dataset.Instance, w float64) {
 				for j, f := range in.Indices {
 					s := part[f]
 					if s == nil {
@@ -301,6 +330,21 @@ func (tr *Trainer) weightedCandidates(hess []float64) []sketch.Candidates {
 						part[f] = s
 					}
 					s.Insert(float64(in.Values[j]), w)
+				}
+			}
+			if tr.src != nil {
+				// The sketch grid (parallel.SketchChunk) is coarser than the
+				// storage grid; walking the range chunk run by chunk run
+				// inserts the same values in the same order as the resident
+				// loop below.
+				tr.src.ForRowRange(lo, hi, func(d *dataset.Dataset, base, rlo, rhi int) {
+					for i := rlo; i < rhi; i++ {
+						addRow(d.Row(i-base), hess[i])
+					}
+				})
+			} else {
+				for i := lo; i < hi; i++ {
+					addRow(tr.data.Row(i), hess[i])
 				}
 			}
 			return part
@@ -345,7 +389,7 @@ type splitTask struct {
 func (tr *Trainer) growTree(treeIdx int, layout *histogram.Layout, grad, hess, preds []float64) (*tree.Tree, error) {
 	m := trainMetrics()
 	cfg := tr.cfg
-	n := tr.data.NumRows()
+	n := tr.numRows()
 	tn := tree.New(cfg.MaxDepth)
 	maxNodes := tree.MaxNodes(cfg.MaxDepth)
 
@@ -398,9 +442,23 @@ func (tr *Trainer) growTree(treeIdx int, layout *histogram.Layout, grad, hess, p
 
 	// Quantize the dataset once per tree: every nonzero's bin id under this
 	// tree's candidates, reused by every node of every layer for both
-	// histogram construction and splitting (Config.NoBinning ablates).
+	// histogram construction and splitting (Config.NoBinning ablates). In
+	// out-of-core mode the quantized mirror spills to a memory-mapped
+	// scratch file instead of materializing.
 	var binned *histogram.Binned
-	if !cfg.NoBinning {
+	var spilled *ooc.SpilledBinned
+	if tr.src != nil {
+		bs := time.Now()
+		var err error
+		spilled, err = tr.src.BuildBinned(layout, tr.pool)
+		if err != nil {
+			return nil, err
+		}
+		defer spilled.Close()
+		bd := time.Since(bs)
+		tr.Times.BuildHist += bd
+		m.spans.Record(-1, treeIdx, -1, "binning", bs, bd)
+	} else if !cfg.NoBinning {
 		bs := time.Now()
 		binned = histogram.NewBinned(tr.data, layout, tr.pool.Workers())
 		bd := time.Since(bs)
@@ -409,7 +467,16 @@ func (tr *Trainer) growTree(treeIdx int, layout *histogram.Layout, grad, hess, p
 	}
 
 	active := []int{0}
-	pool := histogram.NewPool(layout)
+	// Under a memory budget, cap the free list at the concurrent working set
+	// (one partial per builder plus one merge target) so idle histograms from
+	// wide layers cannot pile up; recycling is allocation-only, so the cap
+	// cannot affect results.
+	var pool *histogram.Pool
+	if tr.src != nil {
+		pool = histogram.NewPoolCap(layout, tr.pool.Workers()+1)
+	} else {
+		pool = histogram.NewPool(layout)
+	}
 	buildOpts := histogram.BuildOptions{
 		Parallelism: tr.pool.Workers(),
 		BatchSize:   cfg.BatchSize,
@@ -421,7 +488,7 @@ func (tr *Trainer) growTree(treeIdx int, layout *histogram.Layout, grad, hess, p
 	// histograms one layer back; a right child's histogram is then
 	// parent − left sibling, skipping one data pass per split.
 	var prevHists, curHists map[int]*histogram.Histogram
-	avgNNZ := tr.data.AvgNNZ()
+	avgNNZ := tr.avgNNZ()
 	if cfg.HistSubtraction {
 		prevHists = map[int]*histogram.Histogram{}
 		curHists = map[int]*histogram.Histogram{}
@@ -461,9 +528,12 @@ func (tr *Trainer) growTree(treeIdx int, layout *histogram.Layout, grad, hess, p
 				}
 			}
 			if !derived {
-				if binned != nil {
+				switch {
+				case spilled != nil:
+					spilled.BuildHistogram(h, rowsFor(node), grad, hess, buildOpts)
+				case binned != nil:
 					histogram.BuildBinned(h, binned, rowsFor(node), grad, hess, buildOpts)
-				} else {
+				default:
 					histogram.Build(h, tr.data, rowsFor(node), grad, hess, buildOpts)
 				}
 			}
@@ -511,7 +581,23 @@ func (tr *Trainer) growTree(treeIdx int, layout *histogram.Layout, grad, hess, p
 				continue
 			}
 			tn.SetSplit(t.node, split.Feature, split.Value, split.Gain)
-			goLeft := SplitPredicate(tr.data, binned, layout, split)
+			var goLeft func(int32) bool
+			if spilled != nil {
+				// Precompute the verdicts chunk by chunk into the row mask;
+				// the predicate itself is then a pure array read — identical
+				// to SplitPredicate on the resident binned matrix, and safe
+				// from every SplitStable worker.
+				p := layout.Pos(split.Feature)
+				k := layout.Cands[p].Bucket(split.Value)
+				if tr.splitMask == nil {
+					tr.splitMask = make([]bool, n)
+				}
+				spilled.Classify(tr.pool, idx.Rows(t.node), p, k, tr.splitMask)
+				mask := tr.splitMask
+				goLeft = func(r int32) bool { return mask[r] }
+			} else {
+				goLeft = SplitPredicate(tr.data, binned, layout, split)
+			}
 			idx.SplitStable(t.node, goLeft, tr.pool)
 			if cfg.NoNodeIndex {
 				l, r := int32(tree.Left(t.node)), int32(tree.Right(t.node))
@@ -563,6 +649,12 @@ func (tr *Trainer) growTree(treeIdx int, layout *histogram.Layout, grad, hess, p
 		m.spans.Record(-1, treeIdx, depth, "find_split", layerStart, findD)
 		m.spans.Record(-1, treeIdx, depth, "split_tree", layerStart, splitD)
 		active = next
+	}
+
+	// A streaming I/O failure inside a pool worker records sticky state and
+	// leaves partial accumulations behind; abort before using them.
+	if err := tr.srcErr(); err != nil {
+		return nil, err
 	}
 
 	if sampling {

@@ -3,6 +3,7 @@ package dataset
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -31,6 +32,23 @@ var binaryMagic = [4]byte{'D', 'I', 'M', 'B'}
 
 const binaryVersion = 1
 
+// Typed read errors. Every failure mode of the binary reader wraps one of
+// these, so callers (and the out-of-core trainer) can distinguish a
+// truncated file from a structurally corrupt one without string matching.
+var (
+	// ErrTruncated reports a file or stream that ends before the payload
+	// its header promises.
+	ErrTruncated = errors.New("dataset: binary data truncated")
+	// ErrBadMagic reports a stream that does not start with "DIMB".
+	ErrBadMagic = errors.New("dataset: bad binary magic")
+	// ErrBadVersion reports an unsupported format version.
+	ErrBadVersion = errors.New("dataset: unsupported binary version")
+	// ErrCorrupt reports a structurally invalid payload: implausible or
+	// inconsistent header counts, non-monotone row pointers, out-of-range
+	// feature indices, or non-finite values.
+	ErrCorrupt = errors.New("dataset: corrupt binary data")
+)
+
 // binaryHeader is the fixed-size file prefix.
 type binaryHeader struct {
 	rows, features, nnz uint64
@@ -46,6 +64,7 @@ func (h binaryHeader) indicesOff() int64 {
 func (h binaryHeader) valuesOff() int64 {
 	return h.indicesOff() + int64(h.nnz)*4
 }
+func (h binaryHeader) fileSize() int64 { return h.valuesOff() + int64(h.nnz)*4 }
 
 // WriteBinary writes the dataset in the binary format.
 func WriteBinary(w io.Writer, d *Dataset) error {
@@ -116,13 +135,13 @@ func WriteBinaryFile(path string, d *Dataset) error {
 func readHeader(r io.Reader) (binaryHeader, error) {
 	var buf [headerSize]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return binaryHeader{}, fmt.Errorf("dataset: binary header: %w", err)
+		return binaryHeader{}, fmt.Errorf("%w: binary header: %v", ErrTruncated, err)
 	}
 	if [4]byte(buf[:4]) != binaryMagic {
-		return binaryHeader{}, fmt.Errorf("dataset: bad magic %q", buf[:4])
+		return binaryHeader{}, fmt.Errorf("%w: got %q", ErrBadMagic, buf[:4])
 	}
 	if v := binary.LittleEndian.Uint32(buf[4:8]); v != binaryVersion {
-		return binaryHeader{}, fmt.Errorf("dataset: unsupported binary version %d", v)
+		return binaryHeader{}, fmt.Errorf("%w: version %d, want %d", ErrBadVersion, v, binaryVersion)
 	}
 	h := binaryHeader{
 		rows:     binary.LittleEndian.Uint64(buf[8:16]),
@@ -131,9 +150,28 @@ func readHeader(r io.Reader) (binaryHeader, error) {
 	}
 	const sane = 1 << 40
 	if h.rows > sane || h.features > sane || h.nnz > sane {
-		return binaryHeader{}, fmt.Errorf("dataset: implausible header %+v", h)
+		return binaryHeader{}, fmt.Errorf("%w: implausible header %+v", ErrCorrupt, h)
 	}
 	return h, nil
+}
+
+// validateRowPtr checks that a row-pointer array is a monotone prefix-sum
+// chain from 0 to nnz.
+func validateRowPtr(rowPtr []int64, nnz uint64) error {
+	if len(rowPtr) == 0 || rowPtr[0] != 0 {
+		return fmt.Errorf("%w: RowPtr[0] != 0", ErrCorrupt)
+	}
+	prev := int64(0)
+	for i, p := range rowPtr {
+		if p < prev {
+			return fmt.Errorf("%w: RowPtr not monotone at row %d (%d < %d)", ErrCorrupt, i, p, prev)
+		}
+		prev = p
+	}
+	if uint64(prev) != nnz {
+		return fmt.Errorf("%w: RowPtr[rows]=%d, header nnz=%d", ErrCorrupt, prev, nnz)
+	}
+	return nil
 }
 
 // ReadBinary loads a full dataset from the binary format (the "memory"
@@ -144,27 +182,30 @@ func ReadBinary(r io.Reader) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Dataset{
-		RowPtr:      make([]int64, h.rows+1),
-		Indices:     make([]int32, h.nnz),
-		Values:      make([]float32, h.nnz),
-		Labels:      make([]float32, h.rows),
-		NumFeatures: int(h.features),
-	}
-	if err := readU64s(br, d.RowPtr); err != nil {
+	d := &Dataset{NumFeatures: int(h.features)}
+	// Arrays grow as bytes actually arrive (growU64s and friends), so a
+	// header promising petabytes fails with ErrTruncated instead of
+	// attempting the full allocation up front.
+	if d.RowPtr, err = growU64s(br, int(h.rows)+1); err != nil {
 		return nil, err
 	}
-	if err := readF32s(br, d.Labels); err != nil {
+	if err := validateRowPtr(d.RowPtr, h.nnz); err != nil {
 		return nil, err
 	}
-	if err := readI32s(br, d.Indices); err != nil {
+	if d.Labels, err = growF32s(br, int(h.rows)); err != nil {
 		return nil, err
 	}
-	if err := readF32s(br, d.Values); err != nil {
+	if d.Indices, err = growI32s(br, int(h.nnz)); err != nil {
 		return nil, err
+	}
+	if d.Values, err = growF32s(br, int(h.nnz)); err != nil {
+		return nil, err
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing bytes past the payload", ErrCorrupt)
 	}
 	if err := d.Validate(); err != nil {
-		return nil, fmt.Errorf("dataset: binary payload invalid: %w", err)
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return d, nil
 }
@@ -185,48 +226,15 @@ func ReadBinaryFile(path string) (*Dataset, error) {
 // (a self-contained Dataset whose rows are the global range [lo, hi)) and
 // may return an error to stop.
 func ReadBinaryChunks(path string, chunkRows int, fn func(lo, hi int, chunk *Dataset) error) error {
-	if chunkRows < 1 {
-		return fmt.Errorf("dataset: chunkRows %d < 1", chunkRows)
-	}
-	f, err := os.Open(path)
+	cf, err := OpenChunked(path, chunkRows)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	h, err := readHeader(f)
-	if err != nil {
-		return err
-	}
-	n := int(h.rows)
-	// Row pointers are needed to locate chunk extents; they are 8 bytes per
-	// row — small relative to the payload.
-	rowPtr := make([]int64, n+1)
-	if err := readU64sAt(f, h.rowPtrOff(), rowPtr); err != nil {
-		return err
-	}
-	for lo := 0; lo < n; lo += chunkRows {
-		hi := lo + chunkRows
-		if hi > n {
-			hi = n
-		}
-		a, b := rowPtr[lo], rowPtr[hi]
-		chunk := &Dataset{
-			RowPtr:      make([]int64, hi-lo+1),
-			Indices:     make([]int32, b-a),
-			Values:      make([]float32, b-a),
-			Labels:      make([]float32, hi-lo),
-			NumFeatures: int(h.features),
-		}
-		for i := range chunk.RowPtr {
-			chunk.RowPtr[i] = rowPtr[lo+i] - a
-		}
-		if err := readF32sAt(f, h.labelsOff()+int64(lo)*4, chunk.Labels); err != nil {
-			return err
-		}
-		if err := readI32sAt(f, h.indicesOff()+a*4, chunk.Indices); err != nil {
-			return err
-		}
-		if err := readF32sAt(f, h.valuesOff()+a*4, chunk.Values); err != nil {
+	defer cf.Close()
+	for c := 0; c < cf.NumChunks(); c++ {
+		lo, hi := cf.ChunkBounds(c)
+		chunk := new(Dataset)
+		if err := cf.ReadChunk(c, chunk); err != nil {
 			return err
 		}
 		if err := fn(lo, hi, chunk); err != nil {
@@ -238,43 +246,65 @@ func ReadBinaryChunks(path string, chunkRows int, fn func(lo, hi int, chunk *Dat
 
 // --- raw array readers ---------------------------------------------------
 
-func readU64s(r io.Reader, dst []int64) error {
-	buf := make([]byte, 8*len(dst))
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return err
+// growSlab is the element count read per step by the incremental readers:
+// large enough to amortize, small enough that a lying header never triggers
+// a giant allocation.
+const growSlab = 1 << 17
+
+// growU64s reads n little-endian u64s, growing the destination as data
+// arrives so truncated streams fail before allocating the promised total.
+func growU64s(r io.Reader, n int) ([]int64, error) {
+	dst := make([]int64, 0, min(n, growSlab))
+	var buf [8 * 1024]byte
+	for len(dst) < n {
+		want := min(n-len(dst), len(buf)/8)
+		if _, err := io.ReadFull(r, buf[:want*8]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		for i := 0; i < want; i++ {
+			dst = append(dst, int64(binary.LittleEndian.Uint64(buf[i*8:])))
+		}
 	}
-	for i := range dst {
-		dst[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
-	}
-	return nil
+	return dst, nil
 }
 
-func readI32s(r io.Reader, dst []int32) error {
-	buf := make([]byte, 4*len(dst))
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return err
+func growI32s(r io.Reader, n int) ([]int32, error) {
+	dst := make([]int32, 0, min(n, growSlab))
+	var buf [4 * 2048]byte
+	for len(dst) < n {
+		want := min(n-len(dst), len(buf)/4)
+		if _, err := io.ReadFull(r, buf[:want*4]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		for i := 0; i < want; i++ {
+			dst = append(dst, int32(binary.LittleEndian.Uint32(buf[i*4:])))
+		}
 	}
-	for i := range dst {
-		dst[i] = int32(binary.LittleEndian.Uint32(buf[i*4:]))
-	}
-	return nil
+	return dst, nil
 }
 
-func readF32s(r io.Reader, dst []float32) error {
-	buf := make([]byte, 4*len(dst))
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return err
+func growF32s(r io.Reader, n int) ([]float32, error) {
+	dst := make([]float32, 0, min(n, growSlab))
+	var buf [4 * 2048]byte
+	for len(dst) < n {
+		want := min(n-len(dst), len(buf)/4)
+		if _, err := io.ReadFull(r, buf[:want*4]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		for i := 0; i < want; i++ {
+			dst = append(dst, float32frombits(binary.LittleEndian.Uint32(buf[i*4:])))
+		}
 	}
-	for i := range dst {
-		dst[i] = float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
-	}
-	return nil
+	return dst, nil
 }
 
 func readU64sAt(f *os.File, off int64, dst []int64) error {
 	buf := make([]byte, 8*len(dst))
+	if len(buf) == 0 {
+		return nil
+	}
 	if _, err := f.ReadAt(buf, off); err != nil {
-		return err
+		return fmt.Errorf("%w: %v", ErrTruncated, err)
 	}
 	for i := range dst {
 		dst[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
@@ -288,7 +318,7 @@ func readI32sAt(f *os.File, off int64, dst []int32) error {
 		return nil
 	}
 	if _, err := f.ReadAt(buf, off); err != nil {
-		return err
+		return fmt.Errorf("%w: %v", ErrTruncated, err)
 	}
 	for i := range dst {
 		dst[i] = int32(binary.LittleEndian.Uint32(buf[i*4:]))
@@ -302,7 +332,7 @@ func readF32sAt(f *os.File, off int64, dst []float32) error {
 		return nil
 	}
 	if _, err := f.ReadAt(buf, off); err != nil {
-		return err
+		return fmt.Errorf("%w: %v", ErrTruncated, err)
 	}
 	for i := range dst {
 		dst[i] = float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))

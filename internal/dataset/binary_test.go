@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -179,5 +180,148 @@ func TestBinarySmallerThanLibSVM(t *testing.T) {
 	}
 	if bin.Len() >= svm.Len() {
 		t.Fatalf("binary %d bytes >= libsvm %d bytes", bin.Len(), svm.Len())
+	}
+}
+
+func TestBinaryTypedErrors(t *testing.T) {
+	d := Generate(SyntheticConfig{NumRows: 40, NumFeatures: 25, AvgNNZ: 5, Seed: 41})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"bad magic", []byte("NOPE" + string(make([]byte, 60))), ErrBadMagic},
+		{"bad version", append([]byte("DIMB\x07\x00\x00\x00"), raw[8:]...), ErrBadVersion},
+		{"truncated header", raw[:headerSize-2], ErrTruncated},
+		{"truncated payload", raw[:len(raw)-5], ErrTruncated},
+		{"trailing bytes", append(append([]byte(nil), raw...), 0xAB), ErrCorrupt},
+	}
+	for _, tc := range cases {
+		if _, err := ReadBinary(bytes.NewReader(tc.data)); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// Non-monotone row pointers are structurally corrupt.
+	cp := append([]byte(nil), raw...)
+	for i := 0; i < 8; i++ {
+		cp[headerSize+8+i] = 0xFF
+	}
+	if _, err := ReadBinary(bytes.NewReader(cp)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("non-monotone rowPtr: err %v, want ErrCorrupt", err)
+	}
+	// A lying nnz count is caught against the row-pointer chain.
+	lying := append([]byte(nil), raw...)
+	lying[24]++
+	if _, err := ReadBinary(bytes.NewReader(lying)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("lying nnz: err %v, want ErrCorrupt", err)
+	}
+}
+
+func TestChunkedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.bin")
+	orig := Generate(SyntheticConfig{NumRows: 1000, NumFeatures: 200, AvgNNZ: 11, Seed: 43, Zipf: 1.2})
+	if err := WriteBinaryFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := OpenChunked(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	if cf.NumRows() != 1000 || cf.NumFeatures() != orig.NumFeatures || cf.NNZ() != orig.NNZ() {
+		t.Fatalf("shape %dx%d nnz %d", cf.NumRows(), cf.NumFeatures(), cf.NNZ())
+	}
+	if cf.NumChunks() != (1000+63)/64 {
+		t.Fatalf("chunks %d", cf.NumChunks())
+	}
+	var totalNNZ, maxBytes int64
+	var chunk Dataset
+	for c := 0; c < cf.NumChunks(); c++ {
+		lo, hi := cf.ChunkBounds(c)
+		if cf.ChunkOf(lo) != c || cf.ChunkOf(hi-1) != c {
+			t.Fatalf("ChunkOf disagrees with bounds of chunk %d", c)
+		}
+		totalNNZ += cf.ChunkNNZ(c)
+		if b := cf.ChunkBytes(c); b > maxBytes {
+			maxBytes = b
+		}
+		// Reuse one Dataset across reads to exercise buffer recycling.
+		if err := cf.ReadChunk(c, &chunk); err != nil {
+			t.Fatalf("chunk %d: %v", c, err)
+		}
+		if chunk.NumRows() != hi-lo {
+			t.Fatalf("chunk %d: %d rows, want %d", c, chunk.NumRows(), hi-lo)
+		}
+		for i := 0; i < chunk.NumRows(); i++ {
+			want, got := orig.Row(lo+i), chunk.Row(i)
+			if want.Label != got.Label || !reflect.DeepEqual(want.Indices, got.Indices) || !reflect.DeepEqual(want.Values, got.Values) {
+				t.Fatalf("row %d differs", lo+i)
+			}
+		}
+	}
+	if totalNNZ != orig.NNZ() {
+		t.Fatalf("chunk nnz sum %d, want %d", totalNNZ, orig.NNZ())
+	}
+	if cf.MaxChunkBytes() != maxBytes {
+		t.Fatalf("MaxChunkBytes %d, want %d", cf.MaxChunkBytes(), maxBytes)
+	}
+	labels, err := cf.ReadLabels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(labels, orig.Labels) {
+		t.Fatal("ReadLabels differs from original labels")
+	}
+	if err := cf.ReadChunk(cf.NumChunks(), &chunk); err == nil {
+		t.Fatal("out-of-range chunk accepted")
+	}
+}
+
+func TestChunkedFileRejectsDamage(t *testing.T) {
+	dir := t.TempDir()
+	orig := Generate(SyntheticConfig{NumRows: 64, NumFeatures: 40, AvgNNZ: 6, Seed: 47})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	write := func(name string, b []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := OpenChunked(write("trunc.bin", raw[:len(raw)-3]), 16); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated file: %v, want ErrTruncated", err)
+	}
+	if _, err := OpenChunked(write("trail.bin", append(append([]byte(nil), raw...), 1, 2, 3)), 16); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing bytes: %v, want ErrCorrupt", err)
+	}
+	bad := append([]byte(nil), raw...)
+	for i := 0; i < 8; i++ {
+		bad[headerSize+16+i] = 0xFE
+	}
+	if _, err := OpenChunked(write("ptr.bin", bad), 16); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("non-monotone rowPtr: %v, want ErrCorrupt", err)
+	}
+	// Payload corruption (feature index out of range) surfaces at ReadChunk.
+	h := binaryHeader{rows: uint64(orig.NumRows()), features: uint64(orig.NumFeatures), nnz: uint64(orig.NNZ())}
+	idxBad := append([]byte(nil), raw...)
+	idxBad[h.indicesOff()+2] = 0xFF
+	cf, err := OpenChunked(write("idx.bin", idxBad), 16)
+	if err != nil {
+		t.Fatalf("structurally fine file rejected at open: %v", err)
+	}
+	defer cf.Close()
+	var chunk Dataset
+	if err := cf.ReadChunk(0, &chunk); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt index: %v, want ErrCorrupt", err)
 	}
 }

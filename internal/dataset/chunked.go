@@ -1,0 +1,233 @@
+package dataset
+
+import (
+	"fmt"
+	"os"
+)
+
+// ChunkedFile is an open binary dataset file served chunk by chunk — the
+// chunk-iterator API of the disk storage level. It keeps only O(rows/chunk)
+// state in memory (one row-pointer per chunk boundary); every payload byte
+// stays on disk until a chunk is explicitly read. The out-of-core training
+// subsystem (internal/ooc) builds its bounded chunk cache on top of this
+// type.
+//
+// The whole structure of the file is validated at Open: header sanity, file
+// size against the promised payload, and row-pointer monotonicity (streamed,
+// never materialized). Per-chunk reads re-validate the chunk's interior row
+// pointers against the chunk boundaries, so a file corrupted after Open
+// still fails with ErrCorrupt instead of producing an inconsistent Dataset.
+//
+// A ChunkedFile is safe for concurrent ReadChunk calls (reads go through
+// pread) but not for concurrent use with Close.
+type ChunkedFile struct {
+	f         *os.File
+	h         binaryHeader
+	path      string
+	chunkRows int
+	// chunkPtr[c] is rowPtr[min(c*chunkRows, rows)]: the nonzero offset of
+	// each chunk boundary. len(chunkPtr) == NumChunks()+1.
+	chunkPtr []int64
+}
+
+// OpenChunked opens a binary dataset file for chunked reading with the
+// given rows-per-chunk granularity. It validates the header, the file size,
+// and the full row-pointer chain in one streaming pass.
+func OpenChunked(path string, chunkRows int) (*ChunkedFile, error) {
+	if chunkRows < 1 {
+		return nil, fmt.Errorf("dataset: chunkRows %d < 1", chunkRows)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	cf, err := newChunkedFile(f, path, chunkRows)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return cf, nil
+}
+
+func newChunkedFile(f *os.File, path string, chunkRows int) (*ChunkedFile, error) {
+	h, err := readHeader(f)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < h.fileSize() {
+		return nil, fmt.Errorf("%w: file is %d bytes, header promises %d", ErrTruncated, st.Size(), h.fileSize())
+	}
+	if st.Size() > h.fileSize() {
+		return nil, fmt.Errorf("%w: %d trailing bytes past the %d-byte payload", ErrCorrupt, st.Size()-h.fileSize(), h.fileSize())
+	}
+	n := int(h.rows)
+	chunks := (n + chunkRows - 1) / chunkRows
+	cf := &ChunkedFile{
+		f:         f,
+		h:         h,
+		path:      path,
+		chunkRows: chunkRows,
+		chunkPtr:  make([]int64, chunks+1),
+	}
+	// Stream the row-pointer region, validating monotonicity and capturing
+	// the chunk-boundary offsets; the full array is never resident.
+	slab := make([]int64, min(n+1, growSlab))
+	prev := int64(0)
+	for at := 0; at <= n; at += len(slab) {
+		want := min(n+1-at, len(slab))
+		if want == 0 {
+			break
+		}
+		if err := readU64sAt(f, h.rowPtrOff()+int64(at)*8, slab[:want]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < want; i++ {
+			p := slab[i]
+			r := at + i
+			if r == 0 && p != 0 {
+				return nil, fmt.Errorf("%w: RowPtr[0] != 0", ErrCorrupt)
+			}
+			if p < prev {
+				return nil, fmt.Errorf("%w: RowPtr not monotone at row %d (%d < %d)", ErrCorrupt, r, p, prev)
+			}
+			prev = p
+			if r%chunkRows == 0 {
+				cf.chunkPtr[r/chunkRows] = p
+			}
+		}
+	}
+	if uint64(prev) != h.nnz {
+		return nil, fmt.Errorf("%w: RowPtr[rows]=%d, header nnz=%d", ErrCorrupt, prev, h.nnz)
+	}
+	cf.chunkPtr[chunks] = prev
+	return cf, nil
+}
+
+// Close closes the underlying file.
+func (cf *ChunkedFile) Close() error { return cf.f.Close() }
+
+// Path returns the file path the ChunkedFile was opened from.
+func (cf *ChunkedFile) Path() string { return cf.path }
+
+// NumRows returns the dataset's row count.
+func (cf *ChunkedFile) NumRows() int { return int(cf.h.rows) }
+
+// NumFeatures returns the dataset's feature dimensionality.
+func (cf *ChunkedFile) NumFeatures() int { return int(cf.h.features) }
+
+// NNZ returns the total stored-entry count.
+func (cf *ChunkedFile) NNZ() int64 { return int64(cf.h.nnz) }
+
+// ChunkRows returns the rows-per-chunk granularity.
+func (cf *ChunkedFile) ChunkRows() int { return cf.chunkRows }
+
+// NumChunks returns the number of chunks in the fixed grid.
+func (cf *ChunkedFile) NumChunks() int { return len(cf.chunkPtr) - 1 }
+
+// ChunkOf returns the chunk index holding global row r.
+func (cf *ChunkedFile) ChunkOf(r int) int { return r / cf.chunkRows }
+
+// ChunkBounds returns chunk c's global row range [lo, hi).
+func (cf *ChunkedFile) ChunkBounds(c int) (lo, hi int) {
+	lo = c * cf.chunkRows
+	hi = min(lo+cf.chunkRows, int(cf.h.rows))
+	return
+}
+
+// ChunkNNZ returns the stored-entry count of chunk c.
+func (cf *ChunkedFile) ChunkNNZ(c int) int64 { return cf.chunkPtr[c+1] - cf.chunkPtr[c] }
+
+// ChunkBytes returns the in-memory CSR footprint of chunk c once read.
+func (cf *ChunkedFile) ChunkBytes(c int) int64 {
+	lo, hi := cf.ChunkBounds(c)
+	rows := int64(hi - lo)
+	return (rows+1)*8 + rows*4 + cf.ChunkNNZ(c)*8
+}
+
+// MaxChunkBytes returns the largest ChunkBytes over all chunks — the unit
+// the out-of-core budget floor is expressed in.
+func (cf *ChunkedFile) MaxChunkBytes() int64 {
+	var m int64
+	for c := 0; c < cf.NumChunks(); c++ {
+		if b := cf.ChunkBytes(c); b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// ReadChunk reads chunk c into d, reusing d's backing arrays when they have
+// capacity. The result is a self-contained Dataset whose local row i is
+// global row ChunkBounds(c).lo + i.
+func (cf *ChunkedFile) ReadChunk(c int, d *Dataset) error {
+	if c < 0 || c >= cf.NumChunks() {
+		return fmt.Errorf("dataset: chunk %d outside [0,%d)", c, cf.NumChunks())
+	}
+	lo, hi := cf.ChunkBounds(c)
+	rows := hi - lo
+	a, b := cf.chunkPtr[c], cf.chunkPtr[c+1]
+	nnz := int(b - a)
+	d.NumFeatures = int(cf.h.features)
+	d.RowPtr = resize(d.RowPtr, rows+1)
+	d.Labels = resize(d.Labels, rows)
+	d.Indices = resize(d.Indices, nnz)
+	d.Values = resize(d.Values, nnz)
+	if err := readU64sAt(cf.f, cf.h.rowPtrOff()+int64(lo)*8, d.RowPtr); err != nil {
+		return err
+	}
+	// Re-validate the interior pointers against the boundaries captured at
+	// Open so the rebased chunk is structurally sound.
+	prev := a
+	for i, p := range d.RowPtr {
+		if p < prev || p > b {
+			return fmt.Errorf("%w: chunk %d RowPtr[%d]=%d outside [%d,%d]", ErrCorrupt, c, i, p, prev, b)
+		}
+		prev = p
+		d.RowPtr[i] = p - a
+	}
+	if d.RowPtr[0] != 0 || d.RowPtr[rows] != int64(nnz) {
+		return fmt.Errorf("%w: chunk %d extent [%d,%d) disagrees with boundaries", ErrCorrupt, c, d.RowPtr[0], d.RowPtr[rows])
+	}
+	if err := readF32sAt(cf.f, cf.h.labelsOff()+int64(lo)*4, d.Labels); err != nil {
+		return err
+	}
+	if err := readI32sAt(cf.f, cf.h.indicesOff()+a*4, d.Indices); err != nil {
+		return err
+	}
+	if err := readF32sAt(cf.f, cf.h.valuesOff()+a*4, d.Values); err != nil {
+		return err
+	}
+	// Validate is row-local (sorted in-range indices, finite values), so
+	// validating every chunk is exactly as strong as validating the whole
+	// file — a corrupt payload fails here just like in ReadBinary.
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("%w: chunk %d: %v", ErrCorrupt, c, err)
+	}
+	return nil
+}
+
+// ReadLabels streams the full label column into a fresh array — the one
+// per-row input the out-of-core trainer keeps resident (4 bytes per row).
+func (cf *ChunkedFile) ReadLabels() ([]float32, error) {
+	labels := make([]float32, cf.h.rows)
+	const step = 1 << 18
+	for at := 0; at < len(labels); at += step {
+		end := min(at+step, len(labels))
+		if err := readF32sAt(cf.f, cf.h.labelsOff()+int64(at)*4, labels[at:end]); err != nil {
+			return nil, err
+		}
+	}
+	return labels, nil
+}
+
+// resize returns s with length n, reallocating only when capacity is short.
+func resize[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}

@@ -1,6 +1,9 @@
 package dataset
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -54,6 +57,73 @@ func FuzzLibSVMParse(f *testing.F) {
 		if d2.NumRows() != d.NumRows() || d2.NNZ() != d.NNZ() {
 			t.Fatalf("round trip changed shape: %dx%d -> %dx%d",
 				d.NumRows(), d.NNZ(), d2.NumRows(), d2.NNZ())
+		}
+	})
+}
+
+// FuzzBinaryRead asserts the binary reader's crash-safety contract over
+// hostile bytes: truncated files, corrupt headers, lying counts, and
+// non-monotone row pointers must all return a typed error — never panic and
+// never allocate anywhere near the promised (possibly absurd) payload size.
+// A successful parse must pass Validate, and the chunked reader must agree
+// with the full reader on the same bytes.
+func FuzzBinaryRead(f *testing.F) {
+	seed := func(d *Dataset) []byte {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, d); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	valid := seed(Generate(SyntheticConfig{NumRows: 12, NumFeatures: 30, AvgNNZ: 4, Seed: 3, Zipf: 1.2}))
+	empty := seed(NewBuilder(5).Build())
+	f.Add(valid)
+	f.Add(empty)
+	f.Add(valid[:len(valid)/2])    // truncated payload
+	f.Add(valid[:headerSize])      // header only
+	f.Add(valid[:headerSize-3])    // truncated header
+	f.Add([]byte("DIMB"))          // magic only
+	f.Add([]byte("NOPE nonsense")) // bad magic
+	f.Add(bytes.Repeat(valid, 2))  // trailing bytes
+	lying := append([]byte(nil), valid...)
+	lying[24] = 0xEE // nnz count no longer matches the row pointers
+	f.Add(lying)
+	badPtr := append([]byte(nil), valid...)
+	badPtr[headerSize+8] = 0xFF // second row pointer jumps past nnz
+	f.Add(badPtr)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadBinary(bytes.NewReader(data))
+		if err == nil {
+			if verr := d.Validate(); verr != nil {
+				t.Fatalf("ReadBinary accepted input but Validate failed: %v", verr)
+			}
+		}
+		// The chunked reader must make the same accept/reject decision and
+		// reassemble the same rows.
+		path := filepath.Join(t.TempDir(), "fuzz.bin")
+		if werr := os.WriteFile(path, data, 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		rows := 0
+		cerr := ReadBinaryChunks(path, 5, func(lo, hi int, chunk *Dataset) error {
+			if verr := chunk.Validate(); verr != nil {
+				t.Fatalf("chunk [%d,%d) invalid: %v", lo, hi, verr)
+			}
+			for i := 0; d != nil && i < chunk.NumRows(); i++ {
+				want, got := d.Row(lo+i), chunk.Row(i)
+				if want.Label != got.Label || len(want.Indices) != len(got.Indices) {
+					t.Fatalf("row %d differs between full and chunked read", lo+i)
+				}
+			}
+			rows = hi
+			return nil
+		})
+		if (err == nil) != (cerr == nil) {
+			t.Fatalf("full read err=%v, chunked read err=%v", err, cerr)
+		}
+		if err == nil && rows != d.NumRows() {
+			t.Fatalf("chunked read covered %d of %d rows", rows, d.NumRows())
 		}
 	})
 }

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"dimboost/internal/core"
+	"dimboost/internal/dataset"
+	"dimboost/internal/ooc"
+)
+
+// OOCSlack is the documented allowance between the accounted memory budget
+// and the observed process RSS growth of a budgeted run. The budget bounds
+// what the out-of-core data path keeps resident (chunk caches, spill
+// segments, encode buffers, labels); outside it live the Go runtime, the
+// per-row training state (predictions, gradients, hessians — ~24 bytes per
+// row), per-tree histograms, and GC lag. The ooc bench fails if RSS growth
+// exceeds budget + OOCSlack.
+const OOCSlack = 64 * ooc.MiB
+
+// OOCLevel is one budget setting's measured run.
+type OOCLevel struct {
+	Budget      ooc.Budget
+	TrackerPeak int64
+	RSSGrowth   int64 // VmRSS delta across the run; -1 where unsupported
+	Wall        time.Duration
+}
+
+// OOCResult reports budget-constrained out-of-core training against the
+// in-memory baseline on the same data. Models are verified bit-identical
+// across every budget level and the baseline before timings are reported.
+type OOCResult struct {
+	Rows         int
+	Features     int
+	FileBytes    int64
+	MinBudget    ooc.Budget
+	Levels       []OOCLevel
+	InMemoryWall time.Duration
+	BitIdentical bool
+}
+
+// OOC trains the same Gender-shaped dataset from disk under three memory
+// budgets — scaled off the probed minimum working set so every level is
+// admissible at any -scale — then in-memory as the baseline. The run fails
+// if the accounted peak ever exceeds its budget, if RSS growth exceeds
+// budget + OOCSlack, or if any model differs from the baseline by a single
+// bit. Budgeted levels run before the baseline so their RSS deltas are not
+// hidden under a previously grown heap.
+func OOC(w io.Writer, scale Scale) (*OOCResult, error) {
+	rows := scale.rows(40_000)
+	const features = 10_000
+	d := genderScaled(rows, features, 61)
+
+	dir, err := os.MkdirTemp("", "dimboost-ooc-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "train.bin")
+	if err := dataset.WriteBinaryFile(path, d); err != nil {
+		return nil, err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := expConfig()
+	cfg.NumTrees = 5
+	cfg.MaxDepth = 5
+
+	// ChunkRows below the default keeps the per-chunk working set — and with
+	// it the minimum admissible budget — well under the file size, so the
+	// budget levels genuinely constrain the run. The accumulation grids do
+	// not depend on the storage chunking, so results stay bit-identical.
+	const chunkRows = 1024
+	probe, err := ooc.Open(path, ooc.Options{Parallelism: cfg.ResolvedParallelism(), ChunkRows: chunkRows, SpillDir: dir})
+	if err != nil {
+		return nil, err
+	}
+	minBudget := probe.MinBudget()
+	probe.Close()
+
+	res := &OOCResult{
+		Rows: d.NumRows(), Features: features,
+		FileBytes: st.Size(), MinBudget: minBudget,
+	}
+	budgets := []ooc.Budget{
+		minBudget + minBudget/4,
+		2 * minBudget,
+		4 * minBudget,
+	}
+
+	var ref *core.Model
+	for _, b := range budgets {
+		runtime.GC()
+		rss0, rssOK := ooc.CurrentRSS()
+		src, err := ooc.Open(path, ooc.Options{
+			Budget:      b,
+			Parallelism: cfg.ResolvedParallelism(),
+			ChunkRows:   chunkRows,
+			SpillDir:    dir,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ooc: budget %s: %w", b, err)
+		}
+		c := cfg
+		c.MemoryBudget = b
+		tr, err := core.NewTrainerFromSource(src, c)
+		if err != nil {
+			src.Close()
+			return nil, err
+		}
+		start := time.Now()
+		m, err := tr.Train()
+		wall := time.Since(start)
+		if err != nil {
+			src.Close()
+			return nil, fmt.Errorf("ooc: budget %s: %w", b, err)
+		}
+		peak := src.Tracker().Peak()
+		src.Close()
+		runtime.GC()
+
+		level := OOCLevel{Budget: b, TrackerPeak: peak, RSSGrowth: -1, Wall: wall}
+		if rss1, ok := ooc.CurrentRSS(); ok && rssOK {
+			level.RSSGrowth = rss1 - rss0
+			if level.RSSGrowth < 0 {
+				level.RSSGrowth = 0
+			}
+		}
+		if peak > int64(b) {
+			return nil, fmt.Errorf("ooc: budget %s: accounted peak %d exceeds the budget", b, peak)
+		}
+		if level.RSSGrowth > int64(b+OOCSlack) {
+			return nil, fmt.Errorf("ooc: budget %s: RSS grew %d bytes, above budget + %s slack", b, level.RSSGrowth, OOCSlack)
+		}
+		if ref == nil {
+			ref = m
+		} else if err := sameModelBits(ref, m); err != nil {
+			return nil, fmt.Errorf("ooc: budget %s model diverged: %w", b, err)
+		}
+		res.Levels = append(res.Levels, level)
+	}
+
+	// In-memory baseline: same data, same config, unconstrained.
+	start := time.Now()
+	m, err := core.Train(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.InMemoryWall = time.Since(start)
+	if err := sameModelBits(ref, m); err != nil {
+		return nil, fmt.Errorf("ooc: in-memory baseline diverged: %w", err)
+	}
+	res.BitIdentical = true
+
+	section(w, fmt.Sprintf("Out-of-core training — %d×%d (%s on disk), %d trees, min budget %s",
+		res.Rows, res.Features, ooc.Budget(res.FileBytes), cfg.NumTrees, minBudget))
+	fmt.Fprintf(w, "%-14s %14s %14s %10s\n", "budget", "tracker peak", "rss growth", "wall")
+	for _, l := range res.Levels {
+		rss := "n/a"
+		if l.RSSGrowth >= 0 {
+			rss = fmt.Sprintf("%d", l.RSSGrowth)
+		}
+		fmt.Fprintf(w, "%-14s %14d %14s %10s\n", l.Budget, l.TrackerPeak, rss, fmtDur(l.Wall))
+	}
+	fmt.Fprintf(w, "%-14s %14s %14s %10s\n", "in-memory", "-", "-", fmtDur(res.InMemoryWall))
+	fmt.Fprintln(w, "models verified bit-identical across all budgets and the in-memory baseline.")
+	return res, nil
+}

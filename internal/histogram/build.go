@@ -71,18 +71,38 @@ func BuildSparse(h *Histogram, d *dataset.Dataset, rows []int32, grad, hess []fl
 // inner loop is pure index arithmetic — no Pos lookup, no float compare,
 // no binary search.
 func BuildSparseBinned(h *Histogram, b *Binned, rows []int32, grad, hess []float64) {
+	sumG, sumH := AccumSparseBinned(h, b, rows, grad, hess, 0, 0)
+	FinishSparseZeros(h, sumG, sumH)
+}
+
+// AccumSparseBinned runs Algorithm 2's per-entry accumulation over rows
+// without the final zero-bucket pass, threading the running gradient sums
+// through so a batch can be split across several Binned views (the
+// out-of-core streaming build walks one batch over multiple disk-resident
+// chunk segments). rows index into b; grad/hess are indexed by the same row
+// ids (callers slice them so local rows line up). Chaining calls and then
+// applying FinishSparseZeros once performs float operations in exactly the
+// order of BuildSparseBinned over the concatenated rows — bit-identical.
+func AccumSparseBinned(h *Histogram, b *Binned, rows []int32, grad, hess []float64, sumG, sumH float64) (float64, float64) {
 	if b.Bins16 != nil {
-		buildSparseBins(h, b, b.Bins16, rows, grad, hess)
-	} else {
-		buildSparseBins(h, b, b.Bins8, rows, grad, hess)
+		return accumSparseBins(h, b, b.Bins16, rows, grad, hess, sumG, sumH)
+	}
+	return accumSparseBins(h, b, b.Bins8, rows, grad, hess, sumG, sumH)
+}
+
+// FinishSparseZeros applies the accumulated gradient sums to every sampled
+// feature's zero bucket, completing a chain of AccumSparseBinned calls.
+func FinishSparseZeros(h *Histogram, sumG, sumH float64) {
+	for _, z := range h.Layout.zeroIdx {
+		h.G[z] += sumG
+		h.H[z] += sumH
 	}
 }
 
-func buildSparseBins[T uint8 | uint16](h *Histogram, b *Binned, bins []T, rows []int32, grad, hess []float64) {
+func accumSparseBins[T uint8 | uint16](h *Histogram, b *Binned, bins []T, rows []int32, grad, hess []float64, sumG, sumH float64) (float64, float64) {
 	l := h.Layout
 	offs, zeros := l.Offsets, l.zeroIdx
 	pos := b.Pos
-	var sumG, sumH float64
 	for _, r := range rows {
 		g, hs := grad[r], hess[r]
 		sumG += g
@@ -98,10 +118,7 @@ func buildSparseBins[T uint8 | uint16](h *Histogram, b *Binned, bins []T, rows [
 			h.H[z] -= hs
 		}
 	}
-	for _, z := range zeros {
-		h.G[z] += sumG
-		h.H[z] += sumH
-	}
+	return sumG, sumH
 }
 
 // BuildDenseBinned is BuildDense over pre-quantized bin ids: one merge-walk

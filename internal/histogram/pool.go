@@ -28,12 +28,19 @@ func poolMetrics() (*obs.Counter, *obs.Counter) {
 // simultaneously live histograms per tree. It is safe for concurrent use.
 type Pool struct {
 	layout *Layout
+	cap    int
 	mu     sync.Mutex
 	free   []*Histogram
 }
 
-// NewPool creates an empty pool for the layout.
+// NewPool creates an empty pool for the layout with an unbounded free list.
 func NewPool(l *Layout) *Pool { return &Pool{layout: l} }
+
+// NewPoolCap creates a pool that parks at most cap idle histograms; Puts
+// beyond the cap drop the histogram for the GC instead (eviction). Values
+// < 1 mean unbounded. Memory-budgeted callers use a small cap so idle
+// histograms cannot pile up beyond the working set.
+func NewPoolCap(l *Layout, cap int) *Pool { return &Pool{layout: l, cap: cap} }
 
 // Get returns a zeroed histogram, recycling a previously Put one when
 // available.
@@ -64,7 +71,9 @@ func (p *Pool) Put(h *Histogram) {
 		return
 	}
 	p.mu.Lock()
-	p.free = append(p.free, h)
+	if p.cap < 1 || len(p.free) < p.cap {
+		p.free = append(p.free, h)
+	}
 	p.mu.Unlock()
 }
 

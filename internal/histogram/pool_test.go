@@ -1,0 +1,128 @@
+package histogram
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPoolCapEvicts pins NewPoolCap's eviction contract: Puts beyond the cap
+// drop the histogram instead of growing the free list.
+func TestPoolCapEvicts(t *testing.T) {
+	_, cands, _, _ := buildFixture(t, 80, 10, 4, 27)
+	l, err := NewLayout(AllFeatures(10), cands, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPoolCap(l, 2)
+	hs := []*Histogram{p.Get(), p.Get(), p.Get(), p.Get()}
+	for _, h := range hs {
+		p.Put(h)
+	}
+	if p.Idle() != 2 {
+		t.Fatalf("Idle = %d, want cap 2", p.Idle())
+	}
+	// Unbounded when cap < 1.
+	u := NewPoolCap(l, 0)
+	for _, h := range hs {
+		u.Put(h)
+	}
+	if u.Idle() != 4 {
+		t.Fatalf("unbounded Idle = %d, want 4", u.Idle())
+	}
+}
+
+// TestPoolNoAliasingUnderConcurrency hammers one small-cap pool from many
+// goroutines and asserts the core safety property behind every pooled build:
+// a Get never returns a histogram that another goroutine still holds. The
+// tiny cap forces constant evictions and fresh allocations, interleaving the
+// free list's push/pop under contention. Each holder writes a unique tag into
+// its histogram and verifies it before Put — any aliasing shows up as a
+// clobbered tag (and as a race under -race).
+func TestPoolNoAliasingUnderConcurrency(t *testing.T) {
+	_, cands, _, _ := buildFixture(t, 80, 10, 4, 28)
+	l, err := NewLayout(AllFeatures(10), cands, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPoolCap(l, 2)
+
+	var mu sync.Mutex
+	live := make(map[*Histogram]int)
+
+	const workers = 8
+	const rounds = 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				h := p.Get()
+				mu.Lock()
+				if prev, ok := live[h]; ok {
+					mu.Unlock()
+					t.Errorf("Get returned a histogram still held by goroutine %d", prev)
+					return
+				}
+				live[h] = w
+				mu.Unlock()
+
+				tag := float64(w*rounds + i + 1)
+				if h.G[0] != 0 || h.H[0] != 0 {
+					t.Errorf("Get returned a non-zeroed histogram")
+				}
+				h.G[0], h.H[0] = tag, -tag
+				// A second touch after other goroutines have had a chance
+				// to Get/Put: aliasing would clobber the tag.
+				if h.G[0] != tag || h.H[0] != -tag {
+					t.Errorf("histogram mutated while held: G[0]=%v H[0]=%v want %v/%v", h.G[0], h.H[0], tag, -tag)
+				}
+
+				mu.Lock()
+				delete(live, h)
+				mu.Unlock()
+				p.Put(h)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentBuildsShareCappedPool runs several full binned builds at once
+// against a single cap-forced pool and requires every result to stay
+// bit-identical to an unpooled reference — partial-histogram buffers recycled
+// across concurrent builders must never leak accumulations between builds.
+func TestConcurrentBuildsShareCappedPool(t *testing.T) {
+	d, cands, grad, hess := buildFixture(t, 600, 40, 9, 29)
+	l, err := NewLayout(AllFeatures(40), cands, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := allRows(600)
+	b := NewBinned(d, l, 4)
+	ref := New(l)
+	BuildBinned(ref, b, rows, grad, hess, BuildOptions{Parallelism: 2, BatchSize: 32})
+
+	// Cap far below the partial traffic of builds×workers so the pool is
+	// constantly evicting and re-allocating while builders run.
+	pool := NewPoolCap(l, 1)
+	const builds = 6
+	results := make([]*Histogram, builds)
+	var wg sync.WaitGroup
+	for i := 0; i < builds; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got := New(l)
+			BuildBinned(got, b, rows, grad, hess, BuildOptions{Parallelism: 2, BatchSize: 32, Pool: pool})
+			results[i] = got
+		}(i)
+	}
+	wg.Wait()
+	for _, got := range results {
+		requireBitIdentical(t, "concurrent pooled build", ref, got)
+	}
+	if pool.Idle() > 1 {
+		t.Fatalf("Idle = %d exceeds cap 1", pool.Idle())
+	}
+}

@@ -1,0 +1,170 @@
+package ooc
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"dimboost/internal/obs"
+)
+
+// cache is a bounded, pinned, single-flight chunk cache: the heart of the
+// budget enforcement. Entries are keyed by chunk index, sized up front (both
+// the source and the spill store know every chunk's byte count before
+// loading), and pinned while in use. Capacity is enforced strictly — a load
+// reserves its bytes before reading, evicting unpinned entries in LRU order
+// and blocking on a condition variable when everything resident is pinned.
+//
+// Deadlock freedom is a capacity precondition, not a runtime protocol: every
+// worker pins at most one entry of each cache at a time, so with capacity ≥
+// (workers+1)×maxEntry an eviction or release always eventually admits a
+// waiter. Source.MinBudget encodes exactly that floor and Open rejects
+// budgets below it (BudgetError), so a configuration that could deadlock
+// never constructs a cache.
+type cache[V any] struct {
+	capBytes int64
+	tr       *Tracker
+	size     func(c int) int64
+	load     func(c int) (V, error)
+	free     func(v V)
+
+	hits, misses, evict *obs.Counter
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	entries map[int]*cacheEntry[V]
+	lru     *list.List // unpinned entries, front = most recently released
+	used    int64
+}
+
+type cacheEntry[V any] struct {
+	c       int
+	val     V
+	bytes   int64
+	refs    int
+	loading bool
+	elem    *list.Element // non-nil iff refs == 0 and not loading
+}
+
+func newCache[V any](name string, capBytes int64, tr *Tracker, size func(c int) int64, load func(c int) (V, error), free func(v V)) *cache[V] {
+	hits, misses, evict, _ := cacheMetrics(name)
+	k := &cache[V]{
+		capBytes: capBytes,
+		tr:       tr,
+		size:     size,
+		load:     load,
+		free:     free,
+		hits:     hits,
+		misses:   misses,
+		evict:    evict,
+		entries:  make(map[int]*cacheEntry[V]),
+		lru:      list.New(),
+	}
+	k.cond = sync.NewCond(&k.mu)
+	return k
+}
+
+// pin returns chunk c's value and a release function that must be called
+// exactly once when the caller is done with it. The value stays resident —
+// never evicted, never mutated — until released.
+func (k *cache[V]) pin(c int) (V, func(), error) {
+	var zero V
+	k.mu.Lock()
+	for {
+		if e, ok := k.entries[c]; ok {
+			if e.loading {
+				// Another goroutine is loading this chunk (single-flight);
+				// wait for it to finish or fail, then re-check.
+				k.cond.Wait()
+				continue
+			}
+			e.refs++
+			if e.elem != nil {
+				k.lru.Remove(e.elem)
+				e.elem = nil
+			}
+			k.mu.Unlock()
+			k.hits.Inc()
+			return e.val, k.releaser(e), nil
+		}
+		need := k.size(c)
+		if need > k.capBytes {
+			k.mu.Unlock()
+			return zero, nil, fmt.Errorf("ooc: chunk %d needs %d bytes, cache capacity is %d", c, need, k.capBytes)
+		}
+		if k.used+need <= k.capBytes {
+			e := &cacheEntry[V]{c: c, bytes: need, loading: true}
+			k.entries[c] = e
+			k.used += need
+			k.mu.Unlock()
+			k.tr.Reserve(need)
+
+			val, err := k.load(c)
+
+			k.mu.Lock()
+			if err != nil {
+				delete(k.entries, c)
+				k.used -= need
+				k.cond.Broadcast()
+				k.mu.Unlock()
+				k.tr.Release(need)
+				return zero, nil, err
+			}
+			e.val = val
+			e.loading = false
+			e.refs = 1
+			k.cond.Broadcast()
+			k.mu.Unlock()
+			k.misses.Inc()
+			return val, k.releaser(e), nil
+		}
+		// Over capacity: evict the least recently used unpinned entry, or
+		// wait for a release when everything resident is pinned or loading.
+		if back := k.lru.Back(); back != nil {
+			k.evictLocked(back.Value.(*cacheEntry[V]))
+			continue
+		}
+		k.cond.Wait()
+	}
+}
+
+// releaser returns the one-shot unpin closure for e.
+func (k *cache[V]) releaser(e *cacheEntry[V]) func() {
+	return func() {
+		k.mu.Lock()
+		e.refs--
+		if e.refs == 0 {
+			e.elem = k.lru.PushFront(e)
+		}
+		k.cond.Broadcast()
+		k.mu.Unlock()
+	}
+}
+
+// evictLocked drops an unpinned entry; caller holds k.mu.
+func (k *cache[V]) evictLocked(e *cacheEntry[V]) {
+	k.lru.Remove(e.elem)
+	e.elem = nil
+	delete(k.entries, e.c)
+	k.used -= e.bytes
+	k.free(e.val)
+	k.tr.Release(e.bytes)
+	k.evict.Inc()
+}
+
+// drop evicts every unpinned entry. Callers drain all pins first (Close,
+// end-of-tree teardown), so after drop the cache holds nothing.
+func (k *cache[V]) drop() {
+	k.mu.Lock()
+	for k.lru.Len() > 0 {
+		k.evictLocked(k.lru.Back().Value.(*cacheEntry[V]))
+	}
+	k.mu.Unlock()
+}
+
+// residentBytes returns the bytes currently held by the cache.
+func (k *cache[V]) residentBytes() int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.used
+}

@@ -1,0 +1,20 @@
+//go:build !unix
+
+package ooc
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether read-only file mappings are available; when
+// false the spill store falls back to pread + decode.
+const mmapSupported = false
+
+var errNoMmap = errors.New("ooc: mmap not supported on this platform")
+
+func mmapAt(f *os.File, off, length int64) ([]byte, error) {
+	return nil, errNoMmap
+}
+
+func munmap(b []byte) error { return nil }

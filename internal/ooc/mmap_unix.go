@@ -1,0 +1,29 @@
+//go:build unix
+
+package ooc
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether read-only file mappings are available; when
+// false the spill store falls back to pread + decode.
+const mmapSupported = true
+
+// mmapAt maps [off, off+length) of f read-only. off must be page-aligned
+// (the spill store aligns every segment); length may be arbitrary.
+func mmapAt(f *os.File, off, length int64) ([]byte, error) {
+	if length == 0 {
+		return []byte{}, nil
+	}
+	return syscall.Mmap(int(f.Fd()), off, int(length), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmap releases a mapping returned by mmapAt.
+func munmap(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

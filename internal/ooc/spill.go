@@ -1,0 +1,405 @@
+package ooc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+
+	"dimboost/internal/histogram"
+	"dimboost/internal/parallel"
+)
+
+// SpilledBinned is the disk-resident counterpart of histogram.Binned: one
+// tree's quantized CSR mirror, written chunk by chunk to an unlinked spill
+// file in parallel.RowChunk-aligned (more precisely, Source.ChunkRows-
+// aligned) segments and read back through a bounded pinned cache —
+// memory-mapped where the platform allows, pread + decode otherwise.
+//
+// Segment layout (native byte order, page-aligned start):
+//
+//	rowPtr (rows+1)×i64   chunk-local entry offsets
+//	pos    nnz×i32        sampled position of each kept nonzero
+//	bins   nnz×u8|u16     bin id (u16 iff any sampled feature has >256 buckets)
+//
+// Streaming histogram builds (BuildHistogram) and split classification
+// (Classify) walk node rows run by run over these segments using exactly the
+// in-memory accumulation grid and merge order, so every result is
+// Float64bits-identical to histogram.BuildBinned / Binned.Bin on the full
+// matrix.
+type SpilledBinned struct {
+	src    *Source
+	layout *histogram.Layout
+	wide   bool
+
+	f       *os.File
+	path    string
+	unlinkd bool
+	segs    []segMeta
+	written int64
+
+	cache *cache[*binnedSeg]
+
+	// rowScratch recycles the local-row translation buffers of streaming
+	// builds (≤ ChunkRows int32s per worker; part of the documented
+	// fixed working set, not budget-accounted).
+	rowScratch sync.Pool
+}
+
+type segMeta struct {
+	off  int64
+	rows int
+	nnz  int64
+}
+
+// binnedSeg is one resident segment: a chunk-local Binned view over either a
+// mapping of the spill file or decoded heap slices.
+type binnedSeg struct {
+	bin    histogram.Binned
+	mapped []byte
+}
+
+// segBytes returns the byte size of a segment holding rows rows and nnz
+// entries.
+func segBytes(rows int, nnz int64, wide bool) int64 {
+	w := int64(1)
+	if wide {
+		w = 2
+	}
+	return int64(rows+1)*8 + nnz*4 + nnz*w
+}
+
+// maxNarrowBuckets mirrors histogram.NewBinned's uint8/uint16 escalation
+// threshold.
+const maxNarrowBuckets = 256
+
+// BuildBinned quantizes the dataset under the layout and spills the result —
+// the out-of-core counterpart of histogram.NewBinned, run once per tree.
+// Chunks quantize in parallel through the pool; each worker pins one source
+// chunk, encodes its segment into a pooled buffer, and writes it at the
+// chunk's precomputed offset, so the file content is independent of worker
+// count and schedule.
+func (s *Source) BuildBinned(l *histogram.Layout, pool *parallel.Pool) (*SpilledBinned, error) {
+	wide := false
+	for p := range l.Features {
+		if l.Cands[p].NumBuckets() > maxNarrowBuckets {
+			wide = true
+			break
+		}
+	}
+	nc := s.NumChunks()
+	sb := &SpilledBinned{src: s, layout: l, wide: wide, segs: make([]segMeta, nc)}
+
+	// Offsets are bounds computed from the *source* nonzero counts (feature
+	// sampling can only keep fewer), so writers never depend on each other's
+	// actual sizes and the build parallelizes freely. The gap between bound
+	// and actual is disk-only waste, never resident.
+	offs := make([]int64, nc+1)
+	for c := 0; c < nc; c++ {
+		lo, hi := s.ChunkBounds(c)
+		offs[c+1] = offs[c] + alignPage(segBytes(hi-lo, s.cf.ChunkNNZ(c), wide))
+	}
+
+	f, err := os.CreateTemp(s.opt.SpillDir, "dimboost-spill-*.bin")
+	if err != nil {
+		return nil, err
+	}
+	sb.f, sb.path = f, f.Name()
+	// Unlink immediately where the OS allows: the spill is pure scratch and
+	// should vanish even on a crash. Close removes the path otherwise.
+	if err := os.Remove(sb.path); err == nil {
+		sb.unlinkd = true
+	}
+
+	var maxBound int64
+	for c := 0; c < nc; c++ {
+		if b := offs[c+1] - offs[c]; b > maxBound {
+			maxBound = b
+		}
+	}
+	// Encode buffers recycle through an explicit free list rather than a
+	// sync.Pool: at most one buffer per concurrent task ever exists, so the
+	// budget accounting (maxBound per buffer) is deterministic and bounded by
+	// the worker count regardless of GC or race-detector pool behavior.
+	var (
+		bufMu   sync.Mutex
+		bufFree [][]byte
+		nBufs   int64
+	)
+	getBuf := func() []byte {
+		bufMu.Lock()
+		defer bufMu.Unlock()
+		if n := len(bufFree); n > 0 {
+			b := bufFree[n-1]
+			bufFree = bufFree[:n-1]
+			return b
+		}
+		nBufs++
+		s.tr.Reserve(maxBound)
+		return make([]byte, maxBound)
+	}
+	putBuf := func(b []byte) {
+		bufMu.Lock()
+		bufFree = append(bufFree, b)
+		bufMu.Unlock()
+	}
+
+	pool.Tasks(nc, func(c int) {
+		d, release, err := s.Chunk(c)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		defer release()
+		buf := getBuf()
+		defer putBuf(buf)
+
+		rows := d.NumRows()
+		rowPtrB := buf[: (rows+1)*8 : (rows+1)*8]
+		// Pass 1: count kept nonzeros per row straight into the rowPtr
+		// section (cumulative), exactly like histogram.NewBinned's pass 1.
+		binary.NativeEndian.PutUint64(rowPtrB, 0)
+		kept := int64(0)
+		for r := 0; r < rows; r++ {
+			in := d.Row(r)
+			for _, ft := range in.Indices {
+				if l.Pos(ft) >= 0 {
+					kept++
+				}
+			}
+			binary.NativeEndian.PutUint64(rowPtrB[(r+1)*8:], uint64(kept))
+		}
+		// Pass 2: quantize into the pos and bin sections.
+		posOff := int64(rows+1) * 8
+		binOff := posOff + kept*4
+		at := int64(0)
+		for r := 0; r < rows; r++ {
+			in := d.Row(r)
+			for j, ft := range in.Indices {
+				p := l.Pos(ft)
+				if p < 0 {
+					continue
+				}
+				k := l.Cands[p].Bucket(float64(in.Values[j]))
+				binary.NativeEndian.PutUint32(buf[posOff+at*4:], uint32(p))
+				if wide {
+					binary.NativeEndian.PutUint16(buf[binOff+at*2:], uint16(k))
+				} else {
+					buf[binOff+at] = uint8(k)
+				}
+				at++
+			}
+		}
+		n := segBytes(rows, kept, wide)
+		if _, err := sb.f.WriteAt(buf[:n], offs[c]); err != nil {
+			s.fail(fmt.Errorf("ooc: writing spill segment %d: %w", c, err))
+			return
+		}
+		sb.segs[c] = segMeta{off: offs[c], rows: rows, nnz: kept}
+	})
+	// The encode buffers die with the free list here; release their
+	// accounting.
+	s.tr.Release(nBufs * maxBound)
+	if err := s.Err(); err != nil {
+		sb.Close()
+		return nil, err
+	}
+	for _, m := range sb.segs {
+		sb.written += segBytes(m.rows, m.nnz, wide)
+	}
+	oocMetrics().spillBytes.Add(sb.written)
+
+	_, _, _, readBytes := cacheMetrics("binned")
+	sb.cache = newCache("binned", s.spillCap, s.tr,
+		func(c int) int64 {
+			m := sb.segs[c]
+			return alignPage(segBytes(m.rows, m.nnz, wide))
+		},
+		func(c int) (*binnedSeg, error) {
+			seg, err := sb.loadSeg(c)
+			if err == nil {
+				readBytes.Add(segBytes(sb.segs[c].rows, sb.segs[c].nnz, wide))
+			}
+			return seg, err
+		},
+		func(seg *binnedSeg) {
+			if seg.mapped != nil {
+				munmap(seg.mapped)
+			}
+		},
+	)
+	return sb, nil
+}
+
+// loadSeg materializes segment c: mmap where supported, pread + decode
+// otherwise. Both paths yield identical values.
+func (sb *SpilledBinned) loadSeg(c int) (*binnedSeg, error) {
+	m := sb.segs[c]
+	n := segBytes(m.rows, m.nnz, sb.wide)
+	posOff := int64(m.rows+1) * 8
+	binOff := posOff + m.nnz*4
+	if mmapSupported {
+		data, err := mmapAt(sb.f, m.off, n)
+		if err == nil {
+			seg := &binnedSeg{mapped: data}
+			seg.bin = histogram.Binned{
+				Layout: sb.layout,
+				RowPtr: castI64(data[:posOff], m.rows+1),
+				Pos:    castI32(data[posOff:binOff], int(m.nnz)),
+			}
+			if sb.wide {
+				seg.bin.Bins16 = castU16(data[binOff:], int(m.nnz))
+			} else {
+				seg.bin.Bins8 = data[binOff : binOff+m.nnz]
+			}
+			return seg, nil
+		}
+	}
+	buf := make([]byte, n)
+	if n > 0 {
+		if _, err := sb.f.ReadAt(buf, m.off); err != nil {
+			return nil, fmt.Errorf("ooc: reading spill segment %d: %w", c, err)
+		}
+	}
+	seg := &binnedSeg{}
+	seg.bin = histogram.Binned{
+		Layout: sb.layout,
+		RowPtr: getI64s(buf, m.rows+1),
+		Pos:    getI32s(buf[posOff:], int(m.nnz)),
+	}
+	if sb.wide {
+		seg.bin.Bins16 = getU16s(buf[binOff:], int(m.nnz))
+	} else {
+		seg.bin.Bins8 = append([]uint8(nil), buf[binOff:binOff+m.nnz]...)
+	}
+	return seg, nil
+}
+
+// Close evicts every resident segment (unmapping them) and deletes the
+// spill file.
+func (sb *SpilledBinned) Close() error {
+	if sb.cache != nil {
+		sb.cache.drop()
+	}
+	err := sb.f.Close()
+	if !sb.unlinkd {
+		os.Remove(sb.path)
+	}
+	return err
+}
+
+// Wide reports whether bin ids needed uint16 escalation.
+func (sb *SpilledBinned) Wide() bool { return sb.wide }
+
+// SpillBytes returns the payload bytes written to the spill file.
+func (sb *SpilledBinned) SpillBytes() int64 { return sb.written }
+
+// Seg pins segment c and returns its chunk-local Binned view (local row i is
+// global row ChunkBounds(c).lo + i). The release function must be called
+// exactly once; the view must not be used after release.
+func (sb *SpilledBinned) Seg(c int) (*histogram.Binned, func(), error) {
+	seg, release, err := sb.cache.pin(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &seg.bin, release, nil
+}
+
+// localRows translates a run of ascending global rows into chunk-local ids
+// using a pooled scratch buffer.
+func (sb *SpilledBinned) localRows(run []int32, base int32) ([]int32, func()) {
+	buf, _ := sb.rowScratch.Get().([]int32)
+	if cap(buf) < len(run) {
+		buf = make([]int32, len(run))
+	}
+	buf = buf[:len(run)]
+	for i, r := range run {
+		buf[i] = r - base
+	}
+	return buf, func() { sb.rowScratch.Put(buf[:0]) }
+}
+
+// BuildHistogram is histogram.BuildBinned over the spilled matrix: the same
+// fixed batch grid and ascending-order merge, with each batch's rows walked
+// run by run over pinned segments. The running zero-bucket gradient sums are
+// carried across run boundaries (histogram.AccumSparseBinned), so every
+// float lands in the same order as the in-memory build — bit-identical
+// results at any parallelism and any chunk size.
+func (sb *SpilledBinned) BuildHistogram(h *histogram.Histogram, rows []int32, grad, hess []float64, opts histogram.BuildOptions) {
+	if opts.BatchSize < 1 {
+		opts.BatchSize = 4096
+	}
+	nBatches := (len(rows) + opts.BatchSize - 1) / opts.BatchSize
+	if nBatches <= 1 {
+		sb.buildBatch(h, rows, grad, hess)
+		return
+	}
+	p := parallel.New(opts.Parallelism)
+	parallel.ReduceOrdered(p, len(rows), opts.BatchSize,
+		func(_, lo, hi int) *histogram.Histogram {
+			var part *histogram.Histogram
+			if opts.Pool != nil {
+				part = opts.Pool.Get()
+			} else {
+				part = histogram.New(h.Layout)
+			}
+			sb.buildBatch(part, rows[lo:hi], grad, hess)
+			return part
+		},
+		func(_ int, part *histogram.Histogram) {
+			h.Add(part)
+			if opts.Pool != nil {
+				opts.Pool.Put(part)
+			}
+		})
+}
+
+// buildBatch accumulates one batch of rows into h, chaining the zero-bucket
+// sums across chunk runs.
+func (sb *SpilledBinned) buildBatch(h *histogram.Histogram, batch []int32, grad, hess []float64) {
+	chunkRows := sb.src.ChunkRows()
+	var sumG, sumH float64
+	for i := 0; i < len(batch); {
+		c := int(batch[i]) / chunkRows
+		j := runEnd(batch, i, chunkRows)
+		view, release, err := sb.Seg(c)
+		if err != nil {
+			sb.src.fail(err)
+			return
+		}
+		base, _ := sb.src.ChunkBounds(c)
+		local, done := sb.localRows(batch[i:j], int32(base))
+		sumG, sumH = histogram.AccumSparseBinned(h, view, local, grad[base:], hess[base:], sumG, sumH)
+		done()
+		release()
+		i = j
+	}
+	histogram.FinishSparseZeros(h, sumG, sumH)
+}
+
+// Classify evaluates the split predicate bin(row, p) <= k for every given
+// row (ascending global ids), writing the verdict into mask indexed by
+// global row. The mask then backs a trivially concurrency-safe goLeft for
+// tree.Index.SplitStable — identical to histogram.Binned.Bin on the full
+// matrix, so out-of-core splits partition rows exactly like in-memory ones.
+func (sb *SpilledBinned) Classify(pool *parallel.Pool, rows []int32, p int32, k int, mask []bool) {
+	chunkRows := sb.src.ChunkRows()
+	pool.For(len(rows), parallel.RowChunk, func(lo, hi int) {
+		part := rows[lo:hi]
+		for i := 0; i < len(part); {
+			c := int(part[i]) / chunkRows
+			j := runEnd(part, i, chunkRows)
+			view, release, err := sb.Seg(c)
+			if err != nil {
+				sb.src.fail(err)
+				return
+			}
+			base, _ := sb.src.ChunkBounds(c)
+			for _, r := range part[i:j] {
+				mask[r] = view.Bin(int(r)-base, p) <= k
+			}
+			release()
+			i = j
+		}
+	})
+}

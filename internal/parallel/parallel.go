@@ -61,17 +61,22 @@ func New(workers int) *Pool {
 // Workers returns the pool's worker bound.
 func (p *Pool) Workers() int { return p.workers }
 
-// grid returns the number of chunks covering [0, n) at the given chunk
-// size. chunk values < 1 are treated as 1.
-func grid(n, chunk int) (chunks, size int) {
+// Grid returns the number of chunks covering [0, n) at the given chunk
+// size, and the normalized size. chunk values < 1 are treated as 1. The
+// grid is the chunk-source abstraction shared by every consumer of the
+// pool: in-memory passes, the predict scorer, and the out-of-core chunk
+// caches all address work by the same (n, chunk) → chunk-index mapping, so
+// a pass can swap its data source without perturbing the reduction order.
+func Grid(n, chunk int) (chunks, size int) {
 	if chunk < 1 {
 		chunk = 1
 	}
 	return (n + chunk - 1) / chunk, chunk
 }
 
-// bounds returns chunk c's index range.
-func bounds(c, size, n int) (lo, hi int) {
+// ChunkBounds returns chunk c's index range [lo, hi) on a grid of the given
+// normalized chunk size over [0, n).
+func ChunkBounds(c, size, n int) (lo, hi int) {
 	lo = c * size
 	hi = lo + size
 	if hi > n {
@@ -79,6 +84,10 @@ func bounds(c, size, n int) (lo, hi int) {
 	}
 	return
 }
+
+// grid and bounds are the internal spellings.
+func grid(n, chunk int) (chunks, size int) { return Grid(n, chunk) }
+func bounds(c, size, n int) (lo, hi int)   { return ChunkBounds(c, size, n) }
 
 // ForChunks calls fn(c, lo, hi) for every chunk of the fixed grid over
 // [0, n). Chunks run concurrently on up to p.Workers() goroutines; with one
