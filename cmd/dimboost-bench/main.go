@@ -290,6 +290,33 @@ func main() {
 			})
 			fmt.Fprintf(out, "[ooc completed in %s]\n", time.Since(start).Round(time.Millisecond))
 		},
+		"comm": func() {
+			start := time.Now()
+			res, err := experiments.Comm(out, s)
+			if err != nil {
+				log.Fatalf("comm: %v", err)
+			}
+			for _, l := range res.Levels {
+				rep.Experiments = append(rep.Experiments, timing{
+					Name:    fmt.Sprintf("comm-%s", l.Name),
+					Seconds: l.Wall.Seconds(),
+					Stats: map[string]float64{
+						"push_bits":       float64(l.Bits),
+						"pull_bits":       float64(l.PullBits),
+						"sparse":          boolStat(l.Sparse),
+						"hist_bytes":      float64(l.HistBytes),
+						"total_bytes":     float64(l.TotalBytes),
+						"ratio_vs_raw":    l.RatioVsRaw,
+						"val_error":       l.ValError,
+						"ref_val_error":   res.RefError,
+						"modeled_comm_ms": float64(l.ModeledComm.Microseconds()) / 1000,
+						"sparse_bytes":    float64(l.EncodingBytes["sparse/encode"]),
+						"exact_verified":  boolStat(res.ExactVerified),
+					},
+				})
+			}
+			fmt.Fprintf(out, "[comm completed in %s]\n", time.Since(start).Round(time.Millisecond))
+		},
 		"train-parallel": func() {
 			start := time.Now()
 			res, err := experiments.TrainParallel(out, s)
@@ -314,7 +341,7 @@ func main() {
 		},
 	}
 	if cmd == "all" {
-		for _, name := range []string{"fig1", "table1", "table3", "fig12", "table4", "table5", "table6", "fig13", "fig14", "a1", "predict", "train-parallel", "ooc", "serve"} {
+		for _, name := range []string{"fig1", "table1", "table3", "fig12", "table4", "table5", "table6", "fig13", "fig14", "a1", "predict", "train-parallel", "ooc", "comm", "serve"} {
 			if name == "fig12" {
 				for _, d := range []string{"rcv1", "synthesis", "gender"} {
 					*ds = d
@@ -359,6 +386,7 @@ experiments:
   predict  serving path: interpreted vs compiled inference engine
   train-parallel  training pool at parallelism 1/2/4/8, per-phase times, bit-identity check
   ooc      out-of-core training at three memory budgets: peak RSS vs budget, bit-identity check
+  comm     bytes-on-wire ladder: raw vs fixed8 vs fixed8+sparse, exact-wire differential gate
   serve    overload admission: open-loop load past capacity, shed rate + latency percentiles
   all      everything, in paper order
 

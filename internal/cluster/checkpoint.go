@@ -44,7 +44,9 @@ type Fingerprint struct {
 	NumCandidates      int
 	FeatureSampleRatio float64
 	Bits               uint
+	PullBits           uint
 	ExactWire          bool
+	SparseWire         bool
 }
 
 // fingerprintOf derives the fingerprint of a config.
@@ -57,7 +59,9 @@ func fingerprintOf(cfg Config) Fingerprint {
 		NumCandidates:      cfg.NumCandidates,
 		FeatureSampleRatio: cfg.FeatureSampleRatio,
 		Bits:               cfg.Bits,
+		PullBits:           cfg.PullBits,
 		ExactWire:          cfg.ExactWire,
+		SparseWire:         cfg.SparseWire,
 	}
 }
 
@@ -70,8 +74,9 @@ type CheckpointSink interface {
 
 // checkpoint wire format
 const (
-	checkpointMagic   = "DBCK"
-	checkpointVersion = 1
+	checkpointMagic = "DBCK"
+	// Version 2 added the PullBits and SparseWire fingerprint fields.
+	checkpointVersion = 2
 )
 
 // Encode serializes the checkpoint with the internal/wire codec.
@@ -87,7 +92,9 @@ func (c *Checkpoint) Encode() []byte {
 	w.Uint32(uint32(fp.NumCandidates))
 	w.Float64(fp.FeatureSampleRatio)
 	w.Uint32(uint32(fp.Bits))
+	w.Uint32(uint32(fp.PullBits))
 	w.Bool(fp.ExactWire)
+	w.Bool(fp.SparseWire)
 	w.Uint32(uint32(c.TreesDone))
 	w.Int32(int32(c.Model.Loss))
 	w.Float64(c.Model.BaseScore)
@@ -132,7 +139,9 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	c.Fingerprint.NumCandidates = int(r.Uint32())
 	c.Fingerprint.FeatureSampleRatio = r.Float64()
 	c.Fingerprint.Bits = uint(r.Uint32())
+	c.Fingerprint.PullBits = uint(r.Uint32())
 	c.Fingerprint.ExactWire = r.Bool()
+	c.Fingerprint.SparseWire = r.Bool()
 	c.TreesDone = int(r.Uint32())
 	c.Model = &core.Model{Loss: loss.Kind(r.Int32()), BaseScore: r.Float64()}
 	numTrees := int(r.Uint32())

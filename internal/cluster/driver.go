@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"dimboost/internal/compress"
 	"dimboost/internal/core"
 	"dimboost/internal/dataset"
 	"dimboost/internal/ps"
@@ -27,8 +28,16 @@ type Config struct {
 	NumRanges int
 	// Bits is the compressed histogram width r (§6.1); 0 sends float32.
 	Bits uint
+	// PullBits asks servers to fixed-point compress pull responses (merged
+	// histograms, split statistics) at this width; 0 pulls raw floats.
+	PullBits uint
 	// ExactWire sends float64 histograms, for bit-reproducibility tests.
 	ExactWire bool
+	// SparseWire lets both wire directions elide zero histogram buckets
+	// with the run-length sparse encoding whenever it is smaller. Lossless
+	// (sparse spans keep the negotiated value width), so it composes with
+	// ExactWire.
+	SparseWire bool
 	// DisableTwoPhase pulls raw histogram shards instead of server-side
 	// splits (ablation, Table 3).
 	DisableTwoPhase bool
@@ -94,6 +103,15 @@ func (c Config) Validate() error {
 	}
 	if c.Bits != 0 && c.ExactWire {
 		return fmt.Errorf("cluster: Bits and ExactWire are mutually exclusive")
+	}
+	if c.PullBits != 0 && c.ExactWire {
+		return fmt.Errorf("cluster: PullBits and ExactWire are mutually exclusive")
+	}
+	if c.Bits != 0 && !compress.ValidWidth(c.Bits) {
+		return fmt.Errorf("cluster: unsupported Bits width %d", c.Bits)
+	}
+	if c.PullBits != 0 && !compress.ValidWidth(c.PullBits) {
+		return fmt.Errorf("cluster: unsupported PullBits width %d", c.PullBits)
 	}
 	return nil
 }
@@ -217,7 +235,9 @@ func TrainOn(net transport.Network, meter *transport.Meter, d *dataset.Dataset, 
 		}
 		client := ps.NewClient(clientEndpoint(ep, cfg), part, serverNames, i)
 		client.Bits = cfg.Bits
+		client.PullBits = cfg.PullBits
 		client.Exact = cfg.ExactWire
+		client.Sparse = cfg.SparseWire
 		workers[i] = &worker{id: i, cfg: cfg, shard: shards[i], ep: ep, client: client, computeLock: computeLock, resume: cfg.Resume}
 	}
 	workers[0].checkpoint = cfg.Checkpoint
@@ -258,8 +278,7 @@ func TrainOn(net transport.Network, meter *transport.Meter, d *dataset.Dataset, 
 		res.Stats.MaxNodeMsgs = mx.MsgsSent
 		res.Stats.TotalBytes = tot.BytesSent
 		res.Stats.TotalMsgs = tot.MsgsSent
-		p := simnet.GigabitEthernet()
-		secs := p.Alpha*float64(res.Stats.MaxNodeMsgs) + p.Beta*float64(res.Stats.MaxNodeBytes)
+		secs := simnet.Cost(res.Stats.MaxNodeMsgs, res.Stats.MaxNodeBytes, simnet.GigabitEthernet())
 		res.Stats.ModeledCommTime = time.Duration(secs * float64(time.Second))
 	}
 	return res, nil

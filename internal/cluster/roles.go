@@ -71,7 +71,9 @@ func RunWorker(ep transport.Endpoint, id int, shard *dataset.Dataset, numFeature
 	}
 	client := ps.NewClient(clientEndpoint(ep, cfg), part, serverNames, id)
 	client.Bits = cfg.Bits
+	client.PullBits = cfg.PullBits
 	client.Exact = cfg.ExactWire
+	client.Sparse = cfg.SparseWire
 	wk := &worker{id: id, cfg: cfg, shard: shard, ep: ep, client: client, resume: cfg.Resume}
 	if id == 0 {
 		wk.checkpoint = cfg.Checkpoint

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"dimboost/internal/core"
+)
+
+// identicalModels is the strict comparator of the wire differential test:
+// everything prediction affects — structure, split values, leaf weights —
+// must agree to the bit. The looser sameStructure tolerates sub-1e-9 weight
+// noise; determinism claims ("Float64bits-identical to single-machine") need
+// the real thing. Gain is deliberately excluded: it is diagnostic metadata
+// whose summation order differs between the server-side two-phase fold and
+// the local trainer's single pass, so its last ulp is not stable across
+// pipelines.
+func identicalModels(t *testing.T, a, b *core.Model) bool {
+	t.Helper()
+	if len(a.Trees) != len(b.Trees) {
+		t.Logf("tree counts %d vs %d", len(a.Trees), len(b.Trees))
+		return false
+	}
+	for ti := range a.Trees {
+		for ni := range a.Trees[ti].Nodes {
+			x, y := a.Trees[ti].Nodes[ni], b.Trees[ti].Nodes[ni]
+			if x.Used != y.Used || x.Leaf != y.Leaf || x.Feature != y.Feature ||
+				math.Float64bits(x.Value) != math.Float64bits(y.Value) ||
+				math.Float64bits(x.Weight) != math.Float64bits(y.Weight) {
+				t.Logf("tree %d node %d: %+v vs %+v", ti, ni, x, y)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestWireDifferential trains the same tiny workload under every wire
+// encoding combination and diffs each against the single-machine trainer.
+//
+// The determinism boundary it pins down (also recorded in DESIGN.md §14):
+// ExactWire keeps every split decision — structure, features, cut values —
+// Float64bits-identical to core.Train regardless of Sparse, because the
+// sparse encoding carries float64 spans verbatim and elided buckets are
+// exact zeros. Leaf weights agree to ≤1e-9 (invariant 6): node gradient
+// totals are folded server-side in shard order, so their last ulps differ
+// from the local trainer's single pass even on an exact wire. Any nonzero
+// Bits/PullBits, or the default float32 wire, breaks value-level identity
+// too; the test logs each lossy combination's validation-loss delta and
+// bounds it. Within the distributed pipeline itself exact mode is fully
+// bit-identical — see TestSparseWireIsInvisible and the determinism tests,
+// which compare weights bitwise.
+func TestWireDifferential(t *testing.T) {
+	d := testData(t, 500, 81)
+	train, test := d.Split(0.9)
+	base := smallCfg(1, 2)
+	base.NumTrees = 4
+
+	ref, err := core.Train(train, base.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, refErr := ref.Evaluate(test)
+
+	type combo struct {
+		bits, pullBits uint
+		exact, sparse  bool
+	}
+	var combos []combo
+	for _, bits := range []uint{0, 8} {
+		for _, pullBits := range []uint{0, 8} {
+			for _, sparse := range []bool{false, true} {
+				combos = append(combos, combo{bits, pullBits, false, sparse})
+			}
+		}
+	}
+	combos = append(combos, combo{0, 0, true, false}, combo{0, 0, true, true})
+
+	maxDelta := 0.0
+	for _, c := range combos {
+		name := fmt.Sprintf("bits=%d pull=%d exact=%v sparse=%v", c.bits, c.pullBits, c.exact, c.sparse)
+		cfg := base
+		cfg.Bits, cfg.PullBits, cfg.ExactWire, cfg.SparseWire = c.bits, c.pullBits, c.exact, c.sparse
+		res, err := Train(train, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.exact {
+			// Exact mode must reproduce the single-machine splits to the bit
+			// (sameStructure compares Value with ==, weights to 1e-9), with
+			// or without sparse payloads.
+			if !sameStructure(t, ref, res.Model) {
+				t.Fatalf("%s: model differs from single-machine trainer", name)
+			}
+			continue
+		}
+		_, gotErr := res.Model.Evaluate(test)
+		delta := math.Abs(gotErr - refErr)
+		maxDelta = math.Max(maxDelta, delta)
+		t.Logf("%s: validation error %.4f (single-machine %.4f, |Δ| %.4f)", name, gotErr, refErr, delta)
+		if delta > 0.08 {
+			t.Fatalf("%s: validation error %.4f strays too far from single-machine %.4f", name, gotErr, refErr)
+		}
+	}
+	t.Logf("max |Δ| validation error over lossy combos: %.4f", maxDelta)
+}
+
+// TestSparseWireIsInvisible: on raw-width wires sparse is a pure size
+// optimization — flipping SparseWire must not change the model at all,
+// because span values carry the same float32/float64 narrowing as the dense
+// form and elided buckets are exact zeros. (Fixed-point widths are excluded
+// on purpose: the stochastic rounder draws one random per encoded value, so
+// skipping zeros shifts the stream and the quantized models legitimately
+// diverge — that regime is covered by the differential bound above.)
+func TestSparseWireIsInvisible(t *testing.T) {
+	d := testData(t, 500, 83)
+	cfg := smallCfg(3, 2)
+	dense, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SparseWire = true
+	sparse, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !identicalModels(t, dense.Model, sparse.Model) {
+		t.Fatal("SparseWire changed the float32-wire model")
+	}
+}
+
+// TestCompressedSparseDeterministicMultiWorker: the fully compressed
+// configuration (8-bit both directions, sparse payloads, several workers)
+// must still be run-to-run deterministic — stochastic rounding is seeded per
+// worker, servers merge in worker order, and pull responses use the
+// deterministic server-side encoder.
+func TestCompressedSparseDeterministicMultiWorker(t *testing.T) {
+	d := testData(t, 400, 85)
+	cfg := smallCfg(3, 2)
+	cfg.Bits, cfg.PullBits, cfg.SparseWire = 8, 8, true
+	a, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !identicalModels(t, a.Model, b.Model) {
+		t.Fatal("compressed sparse training is not deterministic")
+	}
+}
+
+// TestExactSparseWithoutTwoPhase exercises the pullHistShard encodings: the
+// ablation path pulls whole merged shards, so it is where pull-side sparse
+// payloads carry the most traffic. Exact + sparse must stay bit-identical to
+// exact + dense.
+func TestExactSparseWithoutTwoPhase(t *testing.T) {
+	d := testData(t, 400, 87)
+	cfg := smallCfg(2, 2)
+	cfg.ExactWire = true
+	cfg.DisableTwoPhase = true
+	dense, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SparseWire = true
+	sparse, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !identicalModels(t, dense.Model, sparse.Model) {
+		t.Fatal("sparse pull shards changed the exact-wire model")
+	}
+}
+
+// TestPullCompressionReducesTraffic: asking servers to compress their
+// responses must shrink total bytes moved relative to push-only compression.
+func TestPullCompressionReducesTraffic(t *testing.T) {
+	d := testData(t, 500, 89)
+	cfg := smallCfg(3, 2)
+	cfg.Bits = 8
+	cfg.DisableTwoPhase = true // make pull traffic dominant
+	pushOnly, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.PullBits = 8
+	both, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Stats.TotalBytes >= pushOnly.Stats.TotalBytes {
+		t.Fatalf("pull compression moved %d bytes, push-only %d", both.Stats.TotalBytes, pushOnly.Stats.TotalBytes)
+	}
+}

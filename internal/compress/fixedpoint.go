@@ -13,9 +13,26 @@ import (
 	"math/rand"
 )
 
+// Typed decode errors. Wire-facing decoders (internal/ps, fuzz targets)
+// match on these with errors.Is to distinguish hostile payloads from
+// programming mistakes.
+var (
+	// ErrBadWidth reports a quantization width outside SupportedBits.
+	ErrBadWidth = errors.New("compress: unsupported bit width")
+	// ErrBadHeader reports an out-of-range header field (negative N,
+	// non-finite or negative MaxAbs).
+	ErrBadHeader = errors.New("compress: invalid header")
+	// ErrSizeMismatch reports a payload whose data length disagrees with
+	// the element count declared in its header.
+	ErrSizeMismatch = errors.New("compress: payload size mismatch")
+)
+
 // SupportedBits lists the allowed quantization widths. Widths below 8 pack
 // multiple values per byte; 16 uses two bytes per value.
 var SupportedBits = []uint{2, 4, 8, 16}
+
+// ValidWidth reports whether bits is a supported fixed-point width.
+func ValidWidth(bits uint) bool { return validBits(bits) }
 
 func validBits(bits uint) bool {
 	for _, b := range SupportedBits {
@@ -47,14 +64,26 @@ func CompressedSize(n int, bits uint) int {
 
 // Encoder quantizes vectors. It carries its own RNG so that stochastic
 // rounding is deterministic given a seed — distributed tests rely on this.
-// An Encoder is not safe for concurrent use; create one per goroutine.
+// An Encoder with an RNG is not safe for concurrent use; create one per
+// goroutine. A deterministic Encoder (nil RNG) is stateless and safe to
+// share.
 type Encoder struct {
 	rng *rand.Rand
 }
 
-// NewEncoder returns an Encoder seeded for reproducible rounding.
+// NewEncoder returns an Encoder seeded for reproducible stochastic rounding.
 func NewEncoder(seed int64) *Encoder {
 	return &Encoder{rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewDeterministicEncoder returns an Encoder that rounds to nearest instead
+// of stochastically. Its output depends only on the input vector, so it is
+// safe for concurrent use and retried encodes are byte-identical — the
+// parameter server uses it for pull responses, where rounding that depends
+// on request arrival order would break run-to-run determinism. The error
+// bound tightens to half a quantization step.
+func NewDeterministicEncoder() *Encoder {
+	return &Encoder{}
 }
 
 // Encode quantizes values into a d-bit fixed-point representation:
@@ -65,7 +94,7 @@ func NewEncoder(seed int64) *Encoder {
 // all-zero payload.
 func (e *Encoder) Encode(values []float64, bits uint) (*Compressed, error) {
 	if !validBits(bits) {
-		return nil, fmt.Errorf("compress: unsupported bit width %d", bits)
+		return nil, fmt.Errorf("%w: %d", ErrBadWidth, bits)
 	}
 	maxAbs := 0.0
 	for _, v := range values {
@@ -82,14 +111,20 @@ func (e *Encoder) Encode(values []float64, bits uint) (*Compressed, error) {
 		return c, nil
 	}
 	levels := float64(int64(1)<<(bits-1) - 1) // e.g. 127 for 8 bits
-	scale := levels / maxAbs
 	lo, hi := -(int64(1) << (bits - 1)), int64(1)<<(bits-1)-1
 	for i, v := range values {
-		t := v * scale
-		f := math.Floor(t)
-		q := int64(f)
-		if e.rng.Float64() < t-f {
-			q++
+		// Normalize before scaling: v/maxAbs is always in [-1, 1], whereas
+		// levels/maxAbs overflows to +Inf when maxAbs is denormal.
+		t := v / maxAbs * levels
+		var q int64
+		if e.rng != nil {
+			f := math.Floor(t)
+			q = int64(f)
+			if e.rng.Float64() < t-f {
+				q++
+			}
+		} else {
+			q = int64(math.Round(t))
 		}
 		if q < lo {
 			q = lo
@@ -133,6 +168,28 @@ func DecodeInto(dst []float64, c *Compressed) error {
 	for i := range dst {
 		q := signExtend(getBits(c.Data, i, c.Bits), c.Bits)
 		dst[i] += float64(q) * inv
+	}
+	return nil
+}
+
+// Validate checks that a payload read off the wire is internally consistent
+// before any decode touches it: the width is supported, the header fields
+// are in range, and the data length matches the declared element count.
+// Decode and DecodeInto index Data by N and shift by Bits, so skipping this
+// on untrusted input risks a panic.
+func (c *Compressed) Validate() error {
+	if !validBits(c.Bits) {
+		return fmt.Errorf("%w: %d", ErrBadWidth, c.Bits)
+	}
+	if c.N < 0 {
+		return fmt.Errorf("%w: negative element count %d", ErrBadHeader, c.N)
+	}
+	if math.IsNaN(c.MaxAbs) || math.IsInf(c.MaxAbs, 0) || c.MaxAbs < 0 {
+		return fmt.Errorf("%w: MaxAbs %v", ErrBadHeader, c.MaxAbs)
+	}
+	if want := (c.N*int(c.Bits) + 7) / 8; len(c.Data) != want {
+		return fmt.Errorf("%w: %d data bytes for %d %d-bit values (want %d)",
+			ErrSizeMismatch, len(c.Data), c.N, c.Bits, want)
 	}
 	return nil
 }

@@ -1,0 +1,153 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// fuzzWidth maps a fuzzed selector byte onto a supported sparse width.
+func fuzzWidth(sel uint8) uint {
+	widths := []uint{RawFloat32, 2, 4, 8, 16, RawFloat64}
+	return widths[int(sel)%len(widths)]
+}
+
+// fuzzValues derives a finite, partly-sparse float vector from raw bytes:
+// each 8-byte group is a float64 bit pattern; non-finite patterns and
+// every group whose low three bits are zero become exact zeros, giving the
+// encoder realistic zero runs to elide.
+func fuzzValues(blob []byte) []float64 {
+	out := make([]float64, 0, len(blob)/8)
+	for i := 0; i+8 <= len(blob); i += 8 {
+		u := binary.LittleEndian.Uint64(blob[i : i+8])
+		v := math.Float64frombits(u)
+		if math.IsNaN(v) || math.IsInf(v, 0) || u&0x7 == 0 {
+			v = 0
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// FuzzSparseRoundTrip checks the encode side: any finite vector, at any
+// width, must encode → marshal → unmarshal → re-marshal bit-exactly, decode
+// zeros as exact zeros, and decode span values within the width's error
+// bound (bit-exact for RawFloat64).
+func FuzzSparseRoundTrip(f *testing.F) {
+	f.Add(uint8(5), []byte{})
+	f.Add(uint8(0), bytes.Repeat([]byte{0}, 64))
+	seed := make([]byte, 0, 128)
+	for _, v := range []float64{0, 1.5, -2.25, 0, 0, 1e300, -1e-300, 3, 0, 7} {
+		seed = binary.LittleEndian.AppendUint64(seed, math.Float64bits(v))
+	}
+	for sel := uint8(0); sel < 6; sel++ {
+		f.Add(sel, seed)
+	}
+	f.Fuzz(func(t *testing.T, sel uint8, blob []byte) {
+		bits := fuzzWidth(sel)
+		values := fuzzValues(blob)
+		s, err := EncodeSparse(NewEncoder(int64(sel)+1), values, bits)
+		if err != nil {
+			t.Fatalf("encode rejected finite input: %v", err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("encoder output invalid: %v", err)
+		}
+		nnz, spans := SpanStats(values)
+		if s.NNZ() != nnz || len(s.Spans) != spans {
+			t.Fatalf("shape (%d,%d) != SpanStats (%d,%d)", s.NNZ(), len(s.Spans), nnz, spans)
+		}
+		b := s.Marshal()
+		if len(b) != s.WireSize() || len(b) != SparseWireSize(nnz, spans, bits) {
+			t.Fatalf("size %d, WireSize %d, predicted %d", len(b), s.WireSize(), SparseWireSize(nnz, spans, bits))
+		}
+		s2, err := UnmarshalSparse(b)
+		if err != nil {
+			t.Fatalf("unmarshal of own output: %v", err)
+		}
+		if !bytes.Equal(s2.Marshal(), b) {
+			t.Fatal("re-marshal differs")
+		}
+		got := s2.Decode()
+		if len(got) != len(values) {
+			t.Fatalf("decoded %d values, want %d", len(got), len(values))
+		}
+		step := 0.0
+		if bits != RawFloat32 && bits != RawFloat64 && s.MaxAbs > 0 {
+			step = s.MaxAbs / float64(int64(1)<<(bits-1)-1)
+		}
+		for i, v := range values {
+			switch {
+			case v == 0:
+				if got[i] != 0 {
+					t.Fatalf("idx %d: zero decoded as %v", i, got[i])
+				}
+			case bits == RawFloat64:
+				if math.Float64bits(got[i]) != math.Float64bits(v) {
+					t.Fatalf("idx %d: raw64 %v != %v", i, got[i], v)
+				}
+			case bits == RawFloat32:
+				if got[i] != float64(float32(v)) {
+					t.Fatalf("idx %d: raw32 %v != %v", i, got[i], v)
+				}
+			default:
+				// The absolute 1e-300 term absorbs ulp-level rounding when
+				// MaxAbs/levels is subnormal and has only a few mantissa bits.
+				if math.Abs(got[i]-v) > step*(1+1e-9)+1e-300 {
+					t.Fatalf("idx %d: error %v > step %v", i, math.Abs(got[i]-v), step)
+				}
+			}
+		}
+	})
+}
+
+// FuzzSparseDecode checks the hostile side: arbitrary bytes fed to the
+// sparse decoder must never panic — they either fail with a typed error or
+// yield a validated payload whose re-marshal reproduces the input exactly
+// and whose decode stays in bounds.
+func FuzzSparseDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{64, 0, 0, 0, 0})
+	// Well-formed payload to mutate from.
+	good, err := EncodeSparse(NewEncoder(1), []float64{0, 1.5, -2, 0, 0, 3, 0}, 8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Marshal())
+	raw, err := EncodeSparse(nil, []float64{0, 0, 1e9, -1e-9, 0}, RawFloat64)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw.Marshal())
+	// Hostile shapes: truncated run, overlapping spans, N mismatch.
+	trunc := good.Marshal()
+	f.Add(trunc[:len(trunc)-3])
+	bad := *good
+	bad.Spans = []Span{{1, 2}, {2, 1}}
+	f.Add(bad.Marshal())
+	short := *good
+	short.N = 1
+	f.Add(short.Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalSparse(data)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("unmarshal accepted invalid payload: %v", verr)
+		}
+		if !bytes.Equal(s.Marshal(), data) {
+			t.Fatal("accepted payload does not re-marshal to itself")
+		}
+		if s.N > 1<<20 {
+			// Header-only giants (huge N, no spans) are valid but not worth
+			// materializing under fuzz.
+			return
+		}
+		dst := make([]float64, s.N)
+		if err := s.DecodeInto(dst); err != nil {
+			t.Fatalf("validated payload failed decode: %v", err)
+		}
+	})
+}

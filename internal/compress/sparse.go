@@ -1,0 +1,303 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+
+	"dimboost/internal/wire"
+)
+
+// Sparse widths beyond the fixed-point set: raw spans carry IEEE floats
+// verbatim, so a sparse payload can be lossless (RawFloat64 backs the
+// ExactWire modes) or match the paper's float32 "full precision" format
+// while still eliding the zero buckets that dominate high-dimensional
+// histograms.
+const (
+	// RawFloat32 stores span values as float32 (lossy narrowing).
+	RawFloat32 uint = 0
+	// RawFloat64 stores span values as float64 (bit-exact).
+	RawFloat64 uint = 64
+)
+
+// Typed sparse decode errors, additional to ErrBadWidth / ErrBadHeader /
+// ErrSizeMismatch which sparse validation shares with the dense codec.
+var (
+	// ErrSpanOrder reports spans that are out of order or overlapping.
+	ErrSpanOrder = fmt.Errorf("%w: spans out of order", ErrBadHeader)
+	// ErrSpanRange reports a span extending past the declared vector length.
+	ErrSpanRange = fmt.Errorf("%w: span out of range", ErrBadHeader)
+)
+
+// Span is one dense run of nonzero buckets: Count values starting at
+// bucket index Start. Buckets outside every span are exactly zero.
+type Span struct {
+	Start, Count uint32
+}
+
+// Sparse is a run-length encoding of a mostly-zero histogram vector: the
+// zero buckets are elided entirely and only the dense spans carry data,
+// packed back to back in Data at the declared width. Bits 2–16 reuse the
+// fixed-point quantizer (MaxAbs scaling); RawFloat32/RawFloat64 store the
+// span values as IEEE floats and ignore MaxAbs for decoding.
+type Sparse struct {
+	Bits   uint
+	N      int
+	MaxAbs float64
+	Spans  []Span
+	Data   []byte
+}
+
+func validSparseBits(bits uint) bool {
+	return bits == RawFloat32 || bits == RawFloat64 || validBits(bits)
+}
+
+// NNZ returns the total number of values stored across all spans.
+func (s *Sparse) NNZ() int {
+	n := 0
+	for _, sp := range s.Spans {
+		n += int(sp.Count)
+	}
+	return n
+}
+
+// dataSize returns the exact Data length for nnz values at the given width.
+func dataSize(nnz int, bits uint) int {
+	switch bits {
+	case RawFloat32:
+		return 4 * nnz
+	case RawFloat64:
+		return 8 * nnz
+	default:
+		return (nnz*int(bits) + 7) / 8
+	}
+}
+
+// SpanStats scans a vector and reports the number of nonzero entries and
+// the number of dense runs they form — enough to predict the sparse wire
+// size without encoding. Negative zero counts as zero (its decoded merge
+// contribution is identical).
+func SpanStats(values []float64) (nnz, spans int) {
+	inSpan := false
+	for _, v := range values {
+		if v != 0 {
+			nnz++
+			if !inSpan {
+				spans++
+				inSpan = true
+			}
+		} else {
+			inSpan = false
+		}
+	}
+	return nnz, spans
+}
+
+// SparseWireSize predicts the WriteTo size of a sparse payload with the
+// given shape: header (bits, N, MaxAbs), span array, length-prefixed data.
+func SparseWireSize(nnz, spans int, bits uint) int {
+	return 1 + 4 + 8 + 4 + 8*spans + 4 + dataSize(nnz, bits)
+}
+
+// WireSize returns the exact number of bytes WriteTo will append.
+func (s *Sparse) WireSize() int {
+	return 1 + 4 + 8 + 4 + 8*len(s.Spans) + 4 + len(s.Data)
+}
+
+// EncodeSparse run-length encodes values at the given width. Fixed-point
+// widths draw rounding decisions from enc (required); raw widths never
+// consume randomness and accept a nil encoder. Inputs must be finite.
+func EncodeSparse(enc *Encoder, values []float64, bits uint) (*Sparse, error) {
+	if !validSparseBits(bits) {
+		return nil, fmt.Errorf("%w: %d", ErrBadWidth, bits)
+	}
+	s := &Sparse{Bits: bits, N: len(values)}
+	var nz []float64
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("compress: non-finite input at %d", i)
+		}
+		if a := math.Abs(v); a > s.MaxAbs {
+			s.MaxAbs = a
+		}
+		if v == 0 {
+			continue
+		}
+		if n := len(s.Spans); n > 0 && int(s.Spans[n-1].Start+s.Spans[n-1].Count) == i {
+			s.Spans[n-1].Count++
+		} else {
+			s.Spans = append(s.Spans, Span{Start: uint32(i), Count: 1})
+		}
+		nz = append(nz, v)
+	}
+	switch bits {
+	case RawFloat32:
+		w := wire.NewWriter(4 * len(nz))
+		for _, v := range nz {
+			w.Float32(float32(v))
+		}
+		s.Data = w.Bytes()
+	case RawFloat64:
+		w := wire.NewWriter(8 * len(nz))
+		for _, v := range nz {
+			w.Float64(v)
+		}
+		s.Data = w.Bytes()
+	default:
+		if enc == nil {
+			return nil, fmt.Errorf("compress: nil encoder for %d-bit sparse encode", bits)
+		}
+		c, err := enc.Encode(nz, bits)
+		if err != nil {
+			return nil, err
+		}
+		s.MaxAbs = c.MaxAbs
+		s.Data = c.Data
+	}
+	return s, nil
+}
+
+// Validate checks an untrusted sparse payload: supported width, in-range
+// header, ordered non-overlapping spans inside [0, N), and a data length
+// that exactly matches the span population. Decode and DecodeInto assume a
+// validated receiver; ReadSparse and UnmarshalSparse validate for you.
+func (s *Sparse) Validate() error {
+	if !validSparseBits(s.Bits) {
+		return fmt.Errorf("%w: %d", ErrBadWidth, s.Bits)
+	}
+	if s.N < 0 || s.N > math.MaxUint32 {
+		return fmt.Errorf("%w: element count %d", ErrBadHeader, s.N)
+	}
+	if math.IsNaN(s.MaxAbs) || math.IsInf(s.MaxAbs, 0) || s.MaxAbs < 0 {
+		return fmt.Errorf("%w: MaxAbs %v", ErrBadHeader, s.MaxAbs)
+	}
+	var nnz, next int64
+	for i, sp := range s.Spans {
+		if sp.Count == 0 {
+			return fmt.Errorf("%w: empty span %d", ErrSpanOrder, i)
+		}
+		if int64(sp.Start) < next {
+			return fmt.Errorf("%w: span %d starts at %d, previous ends at %d", ErrSpanOrder, i, sp.Start, next)
+		}
+		next = int64(sp.Start) + int64(sp.Count)
+		if next > int64(s.N) {
+			return fmt.Errorf("%w: span %d ends at %d, vector has %d", ErrSpanRange, i, next, s.N)
+		}
+		nnz += int64(sp.Count)
+	}
+	if want := dataSize(int(nnz), s.Bits); len(s.Data) != want {
+		return fmt.Errorf("%w: %d data bytes for %d %d-bit span values (want %d)",
+			ErrSizeMismatch, len(s.Data), nnz, s.Bits, want)
+	}
+	return nil
+}
+
+// Decode reconstructs the full vector with zeros outside the spans.
+func (s *Sparse) Decode() []float64 {
+	out := make([]float64, s.N)
+	s.DecodeInto(out)
+	return out
+}
+
+// DecodeInto adds the decoded span values onto dst — the merge operation a
+// parameter server applies for incoming shards. Buckets outside every span
+// contribute nothing, so dst is untouched there. dst must have length N and
+// the receiver must have passed Validate.
+func (s *Sparse) DecodeInto(dst []float64) error {
+	if len(dst) != s.N {
+		return fmt.Errorf("compress: decode into %d values, payload has %d", len(dst), s.N)
+	}
+	switch s.Bits {
+	case RawFloat32:
+		r := wire.NewReader(s.Data)
+		for _, sp := range s.Spans {
+			for i := sp.Start; i < sp.Start+sp.Count; i++ {
+				dst[i] += float64(r.Float32())
+			}
+		}
+		return r.Err()
+	case RawFloat64:
+		r := wire.NewReader(s.Data)
+		for _, sp := range s.Spans {
+			for i := sp.Start; i < sp.Start+sp.Count; i++ {
+				dst[i] += r.Float64()
+			}
+		}
+		return r.Err()
+	default:
+		if s.MaxAbs == 0 {
+			return nil
+		}
+		levels := float64(int64(1)<<(s.Bits-1) - 1)
+		inv := s.MaxAbs / levels
+		j := 0
+		for _, sp := range s.Spans {
+			for i := sp.Start; i < sp.Start+sp.Count; i++ {
+				q := signExtend(getBits(s.Data, j, s.Bits), s.Bits)
+				dst[i] += float64(q) * inv
+				j++
+			}
+		}
+		return nil
+	}
+}
+
+// WriteTo appends the wire form: width byte, element count, MaxAbs, span
+// array (start/count pairs), length-prefixed data.
+func (s *Sparse) WriteTo(w *wire.Writer) {
+	w.Uint8(uint8(s.Bits))
+	w.Uint32(uint32(s.N))
+	w.Float64(s.MaxAbs)
+	flat := make([]uint32, 0, 2*len(s.Spans))
+	for _, sp := range s.Spans {
+		flat = append(flat, sp.Start, sp.Count)
+	}
+	w.Uint32s(flat)
+	w.Bytes32(s.Data)
+}
+
+// ReadSparse consumes one sparse payload from r and validates it. Hostile
+// input — truncated runs, overlapping spans, mismatched lengths — yields a
+// typed error (wire.ErrTruncated or one of this package's Err* values),
+// never a panic.
+func ReadSparse(r *wire.Reader) (*Sparse, error) {
+	s := &Sparse{Bits: uint(r.Uint8())}
+	s.N = int(r.Uint32())
+	s.MaxAbs = r.Float64()
+	flat := r.Uint32s()
+	s.Data = r.Bytes32()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(flat)%2 != 0 {
+		return nil, fmt.Errorf("%w: odd span array length %d", ErrBadHeader, len(flat))
+	}
+	s.Spans = make([]Span, len(flat)/2)
+	for i := range s.Spans {
+		s.Spans[i] = Span{Start: flat[2*i], Count: flat[2*i+1]}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Marshal returns the standalone wire form of s.
+func (s *Sparse) Marshal() []byte {
+	w := wire.NewWriter(s.WireSize())
+	s.WriteTo(w)
+	return w.Bytes()
+}
+
+// UnmarshalSparse parses a standalone payload produced by Marshal,
+// rejecting trailing garbage.
+func UnmarshalSparse(b []byte) (*Sparse, error) {
+	r := wire.NewReader(b)
+	s, err := ReadSparse(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSizeMismatch, r.Remaining())
+	}
+	return s, nil
+}

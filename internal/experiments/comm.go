@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"dimboost/internal/cluster"
+	"dimboost/internal/core"
+	"dimboost/internal/ps"
+)
+
+// CommMinRatio is the byte-reduction floor the fully compressed wire must
+// clear against the raw float32 encoding on the histogram ops. §6.1 promises
+// roughly 4× from 8-bit fixed point alone; sparse payloads must not give that
+// back on a high-dimensional workload.
+const CommMinRatio = 4.0
+
+// CommQualitySlack bounds how far any compressed level's validation error may
+// stray from the raw-wire run on the held-out split ("equal model quality").
+// The effective bound adds two binomial standard deviations of the test-set
+// error estimate, so small -scale smoke runs don't fail on counting noise.
+const CommQualitySlack = 0.05
+
+// CommLevel is one wire-encoding setting's measured distributed run.
+type CommLevel struct {
+	Name     string
+	Bits     uint // push width (0 = raw float32)
+	PullBits uint // pull width (0 = raw floats)
+	Sparse   bool
+
+	// HistBytes sums the handler payload bytes of the histogram-carrying
+	// ops (push_hist/in, pull_split/out, pull_hist_shard/out,
+	// pull_split_results/out) — the traffic the encoding choice governs.
+	HistBytes int64
+	// EncodingBytes breaks the run's encoded vector bytes down by wire
+	// encoding (float32 / fixed / float64 / sparse), encode direction.
+	EncodingBytes map[string]int64
+	// TotalBytes is the meter's whole-cluster byte count, control plane
+	// included.
+	TotalBytes int64
+	// RatioVsRaw is rawHistBytes / HistBytes.
+	RatioVsRaw float64
+	// ValError is the held-out error rate of the trained model.
+	ValError    float64
+	ModeledComm time.Duration
+	Wall        time.Duration
+}
+
+// CommResult reports the communication-efficiency comparison: the same
+// high-dimensional workload trained distributed under raw, fixed-point, and
+// fixed-point+sparse wire encodings, with logical bytes-on-wire attributed to
+// each and model quality checked against the raw run.
+type CommResult struct {
+	Rows     int
+	Features int
+	Workers  int
+	Servers  int
+	// RefError is the single-machine trainer's held-out error rate.
+	RefError float64
+	// ExactVerified records that the exact+sparse wire reproduced the
+	// single-machine splits bit-for-bit before any lossy level ran.
+	ExactVerified bool
+	Levels        []CommLevel
+}
+
+// histOps are the "op/direction" keys of ps.WireBytes whose payloads carry
+// histogram or split-statistic vectors — the bytes wire compression targets.
+var histOps = []string{
+	"push_hist/in",
+	"pull_split/out",
+	"pull_hist_shard/out",
+	"pull_split_results/out",
+}
+
+// sameSplits demands that two models agree on every split decision to the
+// bit — structure, features, cut values — and on leaf weights to 1e-9
+// (invariant 6: node totals fold server-side in shard order, so weight ulps
+// differ between the distributed and local pipelines even on an exact wire).
+func sameSplits(a, b *core.Model) error {
+	if len(a.Trees) != len(b.Trees) {
+		return fmt.Errorf("%d trees != %d", len(b.Trees), len(a.Trees))
+	}
+	for ti := range a.Trees {
+		an, bn := a.Trees[ti].Nodes, b.Trees[ti].Nodes
+		if len(an) != len(bn) {
+			return fmt.Errorf("tree %d: %d nodes != %d", ti, len(bn), len(an))
+		}
+		for ni := range an {
+			x, y := an[ni], bn[ni]
+			if x.Used != y.Used || x.Leaf != y.Leaf || x.Feature != y.Feature ||
+				math.Float64bits(x.Value) != math.Float64bits(y.Value) ||
+				math.Abs(x.Weight-y.Weight) > 1e-9 {
+				return fmt.Errorf("tree %d node %d: %+v vs %+v", ti, ni, x, y)
+			}
+		}
+	}
+	return nil
+}
+
+// Comm measures the wire-compression ladder of §6 end to end: the same
+// Gender-shaped high-dimensional workload trains distributed (w workers, p
+// servers) under three encodings — raw float32, 8-bit fixed point both
+// directions, and 8-bit fixed point with sparse payloads — while the PS
+// byte counters attribute logical bytes-on-wire to each histogram op and
+// encoding. Before the ladder runs, an exact+sparse run must reproduce the
+// single-machine splits bit-for-bit (the differential gate); afterwards the
+// fully compressed level must beat raw by CommMinRatio on histogram bytes
+// while staying within CommQualitySlack of the raw run's validation error.
+func Comm(w io.Writer, scale Scale) (*CommResult, error) {
+	rows := scale.rows(3000)
+	const features = 4000
+	d := genderScaled(rows, features, 71)
+	train, test := d.Split(0.85)
+
+	ccfg := expConfig()
+	// A finer candidate grid widens the dense histograms without touching
+	// the nonzero buckets sparse spans carry — the regime §6.1 targets.
+	ccfg.NumCandidates = 20
+
+	res := &CommResult{Rows: d.NumRows(), Features: features, Workers: 3, Servers: 2}
+
+	ref, err := core.Train(train, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	_, res.RefError = ref.Evaluate(test)
+
+	// Differential gate: the lossless wire (float64 vectors, sparse
+	// payloads) must reproduce the single-machine split decisions exactly.
+	exactCfg := cluster.Config{Config: ccfg, NumWorkers: 1, NumServers: res.Servers,
+		ExactWire: true, SparseWire: true}
+	exact, err := cluster.Train(train, exactCfg)
+	if err != nil {
+		return nil, fmt.Errorf("comm: exact wire: %w", err)
+	}
+	if err := sameSplits(ref, exact.Model); err != nil {
+		return nil, fmt.Errorf("comm: exact sparse wire diverged from the single-machine trainer: %w", err)
+	}
+	res.ExactVerified = true
+
+	settings := []struct {
+		name           string
+		bits, pullBits uint
+		sparse         bool
+	}{
+		{"raw", 0, 0, false},
+		{"fixed8", 8, 8, false},
+		{"fixed8+sparse", 8, 8, true},
+	}
+	for _, set := range settings {
+		cfg := cluster.Config{Config: ccfg, NumWorkers: res.Workers, NumServers: res.Servers,
+			Bits: set.bits, PullBits: set.pullBits, SparseWire: set.sparse}
+		opsBefore, encBefore := ps.WireBytes()
+		start := time.Now()
+		r, err := cluster.Train(train, cfg)
+		wall := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("comm: %s: %w", set.name, err)
+		}
+		opsAfter, encAfter := ps.WireBytes()
+
+		l := CommLevel{Name: set.name, Bits: set.bits, PullBits: set.pullBits, Sparse: set.sparse,
+			Wall: wall, TotalBytes: r.Stats.TotalBytes, ModeledComm: r.Stats.ModeledCommTime}
+		for _, k := range histOps {
+			l.HistBytes += opsAfter[k] - opsBefore[k]
+		}
+		l.EncodingBytes = map[string]int64{}
+		for k, v := range encAfter {
+			if dv := v - encBefore[k]; dv > 0 {
+				l.EncodingBytes[k] = dv
+			}
+		}
+		_, l.ValError = r.Model.Evaluate(test)
+		res.Levels = append(res.Levels, l)
+	}
+
+	raw := &res.Levels[0]
+	raw.RatioVsRaw = 1
+	noise := 2 * math.Sqrt(raw.ValError*(1-raw.ValError)/float64(test.NumRows()))
+	slack := CommQualitySlack + noise
+	for i := 1; i < len(res.Levels); i++ {
+		l := &res.Levels[i]
+		if l.HistBytes <= 0 {
+			return nil, fmt.Errorf("comm: %s moved no histogram bytes", l.Name)
+		}
+		l.RatioVsRaw = float64(raw.HistBytes) / float64(l.HistBytes)
+		if delta := math.Abs(l.ValError - raw.ValError); delta > slack {
+			return nil, fmt.Errorf("comm: %s validation error %.4f strays %.4f from raw %.4f (slack %.3f)",
+				l.Name, l.ValError, delta, raw.ValError, slack)
+		}
+	}
+	full := res.Levels[len(res.Levels)-1]
+	if full.RatioVsRaw < CommMinRatio {
+		return nil, fmt.Errorf("comm: %s reduced histogram bytes only %.2fx vs raw (%d vs %d), need >= %.0fx",
+			full.Name, full.RatioVsRaw, full.HistBytes, raw.HistBytes, CommMinRatio)
+	}
+
+	section(w, fmt.Sprintf("Communication efficiency — %d×%d, %d workers, %d servers, %d trees",
+		res.Rows, res.Features, res.Workers, res.Servers, ccfg.NumTrees))
+	fmt.Fprintf(w, "%-14s %12s %9s %12s %10s %9s %8s\n",
+		"encoding", "hist bytes", "vs raw", "total bytes", "modeled", "val err", "wall")
+	for _, l := range res.Levels {
+		fmt.Fprintf(w, "%-14s %12d %8.2fx %12d %10s %9.4f %8s\n",
+			l.Name, l.HistBytes, l.RatioVsRaw, l.TotalBytes,
+			fmtDur(l.ModeledComm), l.ValError, fmtDur(l.Wall))
+	}
+	fmt.Fprintf(w, "single-machine reference val err %.4f; exact sparse wire verified bit-identical splits.\n",
+		res.RefError)
+	fmt.Fprintf(w, "byte reduction %.2fx (fixed8+sparse vs raw) on histogram ops.\n", full.RatioVsRaw)
+	return res, nil
+}

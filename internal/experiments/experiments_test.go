@@ -243,6 +243,29 @@ func TestA1(t *testing.T) {
 	}
 }
 
+func TestCommQuick(t *testing.T) {
+	res, err := Comm(io.Discard, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ExactVerified {
+		t.Fatal("exact wire gate did not run")
+	}
+	if len(res.Levels) != 3 {
+		t.Fatalf("%d levels", len(res.Levels))
+	}
+	full := res.Levels[len(res.Levels)-1]
+	if full.RatioVsRaw < CommMinRatio {
+		t.Fatalf("byte reduction %.2fx below the %.0fx floor", full.RatioVsRaw, CommMinRatio)
+	}
+	if full.EncodingBytes["sparse/encode"] == 0 {
+		t.Fatal("fully compressed level encoded no sparse vectors")
+	}
+	if res.Levels[0].EncodingBytes["sparse/encode"] != 0 {
+		t.Fatalf("raw level encoded sparse vectors: %v", res.Levels[0].EncodingBytes)
+	}
+}
+
 func TestServeBenchQuick(t *testing.T) {
 	res, err := ServeBench(io.Discard, quick)
 	if err != nil {

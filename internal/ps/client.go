@@ -24,11 +24,21 @@ type Client struct {
 	servers []string
 	worker  int32
 
-	// Bits selects the compressed histogram width; 0 sends float32.
+	// Bits selects the compressed histogram width for pushes; 0 sends
+	// float32.
 	Bits uint
-	// Exact sends float64 buckets (twice the paper's wire size); used by
-	// tests needing bit-level agreement with single-process training.
+	// PullBits asks servers to fixed-point compress pull responses (merged
+	// histograms, split results) at this width; 0 pulls raw floats.
+	PullBits uint
+	// Exact sends and pulls float64 buckets (twice the paper's wire size);
+	// used by tests needing bit-level agreement with single-process
+	// training. Mutually exclusive with Bits and PullBits.
 	Exact bool
+	// Sparse lets both directions elide zero buckets with the run-length
+	// sparse encoding whenever it is smaller than the dense form. Lossless
+	// under Exact (span values stay float64), so it composes with the
+	// determinism modes.
+	Sparse bool
 
 	enc *compress.Encoder
 	// seq numbers every outgoing request (see the envelope notes in
@@ -203,49 +213,39 @@ func (c *Client) shardArrays(sv int, hist *histogram.Histogram) (g, h []float64)
 	return
 }
 
+// pushEncoding is the vector encoding applied to outgoing histograms.
+func (c *Client) pushEncoding() vecEncoding {
+	return vecEncoding{bits: c.Bits, exact: c.Exact, sparse: c.Sparse}
+}
+
+// pullEncoding is the vector encoding requested for server responses.
+func (c *Client) pullEncoding() vecEncoding {
+	return vecEncoding{bits: c.PullBits, exact: c.Exact, sparse: c.Sparse}
+}
+
 // PushHistogram shards a node's local histogram across the fleet, applying
-// the configured low-precision compression (FIND_SPLIT, push half).
+// the configured low-precision compression (FIND_SPLIT, push half). Each
+// G/H vector is tagged per-vector, so a sparse shard rides next to a dense
+// one when only part of the feature space is populated.
 func (c *Client) PushHistogram(node int, hist *histogram.Histogram) error {
-	// Encoding happens inside fanOut bodies, but the compressor is not
-	// concurrency-safe; precompute bodies serially.
+	// Encoding happens inside fanOut bodies, but the stochastic compressor
+	// is not concurrency-safe; precompute bodies serially.
+	ev := c.pushEncoding()
 	bodies := make([][]byte, len(c.servers))
 	for sv := range c.servers {
 		g, h := c.shardArrays(sv, hist)
 		w := wire.NewWriter(16 + 8*len(g))
 		w.Int32(int32(node))
-		if c.Exact {
-			w.Uint8(FormatFloat64)
-			w.Float64s(g)
-			w.Float64s(h)
-		} else if c.Bits == 0 {
-			w.Uint8(FormatFloat32)
-			w.Float64sAs32(g)
-			w.Float64sAs32(h)
-		} else {
-			w.Uint8(FormatCompressed)
-			if err := writeCompressed(w, c.enc, g, c.Bits); err != nil {
-				return err
-			}
-			if err := writeCompressed(w, c.enc, h, c.Bits); err != nil {
-				return err
-			}
+		if err := writeHistVector(w, c.enc, g, ev); err != nil {
+			return err
+		}
+		if err := writeHistVector(w, c.enc, h, ev); err != nil {
+			return err
 		}
 		bodies[sv] = w.Bytes()
 	}
 	_, err := c.fanOut(OpPushHist, func(sv int) []byte { return bodies[sv] })
 	return err
-}
-
-func writeCompressed(w *wire.Writer, enc *compress.Encoder, vs []float64, bits uint) error {
-	comp, err := enc.Encode(vs, bits)
-	if err != nil {
-		return err
-	}
-	w.Uint8(uint8(comp.Bits))
-	w.Uint32(uint32(comp.N))
-	w.Float64(comp.MaxAbs)
-	w.Bytes32(comp.Data)
-	return nil
 }
 
 // SplitResult is a two-phase pull outcome: the global best split and the
@@ -261,11 +261,12 @@ type SplitResult struct {
 // into the global best (two-phase split finding, §6.3).
 func (c *Client) PullSplit(node int, lambda, gamma, minChild float64) (SplitResult, error) {
 	req := func(int) []byte {
-		w := wire.NewWriter(32)
+		w := wire.NewWriter(36)
 		w.Int32(int32(node))
 		w.Float64(lambda)
 		w.Float64(gamma)
 		w.Float64(minChild)
+		writeEncoding(w, c.pullEncoding())
 		return w.Bytes()
 	}
 	resps, err := c.fanOut(OpPullSplit, req)
@@ -275,9 +276,9 @@ func (c *Client) PullSplit(node int, lambda, gamma, minChild float64) (SplitResu
 	var out SplitResult
 	for _, resp := range resps {
 		r := wire.NewReader(resp.Body)
-		rec := readSplitRecord(r)
-		if r.Err() != nil {
-			return SplitResult{}, r.Err()
+		rec, err := readSplitRecord(r)
+		if err != nil {
+			return SplitResult{}, err
 		}
 		if rec.Split.Better(out.Split) {
 			out.Split = rec.Split
@@ -289,12 +290,14 @@ func (c *Client) PullSplit(node int, lambda, gamma, minChild float64) (SplitResu
 	return out, nil
 }
 
-// PullHistogram reassembles the full merged histogram from raw shards (the
-// two-phase-disabled path). layout must be the worker's full layout.
+// PullHistogram reassembles the full merged histogram from server shards
+// (the two-phase-disabled path), under the negotiated response encoding.
+// layout must be the worker's full layout.
 func (c *Client) PullHistogram(node int, layout *histogram.Layout) (*histogram.Histogram, error) {
 	req := func(int) []byte {
-		w := wire.NewWriter(4)
+		w := wire.NewWriter(8)
 		w.Int32(int32(node))
+		writeEncoding(w, c.pullEncoding())
 		return w.Bytes()
 	}
 	resps, err := c.fanOut(OpPullHistShard, req)
@@ -303,27 +306,32 @@ func (c *Client) PullHistogram(node int, layout *histogram.Layout) (*histogram.H
 	}
 	hist := histogram.New(layout)
 	for sv, resp := range resps {
-		r := wire.NewReader(resp.Body)
-		g := r.Float64sFrom32()
-		h := r.Float64sFrom32()
-		if r.Err() != nil {
-			return nil, r.Err()
-		}
+		// The expected shard length is derived from the client's own
+		// partition view, so a response shaped for a different layout is
+		// rejected with a typed ShapeError inside the vector read.
 		mine := c.part.FeaturesOf(sv, layout.Features)
+		wantN := 0
+		for _, f := range mine {
+			lo, hi := layout.BucketRange(int(layout.Pos(f)))
+			wantN += hi - lo
+		}
+		r := wire.NewReader(resp.Body)
+		g, err := readHistVector(r, fmt.Sprintf("g shard from server %d", sv), wantN)
+		if err != nil {
+			return nil, err
+		}
+		h, err := readHistVector(r, fmt.Sprintf("h shard from server %d", sv), wantN)
+		if err != nil {
+			return nil, err
+		}
 		off := 0
 		for _, f := range mine {
 			p := layout.Pos(f)
 			lo, hi := layout.BucketRange(int(p))
 			n := hi - lo
-			if off+n > len(g) {
-				return nil, fmt.Errorf("ps: shard from server %d too short", sv)
-			}
 			copy(hist.G[lo:hi], g[off:off+n])
 			copy(hist.H[lo:hi], h[off:off+n])
 			off += n
-		}
-		if off != len(g) {
-			return nil, fmt.Errorf("ps: shard from server %d has %d extra buckets", sv, len(g)-off)
 		}
 	}
 	return hist, nil
@@ -334,7 +342,9 @@ func (c *Client) PullHistogram(node int, layout *histogram.Layout) (*histogram.H
 func (c *Client) PushSplitResult(node int, res SplitResult) error {
 	w := wire.NewWriter(96)
 	w.Int32(int32(node))
-	writeSplitRecord(w, splitRecord{Split: res.Split, HasTotals: res.HasTotals, NodeG: res.NodeG, NodeH: res.NodeH})
+	// Stored split results are authoritative for tree construction; they
+	// always travel at full precision regardless of the pull encoding.
+	writeSplitRecord(w, splitRecord{Split: res.Split, HasTotals: res.HasTotals, NodeG: res.NodeG, NodeH: res.NodeH}, false)
 	owner := c.part.NodeOwner(node)
 	_, err := c.call(owner, OpPushSplitResult, w.Bytes())
 	return err
@@ -354,8 +364,9 @@ func (c *Client) PullSplitResults(nodes []int) (map[int]SplitResult, error) {
 		if len(ns) == 0 {
 			return nil // skip servers owning none of the nodes
 		}
-		w := wire.NewWriter(4 + 4*len(ns))
+		w := wire.NewWriter(8 + 4*len(ns))
 		w.Int32s(ns)
+		writeEncoding(w, c.pullEncoding())
 		return w.Bytes()
 	})
 	if err != nil {
@@ -370,9 +381,9 @@ func (c *Client) PullSplitResults(nodes []int) (map[int]SplitResult, error) {
 		for i := 0; i < n; i++ {
 			node := r.Int32()
 			ok := r.Bool()
-			rec := readSplitRecord(r)
-			if r.Err() != nil {
-				return nil, r.Err()
+			rec, err := readSplitRecord(r)
+			if err != nil {
+				return nil, err
 			}
 			if ok {
 				out[int(node)] = SplitResult{Split: rec.Split, HasTotals: rec.HasTotals, NodeG: rec.NodeG, NodeH: rec.NodeH}

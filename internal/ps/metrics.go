@@ -7,16 +7,18 @@ import (
 )
 
 // serverMetrics instrument the parameter-server handler: per-op request
-// counts and latency, byte totals both directions, and idempotency dedup
-// hits. Per-op instruments are materialized once for the whole protocol so
-// the handler path never takes the registry lock.
+// counts, latency and byte totals, overall byte totals both directions, and
+// idempotency dedup hits. Per-op instruments are materialized once for the
+// whole protocol so the handler path never takes the registry lock.
 type serverMetrics struct {
-	requests  map[uint8]*obs.Counter
-	errors    map[uint8]*obs.Counter
-	latency   map[uint8]*obs.Histogram
-	dedupHits *obs.Counter
-	bytesIn   *obs.Counter
-	bytesOut  *obs.Counter
+	requests   map[uint8]*obs.Counter
+	errors     map[uint8]*obs.Counter
+	latency    map[uint8]*obs.Histogram
+	opBytesIn  map[uint8]*obs.Counter
+	opBytesOut map[uint8]*obs.Counter
+	dedupHits  *obs.Counter
+	bytesIn    *obs.Counter
+	bytesOut   *obs.Counter
 }
 
 // clientMetrics instrument the worker-side client.
@@ -25,6 +27,19 @@ type clientMetrics struct {
 	bytesOut *obs.Counter
 	bytesIn  *obs.Counter
 }
+
+// Directions of a histogram-vector codec operation, as seen by whichever
+// side performs it (clients encode pushes and decode pulls; servers do the
+// reverse). Encoded and decoded logical bytes match because the wire is
+// lossless in transit.
+const (
+	dirEncode = 0
+	dirDecode = 1
+)
+
+// vecBytes[dir][tag] counts logical bytes-on-wire of histogram vectors by
+// encoding — the payload accounting behind `dimboost-bench comm`.
+var vecBytes [2][4]*obs.Counter
 
 var (
 	pmOnce sync.Once
@@ -36,18 +51,27 @@ func psMetrics() (*serverMetrics, *clientMetrics) {
 	pmOnce.Do(func() {
 		r := obs.Default()
 		srvM = &serverMetrics{
-			requests:  make(map[uint8]*obs.Counter),
-			errors:    make(map[uint8]*obs.Counter),
-			latency:   make(map[uint8]*obs.Histogram),
-			dedupHits: r.Counter("dimboost_ps_dedup_hits_total", "Duplicate mutating requests acknowledged without re-applying (idempotency envelope)."),
-			bytesIn:   r.Counter("dimboost_ps_bytes_total", "Request/response payload bytes through the PS handler.", obs.L("direction", "in")),
-			bytesOut:  r.Counter("dimboost_ps_bytes_total", "", obs.L("direction", "out")),
+			requests:   make(map[uint8]*obs.Counter),
+			errors:     make(map[uint8]*obs.Counter),
+			latency:    make(map[uint8]*obs.Histogram),
+			opBytesIn:  make(map[uint8]*obs.Counter),
+			opBytesOut: make(map[uint8]*obs.Counter),
+			dedupHits:  r.Counter("dimboost_ps_dedup_hits_total", "Duplicate mutating requests acknowledged without re-applying (idempotency envelope)."),
+			bytesIn:    r.Counter("dimboost_ps_bytes_total", "Request/response payload bytes through the PS handler.", obs.L("direction", "in")),
+			bytesOut:   r.Counter("dimboost_ps_bytes_total", "", obs.L("direction", "out")),
 		}
 		for op := OpPushSketch; op <= OpPullSplitResults; op++ {
 			l := obs.L("op", OpName(op))
 			srvM.requests[op] = r.Counter("dimboost_ps_requests_total", "Requests served by the parameter server, by op.", l)
 			srvM.errors[op] = r.Counter("dimboost_ps_request_errors_total", "Requests the parameter server failed, by op.", l)
 			srvM.latency[op] = r.Histogram("dimboost_ps_request_seconds", "Server-side handler latency, by op.", nil, l)
+			srvM.opBytesIn[op] = r.Counter("dimboost_ps_op_bytes_total", "Request/response payload bytes through the PS handler, by op and direction.", l, obs.L("direction", "in"))
+			srvM.opBytesOut[op] = r.Counter("dimboost_ps_op_bytes_total", "", l, obs.L("direction", "out"))
+		}
+		for tag := uint8(0); tag < 4; tag++ {
+			l := obs.L("encoding", vecName(tag))
+			vecBytes[dirEncode][tag] = r.Counter("dimboost_ps_vector_bytes_total", "Logical bytes-on-wire of histogram vectors, by encoding and codec direction.", l, obs.L("direction", "encode"))
+			vecBytes[dirDecode][tag] = r.Counter("dimboost_ps_vector_bytes_total", "", l, obs.L("direction", "decode"))
 		}
 		cliM = &clientMetrics{
 			requests: r.Counter("dimboost_ps_client_requests_total", "Requests issued by worker clients."),
@@ -58,10 +82,21 @@ func psMetrics() (*serverMetrics, *clientMetrics) {
 	return srvM, cliM
 }
 
+// vectorBytes records one encoded or decoded histogram vector's wire bytes.
+func vectorBytes(tag uint8, dir int, n int64) {
+	psMetrics()
+	if tag < 4 {
+		vecBytes[dir][tag].Add(n)
+	}
+}
+
 // observe records one handled request. Unknown ops have no per-op
 // instruments (the handler rejects them) and only count bytes in.
 func (m *serverMetrics) observe(op uint8, reqBytes, respBytes int64, secs float64, err error) {
 	m.bytesIn.Add(reqBytes)
+	if c := m.opBytesIn[op]; c != nil {
+		c.Add(reqBytes)
+	}
 	if err != nil {
 		if c := m.errors[op]; c != nil {
 			c.Inc()
@@ -69,10 +104,33 @@ func (m *serverMetrics) observe(op uint8, reqBytes, respBytes int64, secs float6
 		return
 	}
 	m.bytesOut.Add(respBytes)
+	if c := m.opBytesOut[op]; c != nil {
+		c.Add(respBytes)
+	}
 	if c := m.requests[op]; c != nil {
 		c.Inc()
 	}
 	if h := m.latency[op]; h != nil {
 		h.Observe(secs)
 	}
+}
+
+// WireBytes snapshots the parameter server's logical bytes-on-wire: perOp
+// maps "op/direction" (e.g. "push_hist/in") to handler payload bytes,
+// perEncoding maps "encoding/direction" (e.g. "sparse/encode") to histogram
+// vector bytes. Benches difference two snapshots around a run to attribute
+// traffic to an encoding choice.
+func WireBytes() (perOp, perEncoding map[string]int64) {
+	m, _ := psMetrics()
+	perOp = make(map[string]int64)
+	for op := OpPushSketch; op <= OpPullSplitResults; op++ {
+		perOp[OpName(op)+"/in"] = m.opBytesIn[op].Value()
+		perOp[OpName(op)+"/out"] = m.opBytesOut[op].Value()
+	}
+	perEncoding = make(map[string]int64)
+	for tag := uint8(0); tag < 4; tag++ {
+		perEncoding[vecName(tag)+"/encode"] = vecBytes[dirEncode][tag].Value()
+		perEncoding[vecName(tag)+"/decode"] = vecBytes[dirDecode][tag].Value()
+	}
+	return perOp, perEncoding
 }

@@ -1,6 +1,10 @@
 package ps
 
 import (
+	"fmt"
+	"math"
+
+	"dimboost/internal/compress"
 	"dimboost/internal/core"
 	"dimboost/internal/wire"
 )
@@ -99,17 +103,326 @@ func writeEnvelope(worker int32, seq uint64, body []byte) []byte {
 	return w.Bytes()
 }
 
-// Histogram wire formats.
+// Per-vector histogram wire tags. Every gradient/hessian vector on the wire
+// leads with one of these, so push and pull payloads are self-describing and
+// each vector independently picks the cheapest encoding (a sparse shard next
+// to a dense one in the same message is legal).
 const (
-	// FormatFloat32 sends buckets as float32 — "full precision" in the
-	// paper's comparison (4 bytes per statistic).
-	FormatFloat32 uint8 = 0
-	// FormatCompressed sends low-precision fixed-point buckets (§6.1).
-	FormatCompressed uint8 = 1
-	// FormatFloat64 sends full float64 buckets; twice the bytes of the
-	// paper's format, used by tests that need bit-level reproducibility
-	// between distributed and single-process training.
-	FormatFloat64 uint8 = 2
+	// VecFloat32 is the paper's "full precision" format: raw float32
+	// buckets, 4 bytes per statistic.
+	VecFloat32 uint8 = 0
+	// VecFixed is dense low-precision fixed point (§6.1).
+	VecFixed uint8 = 1
+	// VecFloat64 is raw float64 buckets — twice the paper's bytes, used by
+	// the ExactWire modes that need bit-level reproducibility.
+	VecFloat64 uint8 = 2
+	// VecSparse is a compress.Sparse payload: zero runs elided, span values
+	// at any of the above widths.
+	VecSparse uint8 = 3
+)
+
+// vecName labels a vector tag for the per-encoding byte metrics.
+func vecName(tag uint8) string {
+	switch tag {
+	case VecFloat32:
+		return "float32"
+	case VecFixed:
+		return "fixed"
+	case VecFloat64:
+		return "float64"
+	case VecSparse:
+		return "sparse"
+	}
+	return "unknown"
+}
+
+// ShapeError reports a payload whose declared geometry disagrees with the
+// receiver's expectation — typically a stale-partition client pushing or
+// pulling against a layout from an earlier NEW_TREE. It is a rejection of
+// the request, not of the connection; the client should refresh its layout.
+type ShapeError struct {
+	What string // which vector or record was mis-shaped
+	Got  int    // declared element count
+	Want int    // expected element count
+}
+
+func (e *ShapeError) Error() string {
+	return fmt.Sprintf("ps: %s has %d values, expected %d", e.What, e.Got, e.Want)
+}
+
+// vecEncoding is a negotiated histogram-vector encoding: the client states
+// it in pull requests (and applies it itself on pushes), the server honors
+// it when writing responses. The zero value means raw float32 — the wire
+// default matching the paper.
+type vecEncoding struct {
+	bits   uint // fixed-point width; 0 = raw floats
+	exact  bool // float64 instead of float32 wherever raw floats appear
+	sparse bool // allow run-length sparse payloads when they are smaller
+}
+
+// spanBits maps the encoding onto the width used inside a sparse payload.
+func (ev vecEncoding) spanBits() uint {
+	switch {
+	case ev.bits != 0:
+		return ev.bits
+	case ev.exact:
+		return compress.RawFloat64
+	default:
+		return compress.RawFloat32
+	}
+}
+
+// compactSplits reports whether split records may narrow their statistics
+// to float32. Split values always stay float64 — bin recovery inside
+// SplitPredicate depends on exact cut values.
+func (ev vecEncoding) compactSplits() bool { return ev.bits != 0 && !ev.exact }
+
+// writeEncoding appends the negotiation triple to a pull request.
+func writeEncoding(w *wire.Writer, ev vecEncoding) {
+	w.Uint8(uint8(ev.bits))
+	w.Bool(ev.exact)
+	w.Bool(ev.sparse)
+}
+
+// readEncoding consumes and validates a negotiation triple.
+func readEncoding(r *wire.Reader) (vecEncoding, error) {
+	ev := vecEncoding{bits: uint(r.Uint8())}
+	ev.exact = r.Bool()
+	ev.sparse = r.Bool()
+	if err := r.Err(); err != nil {
+		return ev, err
+	}
+	if ev.bits != 0 && !compress.ValidWidth(ev.bits) {
+		return ev, fmt.Errorf("%w: %d", compress.ErrBadWidth, ev.bits)
+	}
+	if ev.bits != 0 && ev.exact {
+		return ev, fmt.Errorf("ps: exact and %d-bit response encoding are mutually exclusive", ev.bits)
+	}
+	return ev, nil
+}
+
+// denseVecSize predicts the on-wire size of a dense vector of n buckets
+// under the encoding (tag byte included).
+func denseVecSize(n int, ev vecEncoding) int {
+	switch {
+	case ev.bits != 0:
+		return 1 + 1 + 4 + 8 + 4 + (n*int(ev.bits)+7)/8
+	case ev.exact:
+		return 1 + 4 + 8*n
+	default:
+		return 1 + 4 + 4*n
+	}
+}
+
+// writeHistVector appends one gradient/hessian vector under the encoding,
+// automatically switching to the sparse form when its exact predicted size
+// is smaller. Fixed-point widths draw rounding from enc; raw widths never
+// touch it, so a nil enc is legal for exact/float32 encodings.
+func writeHistVector(w *wire.Writer, enc *compress.Encoder, vs []float64, ev vecEncoding) error {
+	start := w.Len()
+	tag, err := writeHistVectorBody(w, enc, vs, ev)
+	if err != nil {
+		return err
+	}
+	vectorBytes(tag, dirEncode, int64(w.Len()-start))
+	return nil
+}
+
+func writeHistVectorBody(w *wire.Writer, enc *compress.Encoder, vs []float64, ev vecEncoding) (uint8, error) {
+	if ev.sparse {
+		nnz, spans := compress.SpanStats(vs)
+		if 1+compress.SparseWireSize(nnz, spans, ev.spanBits()) < denseVecSize(len(vs), ev) {
+			s, err := compress.EncodeSparse(enc, vs, ev.spanBits())
+			if err != nil {
+				return VecSparse, err
+			}
+			w.Uint8(VecSparse)
+			s.WriteTo(w)
+			return VecSparse, nil
+		}
+	}
+	switch {
+	case ev.bits != 0:
+		c, err := enc.Encode(vs, ev.bits)
+		if err != nil {
+			return VecFixed, err
+		}
+		w.Uint8(VecFixed)
+		w.Uint8(uint8(c.Bits))
+		w.Uint32(uint32(c.N))
+		w.Float64(c.MaxAbs)
+		w.Bytes32(c.Data)
+		return VecFixed, nil
+	case ev.exact:
+		w.Uint8(VecFloat64)
+		w.Float64s(vs)
+		return VecFloat64, nil
+	default:
+		w.Uint8(VecFloat32)
+		w.Float64sAs32(vs)
+		return VecFloat32, nil
+	}
+}
+
+// readFixedVector consumes a dense fixed-point payload into a validated
+// compress.Compressed. what names the vector for error messages.
+func readFixedVector(r *wire.Reader, what string, wantN int) (*compress.Compressed, error) {
+	c := &compress.Compressed{Bits: uint(r.Uint8())}
+	c.N = int(r.Uint32())
+	c.MaxAbs = r.Float64()
+	c.Data = r.Bytes32()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if c.N != wantN {
+		return nil, &ShapeError{What: what, Got: c.N, Want: wantN}
+	}
+	return c, nil
+}
+
+// readHistVectorInto consumes one tagged vector and merges (adds) it into
+// dst, which must already have the expected bucket count. Every payload is
+// validated — width, header geometry, span structure — before any decode
+// touches dst, so hostile or stale-layout messages yield typed errors, never
+// panics or partial merges.
+func readHistVectorInto(r *wire.Reader, what string, dst []float64) error {
+	start := r.Remaining()
+	tag := r.Uint8()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	var err error
+	switch tag {
+	case VecFloat32:
+		vs := r.Float64sFrom32()
+		if err = r.Err(); err != nil {
+			return err
+		}
+		if len(vs) != len(dst) {
+			return &ShapeError{What: what, Got: len(vs), Want: len(dst)}
+		}
+		for i, v := range vs {
+			dst[i] += v
+		}
+	case VecFloat64:
+		vs := r.Float64s()
+		if err = r.Err(); err != nil {
+			return err
+		}
+		if len(vs) != len(dst) {
+			return &ShapeError{What: what, Got: len(vs), Want: len(dst)}
+		}
+		for i, v := range vs {
+			dst[i] += v
+		}
+	case VecFixed:
+		c, cerr := readFixedVector(r, what, len(dst))
+		if cerr != nil {
+			return cerr
+		}
+		if err = compress.DecodeInto(dst, c); err != nil {
+			return err
+		}
+	case VecSparse:
+		s, serr := compress.ReadSparse(r)
+		if serr != nil {
+			return serr
+		}
+		if s.N != len(dst) {
+			return &ShapeError{What: what, Got: s.N, Want: len(dst)}
+		}
+		if err = s.DecodeInto(dst); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("ps: unknown histogram vector tag %d", tag)
+	}
+	vectorBytes(tag, dirDecode, int64(start-r.Remaining()))
+	return nil
+}
+
+// readHistVector consumes one tagged vector into a fresh slice of wantN
+// values.
+func readHistVector(r *wire.Reader, what string, wantN int) ([]float64, error) {
+	dst := make([]float64, wantN)
+	if err := readHistVectorInto(r, what, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// checkHistVector validates one tagged vector from its headers and advances
+// past it without decoding values — the push path's admission check. The
+// cost is O(1) for dense payloads and O(spans) for sparse ones; bucket data
+// is never materialized.
+func checkHistVector(r *wire.Reader, what string, wantN int) error {
+	tag := r.Uint8()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	switch tag {
+	case VecFloat32, VecFloat64:
+		n := int(r.Uint32())
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if n != wantN {
+			return &ShapeError{What: what, Got: n, Want: wantN}
+		}
+		elem := 4
+		if tag == VecFloat64 {
+			elem = 8
+		}
+		r.Skip(n * elem)
+		return r.Err()
+	case VecFixed:
+		bits := uint(r.Uint8())
+		n := int(r.Uint32())
+		maxAbs := r.Float64()
+		ln := int(r.Uint32())
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if !compress.ValidWidth(bits) {
+			return fmt.Errorf("%w: %d", compress.ErrBadWidth, bits)
+		}
+		if math.IsNaN(maxAbs) || math.IsInf(maxAbs, 0) || maxAbs < 0 {
+			return fmt.Errorf("%w: MaxAbs %v", compress.ErrBadHeader, maxAbs)
+		}
+		if n != wantN {
+			return &ShapeError{What: what, Got: n, Want: wantN}
+		}
+		if want := (n*int(bits) + 7) / 8; ln != want {
+			return fmt.Errorf("%w: %d data bytes for %d %d-bit values (want %d)",
+				compress.ErrSizeMismatch, ln, n, bits, want)
+		}
+		r.Skip(ln)
+		return r.Err()
+	case VecSparse:
+		s, err := compress.ReadSparse(r)
+		if err != nil {
+			return err
+		}
+		if s.N != wantN {
+			return &ShapeError{What: what, Got: s.N, Want: wantN}
+		}
+		return nil
+	default:
+		return fmt.Errorf("ps: unknown histogram vector tag %d", tag)
+	}
+}
+
+// Split-record layouts. Full records carry every statistic as float64;
+// compact ones (negotiated via a nonzero pull width) narrow the gain and
+// child aggregates to float32 while keeping Found/Feature/Value exact —
+// the split value must survive the wire bit-exactly because SplitPredicate
+// recovers the bin from it.
+const (
+	splitFull    uint8 = 0
+	splitCompact uint8 = 1
 )
 
 // splitRecord is the two-phase split response: a candidate split plus the
@@ -121,42 +434,69 @@ type splitRecord struct {
 	NodeH     float64
 }
 
-func writeSplit(w *wire.Writer, s core.Split) {
-	w.Bool(s.Found)
-	w.Int32(s.Feature)
-	w.Float64(s.Value)
-	w.Float64(s.Gain)
-	w.Float64(s.LeftG)
-	w.Float64(s.LeftH)
-	w.Float64(s.RightG)
-	w.Float64(s.RightH)
-}
-
-func readSplit(r *wire.Reader) core.Split {
-	var s core.Split
-	s.Found = r.Bool()
-	s.Feature = r.Int32()
-	s.Value = r.Float64()
-	s.Gain = r.Float64()
-	s.LeftG = r.Float64()
-	s.LeftH = r.Float64()
-	s.RightG = r.Float64()
-	s.RightH = r.Float64()
-	return s
-}
-
-func writeSplitRecord(w *wire.Writer, rec splitRecord) {
-	writeSplit(w, rec.Split)
+func writeSplitRecord(w *wire.Writer, rec splitRecord, compact bool) {
+	if compact {
+		w.Uint8(splitCompact)
+		w.Bool(rec.Split.Found)
+		w.Int32(rec.Split.Feature)
+		w.Float64(rec.Split.Value)
+		w.Float32(float32(rec.Split.Gain))
+		w.Float32(float32(rec.Split.LeftG))
+		w.Float32(float32(rec.Split.LeftH))
+		w.Float32(float32(rec.Split.RightG))
+		w.Float32(float32(rec.Split.RightH))
+		w.Bool(rec.HasTotals)
+		w.Float32(float32(rec.NodeG))
+		w.Float32(float32(rec.NodeH))
+		return
+	}
+	w.Uint8(splitFull)
+	w.Bool(rec.Split.Found)
+	w.Int32(rec.Split.Feature)
+	w.Float64(rec.Split.Value)
+	w.Float64(rec.Split.Gain)
+	w.Float64(rec.Split.LeftG)
+	w.Float64(rec.Split.LeftH)
+	w.Float64(rec.Split.RightG)
+	w.Float64(rec.Split.RightH)
 	w.Bool(rec.HasTotals)
 	w.Float64(rec.NodeG)
 	w.Float64(rec.NodeH)
 }
 
-func readSplitRecord(r *wire.Reader) splitRecord {
+func readSplitRecord(r *wire.Reader) (splitRecord, error) {
 	var rec splitRecord
-	rec.Split = readSplit(r)
-	rec.HasTotals = r.Bool()
-	rec.NodeG = r.Float64()
-	rec.NodeH = r.Float64()
-	return rec
+	layout := r.Uint8()
+	switch layout {
+	case splitFull:
+		rec.Split.Found = r.Bool()
+		rec.Split.Feature = r.Int32()
+		rec.Split.Value = r.Float64()
+		rec.Split.Gain = r.Float64()
+		rec.Split.LeftG = r.Float64()
+		rec.Split.LeftH = r.Float64()
+		rec.Split.RightG = r.Float64()
+		rec.Split.RightH = r.Float64()
+		rec.HasTotals = r.Bool()
+		rec.NodeG = r.Float64()
+		rec.NodeH = r.Float64()
+	case splitCompact:
+		rec.Split.Found = r.Bool()
+		rec.Split.Feature = r.Int32()
+		rec.Split.Value = r.Float64()
+		rec.Split.Gain = float64(r.Float32())
+		rec.Split.LeftG = float64(r.Float32())
+		rec.Split.LeftH = float64(r.Float32())
+		rec.Split.RightG = float64(r.Float32())
+		rec.Split.RightH = float64(r.Float32())
+		rec.HasTotals = r.Bool()
+		rec.NodeG = float64(r.Float32())
+		rec.NodeH = float64(r.Float32())
+	default:
+		if err := r.Err(); err != nil {
+			return rec, err
+		}
+		return rec, fmt.Errorf("ps: unknown split record layout %d", layout)
+	}
+	return rec, r.Err()
 }

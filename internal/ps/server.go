@@ -36,8 +36,8 @@ type Server struct {
 	layout          *histogram.Layout // shard layout: owned ∩ sampled features
 	// pending holds per-node, per-worker pushed shards awaiting the
 	// deterministic worker-ordered merge. Shards stay in their wire format
-	// (float32 or compressed) until the merge, keeping server memory at
-	// wire size rather than decoded float64 size.
+	// (tagged vectors: float32/float64/fixed/sparse) until the merge,
+	// keeping server memory at wire size rather than decoded float64 size.
 	pending map[int32]map[int32]*wireShard
 	merged  map[int32]*shard
 	splits  map[int32]splitRecord
@@ -55,11 +55,17 @@ type shard struct {
 	g, h []float64
 }
 
-// wireShard is a pushed histogram shard still in wire format.
+// wireShard is a pushed histogram shard still in wire format: two tagged
+// G/H vectors, validated at push time, decoded at merge.
 type wireShard struct {
-	format uint8
-	body   []byte // the undecoded G/H payload portion of the push
+	body []byte
 }
+
+// serverEnc encodes pull responses. It rounds to nearest (no RNG), so it is
+// safe under concurrent handlers and — critically — a retried pull or a
+// pull from a different worker produces byte-identical responses; stochastic
+// rounding here would make training depend on request arrival order.
+var serverEnc = compress.NewDeterministicEncoder()
 
 // NewServer constructs a server for shard id under the partition.
 func NewServer(id int, part *Partition, sketchEps float64) *Server {
@@ -299,110 +305,38 @@ func (s *Server) newTree(r *wire.Reader) (*wire.Writer, error) {
 // server memory stays proportional to the compressed wire size.
 func (s *Server) pushHist(worker int32, r *wire.Reader) (*wire.Writer, error) {
 	node := r.Int32()
-	format := r.Uint8()
 	body := make([]byte, len(r.Rest()))
 	copy(body, r.Rest())
+	r.Skip(len(body))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.layout == nil {
 		return nil, fmt.Errorf("push before NEW_TREE")
 	}
-	// Validate the payload shape in O(1) — headers only; the full decode
-	// happens once, at the worker-ordered merge.
-	if err := validateShardPayload(body, format, s.layout.TotalBuckets); err != nil {
+	// Validate the payload shape from headers only — every declared width
+	// and element count is checked against this server's layout before the
+	// shard is accepted, so a stale-partition client (or hostile peer)
+	// cannot mis-size the merge buffer or smuggle an undecodable width to
+	// the merge. Bucket data itself is decoded once, at the worker-ordered
+	// merge.
+	cr := wire.NewReader(body)
+	if err := checkHistVector(cr, "pushed g shard", s.layout.TotalBuckets); err != nil {
 		return nil, err
+	}
+	if err := checkHistVector(cr, "pushed h shard", s.layout.TotalBuckets); err != nil {
+		return nil, err
+	}
+	if cr.Remaining() != 0 {
+		return nil, fmt.Errorf("push has %d trailing bytes", cr.Remaining())
 	}
 	byWorker := s.pending[node]
 	if byWorker == nil {
 		byWorker = make(map[int32]*wireShard)
 		s.pending[node] = byWorker
 	}
-	byWorker[worker] = &wireShard{format: format, body: body}
+	byWorker[worker] = &wireShard{body: body}
 	delete(s.merged, node) // new data invalidates a previous merge
 	return nil, nil
-}
-
-// validateShardPayload checks, from headers alone, that a pushed payload
-// decodes to two vectors of exactly totalBuckets values.
-func validateShardPayload(body []byte, format uint8, totalBuckets int) error {
-	r := wire.NewReader(body)
-	checkVec := func(elemSize int) error {
-		n := int(r.Uint32())
-		if r.Err() != nil {
-			return r.Err()
-		}
-		if n != totalBuckets {
-			return fmt.Errorf("shard vector has %d values, layout wants %d", n, totalBuckets)
-		}
-		r.Skip(n * elemSize)
-		return r.Err()
-	}
-	switch format {
-	case FormatFloat32:
-		if err := checkVec(4); err != nil {
-			return err
-		}
-		return checkVec(4)
-	case FormatFloat64:
-		if err := checkVec(8); err != nil {
-			return err
-		}
-		return checkVec(8)
-	case FormatCompressed:
-		for i := 0; i < 2; i++ {
-			r.Uint8() // bits
-			n := int(r.Uint32())
-			if r.Err() != nil {
-				return r.Err()
-			}
-			if n != totalBuckets {
-				return fmt.Errorf("compressed shard has %d values, layout wants %d", n, totalBuckets)
-			}
-			r.Float64() // maxAbs
-			ln := int(r.Uint32())
-			r.Skip(ln)
-			if r.Err() != nil {
-				return r.Err()
-			}
-		}
-		return nil
-	default:
-		return fmt.Errorf("unknown histogram format %d", format)
-	}
-}
-
-// decodeShardPayload decodes a G/H payload in the given wire format.
-func decodeShardPayload(r *wire.Reader, format uint8) (g, h []float64, err error) {
-	switch format {
-	case FormatFloat32:
-		g = r.Float64sFrom32()
-		h = r.Float64sFrom32()
-	case FormatCompressed:
-		if g, err = readCompressed(r); err != nil {
-			return nil, nil, err
-		}
-		if h, err = readCompressed(r); err != nil {
-			return nil, nil, err
-		}
-	case FormatFloat64:
-		g = r.Float64s()
-		h = r.Float64s()
-	default:
-		return nil, nil, fmt.Errorf("unknown histogram format %d", format)
-	}
-	return g, h, r.Err()
-}
-
-func readCompressed(r *wire.Reader) ([]float64, error) {
-	bits := uint(r.Uint8())
-	n := int(r.Uint32())
-	maxAbs := r.Float64()
-	data := r.Bytes32()
-	if r.Err() != nil {
-		return nil, r.Err()
-	}
-	c := &compress.Compressed{Bits: bits, N: n, MaxAbs: maxAbs, Data: data}
-	return compress.Decode(c), nil
 }
 
 // mergedShard folds pending pushes (worker-id order) into the node's global
@@ -422,16 +356,12 @@ func (s *Server) mergedShard(node int32) (*shard, error) {
 	sort.Slice(workers, func(a, b int) bool { return workers[a] < workers[b] })
 	out := &shard{g: make([]float64, s.layout.TotalBuckets), h: make([]float64, s.layout.TotalBuckets)}
 	for _, wk := range workers {
-		ws := byWorker[wk]
-		g, h, err := decodeShardPayload(wire.NewReader(ws.body), ws.format)
-		if err != nil {
+		r := wire.NewReader(byWorker[wk].body)
+		if err := readHistVectorInto(r, "pushed g shard", out.g); err != nil {
 			return nil, err
 		}
-		for i, v := range g {
-			out.g[i] += v
-		}
-		for i, v := range h {
-			out.h[i] += v
+		if err := readHistVectorInto(r, "pushed h shard", out.h); err != nil {
+			return nil, err
 		}
 	}
 	delete(s.pending, node) // wire buffers are no longer needed
@@ -446,14 +376,15 @@ func (s *Server) pullSplit(r *wire.Reader) (*wire.Writer, error) {
 	lambda := r.Float64()
 	gamma := r.Float64()
 	minChild := r.Float64()
-	if r.Err() != nil {
-		return nil, r.Err()
+	ev, err := readEncoding(r)
+	if err != nil {
+		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	w := wire.NewWriter(96)
 	if s.layout == nil || s.layout.NumFeatures() == 0 {
-		writeSplitRecord(w, splitRecord{})
+		writeSplitRecord(w, splitRecord{}, ev.compactSplits())
 		return w, nil
 	}
 	sh, err := s.mergedShard(node)
@@ -465,22 +396,29 @@ func (s *Server) pullSplit(r *wire.Reader) (*wire.Writer, error) {
 	// invariant), so the shard alone recovers them.
 	totalG, totalH := hist.FeatureTotals(0)
 	split := core.FindSplit(hist, totalG, totalH, lambda, gamma, minChild)
-	writeSplitRecord(w, splitRecord{Split: split, HasTotals: true, NodeG: totalG, NodeH: totalH})
+	writeSplitRecord(w, splitRecord{Split: split, HasTotals: true, NodeG: totalG, NodeH: totalH}, ev.compactSplits())
 	return w, nil
 }
 
-// pullHistShard returns the merged raw shard (two-phase disabled).
+// pullHistShard returns the merged shard under the encoding the client
+// negotiated (two-phase disabled). The deterministic server encoder keeps
+// responses byte-identical across retries and across workers.
 func (s *Server) pullHistShard(r *wire.Reader) (*wire.Writer, error) {
 	node := r.Int32()
-	if r.Err() != nil {
-		return nil, r.Err()
+	ev, err := readEncoding(r)
+	if err != nil {
+		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.layout == nil || s.layout.NumFeatures() == 0 {
-		w := wire.NewWriter(8)
-		w.Float64sAs32(nil)
-		w.Float64sAs32(nil)
+		w := wire.NewWriter(16)
+		if err := writeHistVector(w, serverEnc, nil, ev); err != nil {
+			return nil, err
+		}
+		if err := writeHistVector(w, serverEnc, nil, ev); err != nil {
+			return nil, err
+		}
 		return w, nil
 	}
 	sh, err := s.mergedShard(node)
@@ -488,16 +426,20 @@ func (s *Server) pullHistShard(r *wire.Reader) (*wire.Writer, error) {
 		return nil, err
 	}
 	w := wire.NewWriter(8 * len(sh.g))
-	w.Float64sAs32(sh.g)
-	w.Float64sAs32(sh.h)
+	if err := writeHistVector(w, serverEnc, sh.g, ev); err != nil {
+		return nil, err
+	}
+	if err := writeHistVector(w, serverEnc, sh.h, ev); err != nil {
+		return nil, err
+	}
 	return w, nil
 }
 
 func (s *Server) pushSplitResult(r *wire.Reader) (*wire.Writer, error) {
 	node := r.Int32()
-	rec := readSplitRecord(r)
-	if r.Err() != nil {
-		return nil, r.Err()
+	rec, err := readSplitRecord(r)
+	if err != nil {
+		return nil, err
 	}
 	if s.part.NodeOwner(int(node)) != s.id {
 		return nil, fmt.Errorf("node %d split pushed to wrong server", node)
@@ -510,8 +452,9 @@ func (s *Server) pushSplitResult(r *wire.Reader) (*wire.Writer, error) {
 
 func (s *Server) pullSplitResults(r *wire.Reader) (*wire.Writer, error) {
 	nodes := r.Int32s()
-	if r.Err() != nil {
-		return nil, r.Err()
+	ev, err := readEncoding(r)
+	if err != nil {
+		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -521,7 +464,7 @@ func (s *Server) pullSplitResults(r *wire.Reader) (*wire.Writer, error) {
 		rec, ok := s.splits[node]
 		w.Int32(node)
 		w.Bool(ok)
-		writeSplitRecord(w, rec)
+		writeSplitRecord(w, rec, ev.compactSplits())
 	}
 	return w, nil
 }

@@ -77,6 +77,15 @@ func Evaluate(s comm.Schedule, p Params) float64 {
 	return total
 }
 
+// Cost prices a measured traffic profile with the point-to-point §3 model:
+// α per message plus β per byte, in seconds. The cluster driver and the comm
+// bench use it to convert byte/message counts into a modeled communication
+// time, so wire-compression savings can be reported in seconds as well as
+// bytes.
+func Cost(msgs, bytes int64, p Params) float64 {
+	return p.Alpha*float64(msgs) + p.Beta*float64(bytes)
+}
+
 // System identifies one of the compared GBDT systems.
 type System int
 

@@ -35,6 +35,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 		w.String(s)
 		w.Bytes32(blob)
 		w.Int32s([]int32{i32, 0, -i32})
+		w.Uint32s([]uint32{u32, 0})
 		w.Uint64s([]uint64{u64})
 		w.Float64s([]float64{f64, -f64})
 		w.Float64sAs32([]float64{f64})
@@ -58,6 +59,8 @@ func FuzzWireRoundTrip(f *testing.F) {
 		check("Bytes32", bytes.Equal(r.Bytes32(), blob))
 		is := r.Int32s()
 		check("Int32s", len(is) == 3 && is[0] == i32 && is[1] == 0 && is[2] == -i32)
+		u32s := r.Uint32s()
+		check("Uint32s", len(u32s) == 2 && u32s[0] == u32 && u32s[1] == 0)
 		us := r.Uint64s()
 		check("Uint64s", len(us) == 1 && us[0] == u64)
 		fs := r.Float64s()
@@ -84,6 +87,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 		_ = h.String()
 		h.Bytes32()
 		h.Int32s()
+		h.Uint32s()
 		h.Uint64s()
 		h.Float64s()
 		h.Float64sFrom32()

@@ -91,6 +91,14 @@ func (w *Writer) Int32s(vs []int32) {
 	}
 }
 
+// Uint32s appends a length-prefixed []uint32.
+func (w *Writer) Uint32s(vs []uint32) {
+	w.Uint32(uint32(len(vs)))
+	for _, v := range vs {
+		w.Uint32(v)
+	}
+}
+
 // Uint64s appends a length-prefixed []uint64.
 func (w *Writer) Uint64s(vs []uint64) {
 	w.Uint32(uint32(len(vs)))
@@ -249,6 +257,19 @@ func (r *Reader) Int32s() []int32 {
 	out := make([]int32, n)
 	for i := range out {
 		out[i] = r.Int32()
+	}
+	return out
+}
+
+// Uint32s reads a length-prefixed []uint32.
+func (r *Reader) Uint32s() []uint32 {
+	n := r.length(4)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = r.Uint32()
 	}
 	return out
 }
