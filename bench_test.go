@@ -355,11 +355,24 @@ func BenchmarkWeightedCandidates(b *testing.B) {
 
 // BenchmarkServeOverload is the CI smoke for the serving-tier overload
 // scenario: open-loop load past a small admission window, scores verified
-// before any throughput is recorded.
+// before any throughput is recorded. The coalesce pass rides along: batches
+// must actually merge (mean occupancy > 1), the coalescer itself must shed
+// nothing, and every coalesced score must be bit-identical to solo.
 func BenchmarkServeOverload(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.ServeBench(io.Discard, benchScale); err != nil {
+		res, err := experiments.ServeBench(io.Discard, benchScale)
+		if err != nil {
 			b.Fatal(err)
+		}
+		c := res.Coalesce
+		if c == nil || !c.BitIdentical {
+			b.Fatal("coalesce pass missing or not bit-identical to solo")
+		}
+		if c.MeanOccupancy <= 1 {
+			b.Fatalf("mean batch occupancy %.2f, want > 1", c.MeanOccupancy)
+		}
+		if c.CoalesceShed != 0 {
+			b.Fatalf("%d requests shed by the coalescer", c.CoalesceShed)
 		}
 	}
 }

@@ -226,6 +226,20 @@ func main() {
 					"p99_ms":             float64(res.Load.P99.Microseconds()) / 1000,
 					"quota_shed_429":     float64(res.QuotaShed429),
 					"retry_after_always": boolStat(res.Load.RetryAfterOnAllSheds && res.QuotaRetryAfterOnAllShed),
+
+					"coalesce_trees":            float64(res.Coalesce.Trees),
+					"coalesce_solo_row_us":      float64(res.Coalesce.SoloRowCost.Nanoseconds()) / 1000,
+					"coalesce_tiled_row_us":     float64(res.Coalesce.TiledRowCost.Nanoseconds()) / 1000,
+					"coalesce_offered_rps":      res.Coalesce.OfferedRPS,
+					"coalesce_off_rps":          res.Coalesce.Off.Throughput,
+					"coalesce_on_rps":           res.Coalesce.On.Throughput,
+					"coalesce_off_p99_ms":       float64(res.Coalesce.Off.P99.Microseconds()) / 1000,
+					"coalesce_on_p99_ms":        float64(res.Coalesce.On.P99.Microseconds()) / 1000,
+					"coalesce_throughput_ratio": res.Coalesce.ThroughputRatio,
+					"coalesce_p99_ratio":        res.Coalesce.P99Ratio,
+					"coalesce_mean_occupancy":   res.Coalesce.MeanOccupancy,
+					"coalesce_sheds":            float64(res.Coalesce.CoalesceShed),
+					"coalesce_bit_identical":    boolStat(res.Coalesce.BitIdentical),
 				},
 			})
 			fmt.Fprintf(out, "[serve completed in %s]\n", time.Since(start).Round(time.Millisecond))

@@ -5,6 +5,7 @@
 //
 //	dimboost-serve -model model.bin -listen :8080 [-reload] [-drain-timeout 10s]
 //	  [-max-concurrent 64] [-queue-depth 256] [-queue-timeout 250ms]
+//	  [-coalesce] [-coalesce-window 500µs] [-coalesce-batch 256]
 //	  [-quota-rate 100 -quota-burst 200] [-quota-overrides 'teamA=500:1000,teamB=5:5']
 //	  [-probe-set probe.libsvm] [-probe-max-loss 0.7]
 //
@@ -19,6 +20,12 @@
 // quotas key on the X-Tenant header (absent = "default") and shed with
 // 429 + Retry-After; -quota-rate/-quota-burst set the default bucket and
 // -quota-overrides sets per-tenant shapes as name=rate:burst pairs.
+//
+// With -coalesce, admitted /predict requests are merged server-side into
+// engine-sized scoring batches: a request waits at most -coalesce-window
+// for companions (an uncontended request never waits), batches cap at
+// -coalesce-batch instances, and scores are bit-identical to scoring each
+// request alone. See dimboost_serve_coalesce_* metrics.
 //
 // With -reload, POST /model/reload or SIGHUP re-reads the model file and
 // swaps it in through the validated registry: the incoming model must
@@ -67,6 +74,10 @@ func main() {
 		maxConcurrent = flag.Int("max-concurrent", 0, "max concurrent /predict requests (0 = 4×GOMAXPROCS, -1 = unlimited)")
 		queueDepth    = flag.Int("queue-depth", 0, "admission wait-queue depth (0 = 4×max-concurrent)")
 		queueTimeout  = flag.Duration("queue-timeout", 250*time.Millisecond, "max time a request may wait for admission")
+
+		coalesce       = flag.Bool("coalesce", false, "merge concurrent /predict requests into engine-sized scoring batches")
+		coalesceWindow = flag.Duration("coalesce-window", 500*time.Microsecond, "max time a request lingers waiting for batch companions")
+		coalesceBatch  = flag.Int("coalesce-batch", 0, "max instances per coalesced batch (0 = engine-preferred)")
 
 		quotaRate      = flag.Float64("quota-rate", 0, "default per-tenant quota, requests/sec (0 = quotas disabled)")
 		quotaBurst     = flag.Float64("quota-burst", 0, "default per-tenant burst (0 = same as -quota-rate)")
@@ -121,6 +132,11 @@ func main() {
 		h.Quota = q
 		fmt.Printf("quotas: default %g req/s burst %g, %d overrides (X-Tenant header)\n",
 			*quotaRate, burst, len(overrides))
+	}
+
+	if *coalesce {
+		c := h.EnableCoalescing(serve.CoalesceConfig{Window: *coalesceWindow, MaxBatch: *coalesceBatch})
+		fmt.Printf("coalescing: window %s, batch cap %d\n", *coalesceWindow, c.Config().MaxBatch)
 	}
 
 	if *probeSet != "" {
@@ -179,6 +195,9 @@ func main() {
 				srv.Close() //nolint:errcheck
 			}
 			cancel()
+			// With HTTP fully stopped, flush any requests still parked in
+			// the coalescer (each belongs to an in-flight handler).
+			h.Close()
 			return
 		}
 	}()

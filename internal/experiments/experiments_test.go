@@ -290,4 +290,20 @@ func TestServeBenchQuick(t *testing.T) {
 	if res.QuotaShed429 == 0 || !res.QuotaRetryAfterOnAllShed {
 		t.Fatalf("quota pass: %d 429s, retry-after %v", res.QuotaShed429, res.QuotaRetryAfterOnAllShed)
 	}
+	c := res.Coalesce
+	if c == nil {
+		t.Fatal("no coalesce pass")
+	}
+	if !c.BitIdentical {
+		t.Fatal("coalesced scores not bit-identical to solo")
+	}
+	if c.MeanOccupancy <= 1 {
+		t.Fatalf("mean batch occupancy %.2f, want > 1 — coalescing never merged anything", c.MeanOccupancy)
+	}
+	if c.CoalesceShed != 0 {
+		t.Fatalf("%d requests shed by the coalescer's pending bound", c.CoalesceShed)
+	}
+	if c.On.Accepted == 0 || c.Off.Accepted == 0 {
+		t.Fatalf("paired passes accepted %d/%d requests", c.Off.Accepted, c.On.Accepted)
+	}
 }

@@ -7,13 +7,20 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sort"
+	"sync"
 	"time"
 
 	"dimboost/internal/core"
+	"dimboost/internal/dataset"
 	"dimboost/internal/loadgen"
+	"dimboost/internal/loss"
+	"dimboost/internal/predict"
 	"dimboost/internal/serve"
+	"dimboost/internal/tree"
 )
 
 // ServeBenchResult is the overload scenario's record: the measured
@@ -35,6 +42,32 @@ type ServeBenchResult struct {
 	ScoresVerified           bool
 	QuotaShed429             int // sheds from the second, quota-limited pass
 	QuotaRetryAfterOnAllShed bool
+	Coalesce                 *CoalesceBenchResult
+}
+
+// CoalesceBenchResult records the paired coalescing pass: the same
+// open-loop stream of distinct single-instance requests driven at the same
+// offered rate against the same server configuration, first with
+// server-side coalescing off, then on. The model is a wide standardized
+// ensemble — the regime where scoring a row alone pays the full
+// absent-feature negative-prefix pass that batched tiles share.
+type CoalesceBenchResult struct {
+	Trees, Features int
+	SoloRowCost     time.Duration // engine-only per-row cost scored alone
+	TiledRowCost    time.Duration // engine-only per-row cost in full batches
+	OfferedRPS      float64
+	Duration        time.Duration
+	Window          time.Duration
+	Off, On         *loadgen.Result
+	// ThroughputRatio is accepted throughput on/off at identical offered
+	// load; P99Ratio is accepted p99 off/on. Either ≥2 satisfies the
+	// acceptance gate.
+	ThroughputRatio float64
+	P99Ratio        float64
+	Stats           serve.CoalesceStats // from the coalesced pass
+	MeanOccupancy   float64
+	CoalesceShed    int64 // ErrCoalesceFull rejections (must be 0)
+	BitIdentical    bool  // coalesced HTTP scores == solo engine scores, Float64bits
 }
 
 // ServeBench trains a model, fronts it with a small admission window, and
@@ -161,6 +194,11 @@ func ServeBench(w io.Writer, scale Scale) (*ServeBenchResult, error) {
 	res.QuotaShed429 = qload.Statuses[http.StatusTooManyRequests]
 	res.QuotaRetryAfterOnAllShed = qload.RetryAfterOnAllSheds
 
+	res.Coalesce, err = coalescePass(scale)
+	if err != nil {
+		return nil, fmt.Errorf("coalesce pass: %w", err)
+	}
+
 	section(w, fmt.Sprintf("Serving — overload admission (%d×%d train, %d trees, %d rows/request)",
 		res.Rows, res.Features, res.Trees, res.BatchPerRequest))
 	fmt.Fprintf(w, "admission window: %d concurrent + %d queued, %s queue timeout\n",
@@ -176,6 +214,261 @@ func ServeBench(w io.Writer, scale Scale) (*ServeBenchResult, error) {
 	fmt.Fprintf(w, "quota pass (1 req/s, burst 3): %d×429, Retry-After on all: %v\n",
 		res.QuotaShed429, res.QuotaRetryAfterOnAllShed)
 	fmt.Fprintln(w, "scores verified against the model before load; only 200s enter the percentiles.")
+
+	c := res.Coalesce
+	section(w, fmt.Sprintf("Serving — request coalescing (%d standardized trees, %d features, 1-instance requests)",
+		c.Trees, c.Features))
+	fmt.Fprintf(w, "engine per-row cost: %s solo, %s tiled (%.2fx)\n",
+		fmtDur(c.SoloRowCost), fmtDur(c.TiledRowCost), float64(c.SoloRowCost)/float64(c.TiledRowCost))
+	fmt.Fprintf(w, "offered %.0f req/s for %s, window %s, identical admission both passes\n",
+		c.OfferedRPS, c.Duration.Round(time.Millisecond), c.Window)
+	fmt.Fprintf(w, "%-18s %14s %14s\n", "", "coalesce off", "coalesce on")
+	fmt.Fprintf(w, "%-18s %14s %14s\n", "accepted",
+		fmt.Sprintf("%d (%.0f/s)", c.Off.Accepted, c.Off.Throughput),
+		fmt.Sprintf("%d (%.0f/s)", c.On.Accepted, c.On.Throughput))
+	fmt.Fprintf(w, "%-18s %14s %14s\n", "shed",
+		fmt.Sprintf("%d (%.1f%%)", c.Off.Shed, 100*c.Off.ShedRate),
+		fmt.Sprintf("%d (%.1f%%)", c.On.Shed, 100*c.On.ShedRate))
+	fmt.Fprintf(w, "%-18s %14s %14s\n", "p50 / p99",
+		fmtDur(c.Off.P50)+" / "+fmtDur(c.Off.P99),
+		fmtDur(c.On.P50)+" / "+fmtDur(c.On.P99))
+	fmt.Fprintf(w, "throughput ratio %.2fx, p99 ratio %.2fx; mean batch occupancy %.2f "+
+		"(flushes: %d full, %d linger, %d solo, %d drain), coalescer sheds %d\n",
+		c.ThroughputRatio, c.P99Ratio, c.MeanOccupancy,
+		c.Stats.Full, c.Stats.Linger, c.Stats.Solo, c.Stats.Drain, c.CoalesceShed)
+	fmt.Fprintf(w, "coalesced scores bit-identical to solo under concurrent submission: %v\n", c.BitIdentical)
+	return res, nil
+}
+
+// randServeTree grows one full depth-6 tree over a standardized feature
+// space: 63 splits with thresholds drawn from the data distribution (unit
+// normal, so roughly half are negative) and exactly 64 leaves — the
+// bitvector backend's cap, i.e. the densest tree that backend serves.
+func randServeTree(rng *rand.Rand, features int) *tree.Tree {
+	const depth = 6
+	t := tree.New(depth + 1)
+	var grow func(node, d int)
+	grow = func(node, d int) {
+		if d > depth {
+			t.SetLeaf(node, math.Round(rng.NormFloat64()*1000)/1000)
+			return
+		}
+		t.SetSplit(node, int32(rng.Intn(features)), math.Round(rng.NormFloat64()*100)/100, rng.Float64())
+		grow(tree.Left(node), d+1)
+		grow(tree.Right(node), d+1)
+	}
+	grow(0, 1)
+	return t
+}
+
+// standardizedInstance draws one sparse row of zero-mean features — the
+// shape that pays the engine's full per-row absent-feature pass when
+// scored alone.
+func standardizedInstance(rng *rand.Rand, features int) dataset.Instance {
+	n := 6 + rng.Intn(10)
+	seen := map[int32]bool{}
+	var idx []int32
+	for len(idx) < n {
+		f := int32(rng.Intn(features))
+		if !seen[f] {
+			seen[f] = true
+			idx = append(idx, f)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = float32(math.Round(rng.NormFloat64()*1000) / 1000)
+	}
+	return dataset.Instance{Indices: idx, Values: vals}
+}
+
+// coalescePass drives the same open-loop stream of distinct
+// single-instance requests at the same offered rate against the same
+// admission configuration twice — coalescing off, then on — and then
+// holds a concurrent sample of coalesced responses to bit-equality with
+// solo engine scores.
+func coalescePass(scale Scale) (*CoalesceBenchResult, error) {
+	// A wide standardized ensemble: solo scoring pays the absent-feature
+	// negative-prefix pass per row; coalesced tiles pay it once per 16
+	// rows. Trees scale down for smoke runs (floor 200).
+	trees := scale.rows(4096)
+	const features = 5000
+	rng := rand.New(rand.NewSource(71))
+	model := &core.Model{Loss: loss.Squared, BaseScore: 0.5}
+	for i := 0; i < trees; i++ {
+		model.Trees = append(model.Trees, randServeTree(rng, features))
+	}
+	eng, err := model.Compiled()
+	if err != nil {
+		return nil, err
+	}
+	if eng.Backend() != predict.BackendBitvector {
+		return nil, fmt.Errorf("expected bitvector backend, got %v", eng.Backend())
+	}
+
+	// Distinct single-instance request bodies, round-robined by the
+	// generator the way independent clients would arrive.
+	const distinct = 256
+	instances := make([]dataset.Instance, distinct)
+	bodies := make([][]byte, distinct)
+	want := make([]uint64, distinct)
+	type jsonInstance struct {
+		Indices []int32   `json:"indices"`
+		Values  []float32 `json:"values"`
+	}
+	for i := range bodies {
+		instances[i] = standardizedInstance(rng, features)
+		b, err := json.Marshal(map[string][]jsonInstance{"instances": {
+			{Indices: instances[i].Indices, Values: instances[i].Values},
+		}})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+		want[i] = math.Float64bits(eng.Predict(instances[i]))
+	}
+
+	res := &CoalesceBenchResult{Trees: trees, Features: features, Window: 500 * time.Microsecond}
+
+	// Engine-only calibration: per-row cost alone vs in full batches.
+	start := time.Now()
+	for _, in := range instances {
+		eng.Predict(in)
+	}
+	res.SoloRowCost = time.Since(start) / distinct
+	out := make([]float64, distinct)
+	start = time.Now()
+	eng.PredictInstancesInto(instances, out)
+	res.TiledRowCost = time.Since(start) / distinct
+
+	admission := serve.AdmissionConfig{MaxConcurrent: 8, QueueDepth: 128, QueueTimeout: 50 * time.Millisecond}
+	// Bound the generator's connection pool: thousands of 1-instance
+	// requests in flight against a saturated server must queue client-side
+	// for a connection, not exhaust file descriptors and turn the
+	// measurement into kernel accept-retry behavior. Both passes share the
+	// same bound.
+	client := &http.Client{
+		Timeout: 60 * time.Second,
+		Transport: &http.Transport{
+			MaxConnsPerHost:     256,
+			MaxIdleConnsPerHost: 256,
+		},
+	}
+	runPass := func(coalesce bool, rate float64, dur time.Duration) (*loadgen.Result, *serve.Handler, func(), error) {
+		h := serve.New(model)
+		h.Limiter = serve.NewLimiter(admission)
+		if coalesce {
+			h.EnableCoalescing(serve.CoalesceConfig{Window: res.Window})
+		}
+		srv := httptest.NewServer(h)
+		cleanup := func() { srv.Close(); h.Close() }
+		load, err := loadgen.Run(context.Background(), loadgen.Config{
+			URL:      srv.URL + "/predict",
+			Rate:     rate,
+			Duration: dur,
+			Bodies:   bodies,
+			Client:   client,
+		})
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		return load, h, cleanup, nil
+	}
+
+	// Calibrate the uncoalesced request latency closed-loop, then offer
+	// ~2.5× that capacity to both passes: past solo capacity, within reach
+	// of the coalesced configuration.
+	{
+		h := serve.New(model)
+		srv := httptest.NewServer(h)
+		const calibration = 10
+		start := time.Now()
+		for i := 0; i < calibration; i++ {
+			if _, err := postPredict(srv.URL+"/predict", bodies[i%distinct]); err != nil {
+				srv.Close()
+				return nil, err
+			}
+		}
+		soloLatency := time.Since(start) / calibration
+		srv.Close()
+		res.OfferedRPS = 2.5 / soloLatency.Seconds()
+	}
+	if res.OfferedRPS > 6000 {
+		res.OfferedRPS = 6000
+	}
+	res.Duration = time.Duration(float64(3*time.Second) * float64(scale))
+	if res.Duration < 400*time.Millisecond {
+		res.Duration = 400 * time.Millisecond
+	}
+
+	offLoad, _, offCleanup, err := runPass(false, res.OfferedRPS, res.Duration)
+	if err != nil {
+		return nil, err
+	}
+	offCleanup()
+	res.Off = offLoad
+
+	onLoad, onH, onCleanup, err := runPass(true, res.OfferedRPS, res.Duration)
+	if err != nil {
+		return nil, err
+	}
+	res.On = onLoad
+	res.Stats = onH.Coalescer().Stats()
+	res.MeanOccupancy = res.Stats.MeanOccupancy()
+	res.CoalesceShed = res.Stats.Rejected
+
+	if res.Off.Throughput > 0 {
+		res.ThroughputRatio = res.On.Throughput / res.Off.Throughput
+	}
+	if res.On.P99 > 0 {
+		res.P99Ratio = float64(res.Off.P99) / float64(res.On.P99)
+	}
+
+	// Bit-identity gate, on the still-running coalesced server under
+	// concurrent submission: every coalesced HTTP score must equal the
+	// solo engine score exactly.
+	res.BitIdentical = true
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		bitErr  error
+		next    int
+		workers = 4
+	)
+	srv := httptest.NewServer(onH)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= distinct {
+					return
+				}
+				scores, err := postPredict(srv.URL+"/predict", bodies[i])
+				mu.Lock()
+				if err != nil {
+					bitErr = err
+					res.BitIdentical = false
+				} else if len(scores) != 1 || math.Float64bits(scores[0]) != want[i] {
+					res.BitIdentical = false
+					bitErr = fmt.Errorf("body %d: coalesced score %v != solo bits", i, scores)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	srv.Close()
+	onCleanup()
+	if bitErr != nil {
+		return nil, bitErr
+	}
 	return res, nil
 }
 

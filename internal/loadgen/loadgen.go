@@ -29,6 +29,11 @@ type Config struct {
 	Duration time.Duration
 	// Body is sent on every request.
 	Body []byte
+	// Bodies, when non-empty, overrides Body: arrival i sends
+	// Bodies[i%len(Bodies)]. This is the many-small-requests mode for
+	// exercising server-side coalescing — each arrival carries a distinct
+	// (typically single-instance) payload, the way independent clients do.
+	Bodies [][]byte
 	// ContentType defaults to application/json.
 	ContentType string
 	// Tenant, when set, is sent as the X-Tenant header.
@@ -89,15 +94,22 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		interval  = time.Duration(float64(time.Second) / cfg.Rate)
 		start     = time.Now()
 		deadline  = start.Add(cfg.Duration)
-		tick      = time.NewTicker(interval)
 		arrivalCt = 0
 	)
+	// Ticker granularity bottoms out around a millisecond; above ~1000 rps
+	// the loop fires the per-tick deficit in a burst instead, keeping the
+	// arrival *schedule* (rate × elapsed) exact even when individual ticks
+	// are late or coarser than the inter-arrival gap.
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	tick := time.NewTicker(interval)
 	defer tick.Stop()
 
-	fire := func() {
+	fire := func(body []byte) {
 		defer wg.Done()
 		reqStart := time.Now()
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.URL, strings.NewReader(string(cfg.Body)))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.URL, strings.NewReader(string(body)))
 		if err == nil {
 			req.Header.Set("Content-Type", ct)
 			if cfg.Tenant != "" {
@@ -132,20 +144,33 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
-	// Open loop: one arrival per tick, regardless of how many earlier
-	// requests are still outstanding.
+	// Open loop: arrivals follow the wall-clock schedule rate × elapsed,
+	// regardless of how many earlier requests are still outstanding. Each
+	// tick fires the accumulated deficit, so a late tick produces a burst
+	// rather than a lost arrival.
+	total := int(cfg.Rate*cfg.Duration.Seconds() + 0.5)
 loop:
 	for {
 		select {
 		case <-ctx.Done():
 			break loop
 		case now := <-tick.C:
-			if now.After(deadline) {
+			target := int(cfg.Rate * now.Sub(start).Seconds())
+			if target > total {
+				target = total
+			}
+			for arrivalCt < target {
+				body := cfg.Body
+				if len(cfg.Bodies) > 0 {
+					body = cfg.Bodies[arrivalCt%len(cfg.Bodies)]
+				}
+				arrivalCt++
+				wg.Add(1)
+				go fire(body)
+			}
+			if now.After(deadline) || arrivalCt >= total {
 				break loop
 			}
-			arrivalCt++
-			wg.Add(1)
-			go fire()
 		}
 	}
 	wg.Wait()

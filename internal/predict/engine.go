@@ -154,6 +154,19 @@ type scratch struct {
 	// compiled mask width is allocated.
 	vec32 *[bvBlockTrees]uint32
 	vec64 *[bvBlockTrees]uint64
+
+	// Tile-shared batch scoring state (bvtile.go): the shared base vector,
+	// per-tile-row staged features, the tile union with its membership
+	// stamps, and the resolved per-block union runs.
+	tileVec32   *[bvBlockTrees]uint32
+	tileVec64   *[bvBlockTrees]uint64
+	tileRows    []int32
+	tileTouched [bvTileRows][]int32
+	tileVals    [bvTileRows][]float32
+	stamp       []int32
+	stampEpoch  int32
+	union       []int32
+	unionRuns   []bvUnionRun
 }
 
 // Compile flattens a trained ensemble (trees plus base score) into an
@@ -242,8 +255,13 @@ func CompileBackend(trees []*tree.Tree, baseScore float64, backend Backend) (*En
 		s := &scratch{dense: make([]float32, e.numCompact)}
 		if e.bv32 != nil {
 			s.vec32 = new([bvBlockTrees]uint32)
+			s.tileVec32 = new([bvBlockTrees]uint32)
 		} else if e.bv64 != nil {
 			s.vec64 = new([bvBlockTrees]uint64)
+			s.tileVec64 = new([bvBlockTrees]uint64)
+		}
+		if e.bv32 != nil || e.bv64 != nil {
+			s.stamp = make([]int32, e.numCompact)
 		}
 		return s
 	}
@@ -372,8 +390,15 @@ func (e *Engine) predictRowSoA(s *scratch, indices []int32, values []float32) fl
 	return sum
 }
 
-// predictRows scores rows [lo, hi) of a batch on one scratch.
+// predictRows scores rows [lo, hi) of a batch on one scratch. The bitvector
+// backend routes through predictRowsBV, which batches rows with negative
+// values into tile-shared scoring (bvtile.go); results are bit-identical to
+// per-row scoring either way.
 func (e *Engine) predictRows(s *scratch, bt batch, lo, hi int, out []float64) {
+	if e.backend == BackendBitvector {
+		e.predictRowsBV(s, bt, lo, hi, out)
+		return
+	}
 	for i := lo; i < hi; i++ {
 		idx, vals := bt.row(i)
 		out[i] = e.predictRow(s, idx, vals)
@@ -407,9 +432,31 @@ func (e *Engine) PredictBatchInto(d *dataset.Dataset, out []float64) []float64 {
 // PredictInstances scores a slice of instances in parallel — the serving
 // path, where requests arrive as instances rather than a Dataset.
 func (e *Engine) PredictInstances(ins []dataset.Instance) []float64 {
-	out := make([]float64, len(ins))
+	return e.PredictInstancesInto(ins, make([]float64, len(ins)))
+}
+
+// PredictInstancesInto is PredictInstances writing into a caller-provided
+// slice of length len(ins). The single-worker steady state allocates
+// nothing, which is what the serve coalescer relies on: it reuses one
+// gather buffer and one score buffer across every flushed batch.
+func (e *Engine) PredictInstancesInto(ins []dataset.Instance, out []float64) []float64 {
+	if len(out) != len(ins) {
+		panic(fmt.Sprintf("predict: out length %d for %d instances", len(out), len(ins)))
+	}
 	e.predictAll(len(ins), batch{ins: ins}, out)
 	return out
+}
+
+// PreferredBatch returns the batch geometry the compiled backend is tuned
+// for: enough rows to fill one scoring chunk per worker, so a batch call
+// saturates the worker pool without leaving chunks stranded. Callers that
+// assemble batches (the serve coalescer) use it as their target flush size.
+func (e *Engine) PreferredBatch() int {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return chunkRows * workers
 }
 
 // batch lets Dataset and []Instance scoring share predictAll without a

@@ -1,0 +1,5 @@
+//go:build !race
+
+package predict_test
+
+const raceEnabled = false

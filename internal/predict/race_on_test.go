@@ -1,0 +1,8 @@
+//go:build race
+
+package predict_test
+
+// raceEnabled gates allocation-count assertions: race instrumentation
+// allocates shadow state, so zero-alloc contracts are checked only in
+// uninstrumented runs.
+const raceEnabled = true

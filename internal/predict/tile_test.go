@@ -1,0 +1,193 @@
+package predict_test
+
+// Differential coverage for the tile-shared negative-row batch path
+// (bvtile.go): batches sized across every tile boundary, rows mixing
+// negative, non-negative, NaN, explicit-zero, and empty shapes, single- and
+// multi-block ensembles — all held to Float64bits equality against the
+// interpreted walk and against solo Engine.Predict calls (the coalescer's
+// invariant: batching must not change a single bit).
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dimboost/internal/core"
+	"dimboost/internal/dataset"
+	"dimboost/internal/loss"
+	"dimboost/internal/predict"
+)
+
+// negInstance draws a sparse row guaranteed to carry at least one negative
+// value, the shape standardized (zero-mean) features produce.
+func negInstance(rng *rand.Rand, rowFeatures int) dataset.Instance {
+	n := 1 + rng.Intn(min(rowFeatures, 48))
+	seen := map[int32]bool{}
+	var idx []int32
+	for len(idx) < n {
+		f := int32(rng.Intn(rowFeatures))
+		if !seen[f] {
+			seen[f] = true
+			idx = append(idx, f)
+		}
+	}
+	sortInt32s(idx)
+	vals := make([]float32, n)
+	for i := range vals {
+		switch rng.Intn(6) {
+		case 0:
+			vals[i] = 0 // explicit zero inside a negative row
+		case 1:
+			vals[i] = float32(math.NaN())
+		default:
+			vals[i] = float32(math.Round(rng.NormFloat64()*100) / 100)
+		}
+	}
+	vals[rng.Intn(n)] = -float32(0.01 + rng.Float64()) // force a negative
+	return dataset.Instance{Indices: idx, Values: vals}
+}
+
+func TestDifferentialTileBatches(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		trees    int
+		features int
+	}{
+		{"single-block", 40, 300},
+		{"multi-block", predict.BlockTrees + 25, 200},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := newRand(977)
+			m := &core.Model{Loss: loss.Squared, BaseScore: 0.25}
+			for i := 0; i < tc.trees; i++ {
+				m.Trees = append(m.Trees, randTree(rng, 1+rng.Intn(6), tc.features))
+			}
+			eng, err := predict.CompileBackend(m.Trees, m.BaseScore, predict.BackendBitvector)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			// Batch sizes straddle the tile width (16): partial tiles, exact
+			// tiles, a tile plus a remainder, and multiple tiles.
+			for _, size := range []int{1, 2, 15, 16, 17, 31, 32, 33, 61} {
+				ins := make([]dataset.Instance, size)
+				for i := range ins {
+					if i%4 == 3 {
+						// Interleave non-negative rows so the batch splits
+						// between the tile path and the per-row fast path.
+						ins[i] = randInstance(rng, tc.features)
+					} else {
+						ins[i] = negInstance(rng, tc.features)
+					}
+				}
+				got := eng.PredictInstances(ins)
+				for i, in := range ins {
+					want := m.Predict(in)
+					if math.Float64bits(got[i]) != math.Float64bits(want) {
+						t.Fatalf("size %d row %d: batched %v != interpreted %v", size, i, got[i], want)
+					}
+					solo := eng.Predict(in)
+					if math.Float64bits(got[i]) != math.Float64bits(solo) {
+						t.Fatalf("size %d row %d: batched %v != solo %v", size, i, got[i], solo)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPredictInstancesInto pins the allocation-free contract the coalescer
+// relies on, and the length panic.
+func TestPredictInstancesInto(t *testing.T) {
+	rng := newRand(31)
+	m := randModel(rng, 80)
+	eng, err := predict.Compile(m.Trees, m.BaseScore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := make([]dataset.Instance, 24)
+	for i := range ins {
+		ins[i] = negInstance(rng, 80)
+	}
+	out := make([]float64, len(ins))
+	// Warm the scratch pool, then the steady state must not allocate (race
+	// instrumentation allocates shadow state, so skip the count there).
+	eng.PredictInstancesInto(ins, out)
+	if !raceEnabled {
+		allocs := testing.AllocsPerRun(50, func() {
+			eng.PredictInstancesInto(ins, out)
+		})
+		if allocs != 0 {
+			t.Fatalf("PredictInstancesInto allocates %.1f/op, want 0", allocs)
+		}
+	}
+	want := eng.PredictInstances(ins)
+	for i := range want {
+		if math.Float64bits(out[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("row %d: into %v != alloc %v", i, out[i], want[i])
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("short out slice did not panic")
+			}
+		}()
+		eng.PredictInstancesInto(ins, make([]float64, 3))
+	}()
+}
+
+func TestPreferredBatch(t *testing.T) {
+	rng := newRand(7)
+	m := randModel(rng, 50)
+	eng, err := predict.Compile(m.Trees, m.BaseScore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb := eng.PreferredBatch(); pb < 256 {
+		t.Fatalf("PreferredBatch = %d, want >= one chunk (256)", pb)
+	}
+	eng.Workers = 3
+	if pb := eng.PreferredBatch(); pb != 3*256 {
+		t.Fatalf("PreferredBatch with 3 workers = %d, want %d", pb, 3*256)
+	}
+}
+
+// BenchmarkTileNegativeRows records the tile-shared path against solo
+// scoring on standardized (negative-carrying) rows — the workload the serve
+// coalescer feeds. Solo scoring pays the absent-feature negative-prefix
+// pass per row; the tile path pays it once per 16 rows.
+func BenchmarkTileNegativeRows(b *testing.B) {
+	for _, trees := range []int{512, 2048} {
+		rng := newRand(55)
+		m := &core.Model{Loss: loss.Squared, BaseScore: 0.5}
+		for i := 0; i < trees; i++ {
+			m.Trees = append(m.Trees, randTree(rng, 7, 5000))
+		}
+		eng, err := predict.CompileBackend(m.Trees, m.BaseScore, predict.BackendBitvector)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ins := make([]dataset.Instance, 256)
+		for i := range ins {
+			ins[i] = negInstance(rng, 5000)
+		}
+		out := make([]float64, len(ins))
+		b.Run(fmt.Sprintf("trees=%d/batched", trees), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.PredictInstancesInto(ins, out)
+			}
+			b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N*len(ins)), "µs/row")
+		})
+		b.Run(fmt.Sprintf("trees=%d/solo", trees), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, in := range ins {
+					eng.Predict(in)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N*len(ins)), "µs/row")
+		})
+	}
+}

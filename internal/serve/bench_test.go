@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dimboost/internal/core"
+	"dimboost/internal/dataset"
+)
+
+// benchModel trains a small model once per benchmark binary.
+func benchModel(b *testing.B) *core.Model {
+	b.Helper()
+	d := dataset.Generate(dataset.SyntheticConfig{NumRows: 400, NumFeatures: 60, AvgNNZ: 8, Seed: 5, Zipf: 1.2})
+	cfg := core.DefaultConfig()
+	cfg.NumTrees = 4
+	cfg.MaxDepth = 4
+	cfg.Parallelism = 1
+	m, err := core.Train(d, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkPredictHandler measures the single-instance /predict hot path
+// end to end (mux, admission, pooled JSON decode, scoring, encode) without
+// a network in between. ReportAllocs tracks the decode-buffer pooling: the
+// request-scoped instance/score/probability slices must come from the pool,
+// not fresh per request.
+func BenchmarkPredictHandler(b *testing.B) {
+	m := benchModel(b)
+	rng := rand.New(rand.NewSource(7))
+	in := coalesceInstance(rng, 60)
+	body, err := json.Marshal(map[string]any{"instances": []map[string]any{
+		{"indices": in.Indices, "values": in.Values},
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(b *testing.B, h *Handler) {
+		b.Helper()
+		req := httptest.NewRequest("POST", "/predict", nil)
+		req.Header.Set("Content-Type", "application/json")
+		reader := bytes.NewReader(body)
+		// Warm the pools once.
+		req.Body = readCloser{reader}
+		h.ServeHTTP(httptest.NewRecorder(), req)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reader.Reset(body)
+			req.Body = readCloser{reader}
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != 200 {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	}
+
+	b.Run("uncoalesced", func(b *testing.B) {
+		run(b, New(m))
+	})
+	b.Run("coalesced", func(b *testing.B) {
+		h := New(m)
+		h.EnableCoalescing(CoalesceConfig{Window: 200 * time.Microsecond})
+		defer h.Close()
+		run(b, h)
+	})
+}
+
+type readCloser struct{ *bytes.Reader }
+
+func (readCloser) Close() error { return nil }

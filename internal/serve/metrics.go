@@ -13,15 +13,28 @@ import (
 // cardinality stays bounded. Shed and rollback reasons are likewise a
 // small fixed vocabulary.
 type serveObs struct {
-	reg          *obs.Registry
-	inflight     *obs.Gauge
-	trees        *obs.Gauge
-	modelVersion *obs.Gauge
-	reloads      *obs.Counter
-	reloadErrs   *obs.Counter
-	queueDepth   *obs.Gauge
-	queueWait    *obs.Histogram
+	reg               *obs.Registry
+	inflight          *obs.Gauge
+	trees             *obs.Gauge
+	modelVersion      *obs.Gauge
+	reloads           *obs.Counter
+	reloadErrs        *obs.Counter
+	queueDepth        *obs.Gauge
+	queueWait         *obs.Histogram
+	coalesceWait      *obs.Histogram
+	coalesceOccupancy *obs.Histogram
 }
+
+// waitBuckets resolves admission and coalesce waits down to 10µs: both are
+// routinely sub-millisecond (the coalesce linger window defaults to 500µs),
+// and the default bucket ladder's 250µs→1ms gap hid every p99 of interest.
+var waitBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 0.1, 0.25, 1, 2.5,
+}
+
+// occupancyBuckets covers requests-per-flush from solo to a full chunk grid.
+var occupancyBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 
 var (
 	soOnce sync.Once
@@ -40,7 +53,11 @@ func serveMetrics() *serveObs {
 			reloadErrs:   r.Counter("dimboost_serve_reload_errors_total", "Failed model reload attempts."),
 			queueDepth:   r.Gauge("dimboost_serve_queue_depth", "Requests currently waiting for an admission slot."),
 			queueWait: r.Histogram("dimboost_serve_queue_wait_seconds",
-				"Time requests spent queued for admission (both admitted and shed).", nil),
+				"Time requests spent queued for admission (both admitted and shed).", waitBuckets),
+			coalesceWait: r.Histogram("dimboost_serve_coalesce_wait_seconds",
+				"Time requests spent parked in the coalescer before their batch was scored.", waitBuckets),
+			coalesceOccupancy: r.Histogram("dimboost_serve_coalesce_batch_occupancy",
+				"Requests merged into each coalesced scoring batch.", occupancyBuckets),
 		}
 	})
 	return soInst
@@ -54,8 +71,18 @@ func (m *serveObs) request(path string, code int, secs float64) {
 		nil, obs.L("path", path)).Observe(secs)
 }
 
+// coalesceFlush records one scored batch by its flush reason: full (batch
+// cap reached), linger (window expired), solo (pipe idle — nothing left to
+// linger for; usually, but not necessarily, a single-request batch, since a
+// greedy drain may have merged a burst first), drain (Close flushed the
+// remainder).
+func (m *serveObs) coalesceFlush(reason string) {
+	m.reg.Counter("dimboost_serve_coalesce_flushes_total",
+		"Coalesced batches scored, by flush reason.", obs.L("reason", reason)).Inc()
+}
+
 // shed records one request refused by the admission layer. Reasons:
-// quota, queue_full, queue_timeout, draining, canceled.
+// quota, queue_full, queue_timeout, draining, canceled, coalesce_full.
 func (m *serveObs) shed(reason string) {
 	m.reg.Counter("dimboost_serve_shed_total", "Requests shed by the admission layer, by reason.",
 		obs.L("reason", reason)).Inc()

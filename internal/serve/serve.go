@@ -36,6 +36,7 @@ import (
 	"dimboost/internal/dataset"
 	"dimboost/internal/loss"
 	"dimboost/internal/obs"
+	"dimboost/internal/predict"
 )
 
 // Handler serves a model over HTTP.
@@ -54,6 +55,13 @@ type Handler struct {
 	// Quota, when set, applies per-tenant token buckets to /predict keyed
 	// on the X-Tenant header. Configure before serving traffic.
 	Quota *Quotas
+
+	// coalescer, when set (EnableCoalescing, before serving traffic),
+	// batches concurrent /predict scoring into single engine calls. A
+	// coalesced request releases its admission slot before parking — the
+	// limiter keeps bounding concurrent decode/score work while the
+	// coalescer's own MaxPending bounds the parked queue.
+	coalescer *Coalescer
 
 	reloadMu sync.Mutex
 	draining atomic.Bool
@@ -86,6 +94,35 @@ func New(m *core.Model) *Handler {
 // Registry exposes the handler's model registry so operators can install a
 // validation hook (Registry.Validate) or inspect version history.
 func (h *Handler) Registry() *Registry { return h.registry }
+
+// EnableCoalescing turns on request coalescing for /predict scoring (see
+// coalesce.go). Call before serving traffic. Batches resolve the model
+// through the registry at flush time, so hot swaps stay coherent per batch.
+func (h *Handler) EnableCoalescing(cfg CoalesceConfig) *Coalescer {
+	m, _ := h.registry.Current()
+	var eng *predict.Engine
+	if e, err := m.Compiled(); err == nil {
+		eng = e
+	}
+	h.coalescer = NewCoalescer(func() *core.Model {
+		cm, _ := h.registry.Current()
+		return cm
+	}, eng, cfg)
+	return h.coalescer
+}
+
+// Coalescer returns the coalescing layer, or nil when disabled.
+func (h *Handler) Coalescer() *Coalescer { return h.coalescer }
+
+// Close releases the handler's background resources: it drains the
+// coalescer (every parked request is scored — no waiter is stranded) and
+// stops its scorer. Call after the HTTP server has stopped accepting work;
+// requests that slip in afterwards fall back to direct scoring.
+func (h *Handler) Close() {
+	if h.coalescer != nil {
+		h.coalescer.Close()
+	}
+}
 
 // statusWriter captures the response status for the request metrics.
 type statusWriter struct {
@@ -275,12 +312,46 @@ func (h *Handler) admit(w http.ResponseWriter, r *http.Request) (release func(),
 	return nil, false
 }
 
+// predictBuf is the pooled per-request scoring state: the JSON decode
+// target (whose per-instance Indices/Values slices are reused across
+// requests), the validated instances, and the score/probability buffers.
+// One request checks a buf out for its whole lifetime — decode through
+// response encode — and returns it afterwards, so the steady-state JSON
+// path stops allocating per request.
+type predictBuf struct {
+	req       predictRequest
+	instances []dataset.Instance
+	scores    []float64
+	probs     []float64
+	pairs     []featPair
+}
+
+var predictBufPool = sync.Pool{New: func() any { return new(predictBuf) }}
+
+// resetReq prepares the decode target for reuse: every element within
+// capacity gets its inner slices truncated (capacity retained). Decoding
+// appends into that capacity, and an instance whose JSON omits a key sees
+// the truncated empty slice rather than a stale predecessor's data.
+func (b *predictBuf) resetReq() {
+	s := b.req.Instances[:cap(b.req.Instances)]
+	for i := range s {
+		s[i].Indices = s[i].Indices[:0]
+		s[i].Values = s[i].Values[:0]
+	}
+	b.req.Instances = s[:0]
+}
+
 func (h *Handler) predict(w http.ResponseWriter, r *http.Request) {
 	release, ok := h.admit(w, r)
 	if !ok {
 		return
 	}
-	defer release()
+	released := false
+	defer func() {
+		if !released {
+			release()
+		}
+	}()
 	if h.predictHook != nil {
 		h.predictHook()
 	}
@@ -288,17 +359,24 @@ func (h *Handler) predict(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, h.MaxBodyBytes)
 	defer body.Close()
 
-	var instances []dataset.Instance
+	buf := predictBufPool.Get().(*predictBuf)
+	defer predictBufPool.Put(buf)
+
+	instances := buf.instances[:0]
 	ct := r.Header.Get("Content-Type")
 	switch {
 	case strings.HasPrefix(ct, "application/json"), ct == "":
-		var req predictRequest
-		if err := json.NewDecoder(body).Decode(&req); err != nil {
+		buf.resetReq()
+		if err := json.NewDecoder(body).Decode(&buf.req); err != nil {
 			httpError(w, bodyErrStatus(err), "bad JSON: %v", err)
 			return
 		}
-		for i, ji := range req.Instances {
-			in, err := jsonToInstance(ji)
+		for i, ji := range buf.req.Instances {
+			var dst dataset.Instance
+			if i < len(buf.instances) {
+				dst = buf.instances[i] // reuse the prior request's backing slices
+			}
+			in, err := jsonToInstanceInto(ji, dst, buf)
 			if err != nil {
 				httpError(w, http.StatusBadRequest, "instance %d: %v", i, err)
 				return
@@ -318,42 +396,83 @@ func (h *Handler) predict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnsupportedMediaType, "use application/json or text/libsvm")
 		return
 	}
+	buf.instances = instances
 	if len(instances) == 0 {
 		httpError(w, http.StatusBadRequest, "no instances")
 		return
 	}
 
-	m, _ := h.registry.Current()
-	var resp predictResponse
-	if eng, err := m.Compiled(); err == nil {
-		resp.Scores = eng.PredictInstances(instances)
+	if cap(buf.scores) < len(instances) {
+		buf.scores = make([]float64, len(instances))
+	}
+	scores := buf.scores[:len(instances)]
+
+	var m *core.Model
+	if h.coalescer != nil {
+		// The admission slot bounded this request's decode work; scoring is
+		// the scorer goroutine's, bounded by the coalescer itself. Release
+		// the slot before parking so parked requests don't starve admission.
+		release()
+		released = true
+		cm, err := h.coalescer.Score(instances, scores)
+		if err != nil {
+			if errors.Is(err, ErrCoalesceFull) {
+				serveMetrics().shed("coalesce_full")
+				shedError(w, http.StatusServiceUnavailable, h.coalescer.Config().Window, "scoring queue full")
+				return
+			}
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		m = cm
 	} else {
-		resp.Scores = make([]float64, len(instances))
-		for i, in := range instances {
-			resp.Scores[i] = m.Predict(in)
+		m, _ = h.registry.Current()
+		if eng, err := m.Compiled(); err == nil {
+			eng.PredictInstancesInto(instances, scores)
+		} else {
+			for i, in := range instances {
+				scores[i] = m.Predict(in)
+			}
 		}
 	}
+
+	resp := predictResponse{Scores: scores}
 	if m.Loss == loss.Logistic {
-		resp.Probabilities = make([]float64, len(instances))
-		for i, s := range resp.Scores {
+		if cap(buf.probs) < len(scores) {
+			buf.probs = make([]float64, len(scores))
+		}
+		resp.Probabilities = buf.probs[:len(scores)]
+		for i, s := range scores {
 			resp.Probabilities[i] = loss.Sigmoid(s)
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// featPair is a (feature, value) entry, used only when an instance arrives
+// with unsorted indices and must be reordered.
+type featPair struct {
+	f int32
+	v float32
+}
+
 // jsonToInstance validates and sorts a JSON instance into dataset form.
 // Non-finite values are refused so the JSON path agrees with the LibSVM
 // parser, which errors on NaN/±Inf.
 func jsonToInstance(ji jsonInstance) (dataset.Instance, error) {
+	return jsonToInstanceInto(ji, dataset.Instance{}, &predictBuf{})
+}
+
+// jsonToInstanceInto is jsonToInstance writing into dst's backing slices
+// (grown only when capacity runs out) with buf.pairs as sort scratch, so
+// the pooled request path validates without per-instance allocations.
+// Already-sorted indices — the overwhelmingly common client behavior —
+// take a copy-through path that never touches the pair scratch.
+func jsonToInstanceInto(ji jsonInstance, dst dataset.Instance, buf *predictBuf) (dataset.Instance, error) {
 	if len(ji.Indices) != len(ji.Values) {
 		return dataset.Instance{}, fmt.Errorf("%d indices vs %d values", len(ji.Indices), len(ji.Values))
 	}
-	type pair struct {
-		f int32
-		v float32
-	}
-	pairs := make([]pair, len(ji.Indices))
+	sorted := true
 	for i := range ji.Indices {
 		if ji.Indices[i] < 0 {
 			return dataset.Instance{}, fmt.Errorf("negative feature index %d", ji.Indices[i])
@@ -361,17 +480,28 @@ func jsonToInstance(ji jsonInstance) (dataset.Instance, error) {
 		if v := float64(ji.Values[i]); math.IsNaN(v) || math.IsInf(v, 0) {
 			return dataset.Instance{}, fmt.Errorf("non-finite value %v at feature %d", v, ji.Indices[i])
 		}
-		pairs[i] = pair{ji.Indices[i], ji.Values[i]}
-	}
-	sort.Slice(pairs, func(a, b int) bool { return pairs[a].f < pairs[b].f })
-	idx := make([]int32, 0, len(pairs))
-	vals := make([]float32, 0, len(pairs))
-	for i, p := range pairs {
-		if i > 0 && p.f == pairs[i-1].f {
-			return dataset.Instance{}, fmt.Errorf("duplicate feature index %d", p.f)
+		if i > 0 && ji.Indices[i] <= ji.Indices[i-1] {
+			if ji.Indices[i] == ji.Indices[i-1] {
+				return dataset.Instance{}, fmt.Errorf("duplicate feature index %d", ji.Indices[i])
+			}
+			sorted = false
 		}
-		idx = append(idx, p.f)
-		vals = append(vals, p.v)
+	}
+	idx := append(dst.Indices[:0], ji.Indices...)
+	vals := append(dst.Values[:0], ji.Values...)
+	if !sorted {
+		pairs := buf.pairs[:0]
+		for i := range idx {
+			pairs = append(pairs, featPair{idx[i], vals[i]})
+		}
+		buf.pairs = pairs
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].f < pairs[b].f })
+		for i, p := range pairs {
+			if i > 0 && p.f == pairs[i-1].f {
+				return dataset.Instance{}, fmt.Errorf("duplicate feature index %d", p.f)
+			}
+			idx[i], vals[i] = p.f, p.v
+		}
 	}
 	return dataset.Instance{Indices: idx, Values: vals}, nil
 }
